@@ -1,0 +1,68 @@
+// Command radionet-bench regenerates the paper's experiment tables (E1–E12,
+// see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	radionet-bench [-scale quick|full] [-seed N] [-run E5,E7] [-list]
+//
+// With no -run flag every experiment runs in order. Output is
+// GitHub-flavored Markdown on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "radionet-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("radionet-bench", flag.ContinueOnError)
+	scaleFlag := fs.String("scale", "quick", "experiment scale: quick or full")
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	runList := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Fprintf(out, "%-4s %-40s %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+	var scale exp.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = exp.Quick
+	case "full":
+		scale = exp.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleFlag)
+	}
+	cfg := exp.Config{Scale: scale, Seed: *seed, Out: out}
+	if *runList == "" {
+		return exp.RunAll(cfg)
+	}
+	for _, id := range strings.Split(*runList, ",") {
+		e, err := exp.Lookup(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "## %s — %s\n\nClaim: %s\n\n", e.ID, e.Title, e.Claim)
+		if err := e.Run(cfg); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

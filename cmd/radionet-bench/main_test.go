@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E7", "E12", "E15"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list output missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E6", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bad scales") {
+		t.Fatalf("E6 output missing table:\n%s", buf.String())
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E3, E4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E3") || !strings.Contains(out, "E4") {
+		t.Fatalf("missing experiment sections:\n%s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "gigantic"}, &buf); err == nil {
+		t.Fatal("want scale error")
+	}
+	if err := run([]string{"-run", "E99"}, &buf); err == nil {
+		t.Fatal("want unknown-experiment error")
+	}
+	if err := run([]string{"-notaflag"}, &buf); err == nil {
+		t.Fatal("want flag-parse error")
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestFormats(t *testing.T) {
+	for _, args := range [][]string{
+		{"-graph", "grid", "-n", "25", "-format", "edges"},
+		{"-graph", "path", "-n", "10", "-format", "json"},
+		{"-graph", "tree", "-n", "20", "-format", "edges", "-stats"},
+		{"-graph", "gnp", "-n", "40", "-format", "json", "-seed", "2"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"-format", "xml"}); err == nil {
+		t.Fatal("want format error")
+	}
+	if err := run([]string{"-graph", "nosuch"}); err == nil {
+		t.Fatal("want graph error")
+	}
+	if err := run([]string{"-n", "0"}); err == nil {
+		t.Fatal("want n error")
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunAlgorithms(t *testing.T) {
+	cases := [][]string{
+		{"-graph", "grid", "-n", "49", "-algo", "mis"},
+		{"-graph", "path", "-n", "24", "-algo", "broadcast"},
+		{"-graph", "path", "-n", "24", "-algo", "broadcast-all"},
+		{"-graph", "clique", "-n", "20", "-algo", "decay-broadcast"},
+		{"-graph", "grid", "-n", "36", "-algo", "election"},
+		{"-graph", "grid", "-n", "36", "-algo", "decay-election"},
+		{"-graph", "udg", "-n", "60", "-algo", "mis", "-seed", "5"},
+		{"-graph", "cliquechain", "-n", "30", "-algo", "broadcast"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	path := t.TempDir() + "/trace.csv"
+	if err := run([]string{"-graph", "path", "-n", "16", "-algo", "mis", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "step,transmits,") {
+		t.Fatalf("trace header missing: %.60s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-graph", "nosuch"}); err == nil {
+		t.Fatal("want unknown-graph error")
+	}
+	if err := run([]string{"-algo", "nosuch"}); err == nil {
+		t.Fatal("want unknown-algo error")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}

@@ -1,0 +1,62 @@
+// Blobdemo: watch the paper's central mechanism in isolation.
+//
+// A "blob lollipop" is a path with a large clique (the blob) attached at the
+// far end. Under Miller–Peng–Xu clustering with *all* nodes as candidate
+// centers (the CD21 predecessor), the blob contributes M candidates whose
+// largest exponential shift grows like ln(M)/β — so the far-away blob
+// captures the tail tip and the expected distance to the cluster center
+// scales with log_D n. Restricting candidates to a maximal independent set
+// (the paper's Partition(β, MIS), §2.2) collapses the blob to a single
+// candidate, pinning the expected distance at the Theorem 2 level
+// O(log_D α / β) no matter how big the blob grows.
+//
+// Run with:
+//
+//	go run ./examples/blobdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/mpx"
+	"repro/internal/xrand"
+)
+
+func main() {
+	const (
+		tail   = 48
+		beta   = 1.0 / 8
+		trials = 2000
+	)
+	rng := xrand.New(2023)
+	fmt.Println("blob lollipop: tail of 48 nodes, clique blob at the far end")
+	fmt.Printf("Partition(β=1/8) measured from the tail tip, %d clusterings per row\n\n", trials)
+	fmt.Printf("%10s %8s %18s %18s %8s\n", "blob size", "n", "E[dist] MIS ctrs", "E[dist] all ctrs", "ratio")
+
+	for _, m := range []int{8, 32, 128, 512, 2048} {
+		g := gen.Lollipop(m, tail)
+		tip := g.N() - 1
+		misSet := g.GreedyMinDegreeMIS()
+		all := make([]int, g.N())
+		for i := range all {
+			all[i] = i
+		}
+		dMIS, err := mpx.MeanCenterDistance(g, misSet, tip, beta, trials, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dAll, err := mpx.MeanCenterDistance(g, all, tip, beta, trials, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %8d %18.2f %18.2f %8.2f\n", m, g.N(), dMIS, dAll, dAll/dMIS)
+	}
+
+	fmt.Println()
+	fmt.Println("The MIS column stays flat (the blob is one candidate: α-mass 1);")
+	fmt.Println("the all-centers column climbs toward the tail length as ln(blob)/β")
+	fmt.Println("overtakes the tip's local candidates — the log_D n vs log_D α gap")
+	fmt.Println("that Theorem 2 closes.")
+}

@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestBinarySearchLeaderElection(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", gen.Path(20)},
+		{"grid", gen.Grid(5, 6)},
+		{"clique", gen.Clique(24)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			er, err := BinarySearchLeaderElection(tc.g, 8, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if er.Winner < 0 {
+				t.Fatalf("winner %d", er.Winner)
+			}
+			if er.Candidates != tc.g.N() {
+				t.Fatalf("candidates %d, want all %d nodes", er.Candidates, tc.g.N())
+			}
+		})
+	}
+}
+
+func TestBinarySearchElectionUDG(t *testing.T) {
+	rng := xrand.New(4)
+	g, _, err := gen.ConnectedUDG(80, 8, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BinarySearchLeaderElection(g, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinarySearchElectionTimeScalesWithBits(t *testing.T) {
+	g := gen.Path(16)
+	a, err := BinarySearchLeaderElection(g, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BinarySearchLeaderElection(g, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completion is exactly bits × phaseLen: doubling bits doubles time —
+	// the O(log n × broadcast) shape of the reduction.
+	if b.CompleteStep != 2*a.CompleteStep {
+		t.Fatalf("8-bit run %d vs 4-bit run %d, want exact doubling", b.CompleteStep, a.CompleteStep)
+	}
+}
+
+func TestBinarySearchElectionValidation(t *testing.T) {
+	if _, err := BinarySearchLeaderElection(graph.New(0), 8, 1); err == nil {
+		t.Fatal("want empty error")
+	}
+	disc := graph.New(4)
+	disc.AddEdge(0, 1)
+	disc.AddEdge(2, 3)
+	if _, err := BinarySearchLeaderElection(disc, 8, 1); err == nil {
+		t.Fatal("want disconnected error")
+	}
+	if _, err := BinarySearchLeaderElection(gen.Path(4), 64, 1); err == nil {
+		t.Fatal("want bits bound error")
+	}
+}

@@ -1,0 +1,56 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestCDLeaderElectionClique(t *testing.T) {
+	g := gen.Clique(40)
+	for seed := uint64(0); seed < 8; seed++ {
+		er, err := CDLeaderElection(g, 0, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if er.Candidates < 1 {
+			t.Fatalf("seed %d: no candidates", seed)
+		}
+		if er.CompleteStep <= 0 {
+			t.Fatalf("seed %d: bad completion %d", seed, er.CompleteStep)
+		}
+	}
+}
+
+func TestCDLeaderElectionIsFast(t *testing.T) {
+	// Collision detection buys O(log n): the election must finish in
+	// bits+2 steps regardless of candidate count.
+	g := gen.Clique(64)
+	er, err := CDLeaderElection(g, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.CompleteStep > 14 {
+		t.Fatalf("CD election took %d steps, want ≤ bits+2 = 14", er.CompleteStep)
+	}
+}
+
+func TestCDLeaderElectionRejectsMultiHop(t *testing.T) {
+	if _, err := CDLeaderElection(gen.Path(5), 0, 1); err == nil {
+		t.Fatal("want single-hop requirement error")
+	}
+	if _, err := CDLeaderElection(graph.New(0), 0, 1); err == nil {
+		t.Fatal("want empty error")
+	}
+}
+
+func TestCDLeaderElectionSingleNode(t *testing.T) {
+	er, err := CDLeaderElection(gen.Clique(1), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Candidates != 1 {
+		t.Fatalf("candidates %d", er.Candidates)
+	}
+}

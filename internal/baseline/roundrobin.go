@@ -1,0 +1,113 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+// RoundRobinBroadcast is the trivial deterministic broadcast: time is
+// divided into frames of n slots, and the node with identifier i transmits
+// (if informed) only in slot i, guaranteeing collision-freedom and an
+// O(n·D) bound. It is the deterministic strawman behind the §1.5.1 survey —
+// Kowalski's O(n log D) algorithm improves it with selective families, and
+// the paper's randomized algorithms beat both by orders of magnitude.
+//
+// Note the model relaxation: round-robin needs unique identifiers in [0, n),
+// which the ad-hoc model does not provide. Identifiers are assigned by a
+// seeded random permutation of the engine indices — modeling the arbitrary
+// (adversarial) assignment the O(n·D) bound is about; with a lucky
+// assignment (ids increasing along a path) round-robin pipelines to O(n+D).
+func RoundRobinBroadcast(g *graph.Graph, source int, maxSteps int, seed uint64) (*Result, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: empty graph")
+	}
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("baseline: source %d out of range", source)
+	}
+	if !g.Connected() {
+		return nil, graph.ErrDisconnected
+	}
+	if maxSteps <= 0 {
+		d, err := g.DiameterApprox()
+		if err != nil {
+			return nil, err
+		}
+		maxSteps = 2*n*(d+2) + n
+	}
+	ids := xrand.New(seed ^ 0x1d5).Perm(n)
+	nodes := make([]*rrNode, n)
+	stop := false
+	factory := func(info radio.NodeInfo) radio.Protocol {
+		nd := &rrNode{id: ids[info.Index], n: n, stop: &stop, budget: maxSteps}
+		if info.Index == source {
+			nd.informed = true
+		}
+		nodes[info.Index] = nd
+		return nd
+	}
+	completeStep := -1
+	res, err := radio.Run(g, factory, radio.Options{
+		MaxSteps: maxSteps,
+		Seed:     seed,
+		OnStep: func(st radio.StepStats) {
+			if completeStep >= 0 {
+				return
+			}
+			for _, nd := range nodes {
+				if !nd.informed {
+					return
+				}
+			}
+			completeStep = st.Step + 1
+			stop = true
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		CompleteStep:  completeStep,
+		Steps:         res.Steps,
+		Transmissions: res.Transmissions,
+		Levels:        n, // slots per frame
+		Winner:        1,
+	}, nil
+}
+
+// rrNode transmits in its dedicated slot when informed.
+type rrNode struct {
+	id       int
+	n        int
+	informed bool
+	step     int
+	budget   int
+	stop     *bool
+}
+
+var _ radio.Protocol = (*rrNode)(nil)
+
+func (r *rrNode) Act(step int) radio.Action {
+	if r.informed && step%r.n == r.id {
+		return radio.Transmit(int64(1))
+	}
+	return radio.Listen()
+}
+
+func (r *rrNode) Deliver(step int, msg radio.Message) {
+	r.step = step + 1
+	if msg != nil {
+		r.informed = true
+	}
+}
+
+func (r *rrNode) Done() bool { return *r.stop || r.step >= r.budget }
+
+// RoundRobinBound returns the worst-case completion bound n·(D+1) used in
+// tests and tables.
+func RoundRobinBound(n, d int) int {
+	return n * (d + 1)
+}

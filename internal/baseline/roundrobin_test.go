@@ -1,0 +1,78 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestRoundRobinBroadcastPath(t *testing.T) {
+	g := gen.Path(20)
+	res, err := RoundRobinBroadcast(g, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompleteStep < 0 {
+		t.Fatal("incomplete")
+	}
+	if res.CompleteStep > RoundRobinBound(20, 19) {
+		t.Fatalf("completion %d exceeds the deterministic bound %d",
+			res.CompleteStep, RoundRobinBound(20, 19))
+	}
+	// Deterministic given the id assignment: identical for the same seed
+	// (the seed only picks the arbitrary id permutation).
+	res2, err := RoundRobinBroadcast(g, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompleteStep != res2.CompleteStep {
+		t.Fatalf("same-seed runs differ: %d vs %d", res.CompleteStep, res2.CompleteStep)
+	}
+}
+
+func TestRoundRobinBroadcastClasses(t *testing.T) {
+	for i, g := range []*graph.Graph{gen.Grid(6, 6), gen.Clique(25), gen.Star(30), gen.CliqueChain(4, 5)} {
+		res, err := RoundRobinBroadcast(g, 0, 0, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CompleteStep < 0 {
+			t.Fatalf("graph %d incomplete", i)
+		}
+	}
+}
+
+func TestRoundRobinValidation(t *testing.T) {
+	if _, err := RoundRobinBroadcast(graph.New(0), 0, 0, 1); err == nil {
+		t.Fatal("want empty error")
+	}
+	g := gen.Path(4)
+	if _, err := RoundRobinBroadcast(g, 9, 0, 1); err == nil {
+		t.Fatal("want range error")
+	}
+	disc := graph.New(4)
+	disc.AddEdge(0, 1)
+	disc.AddEdge(2, 3)
+	if _, err := RoundRobinBroadcast(disc, 0, 0, 1); err == nil {
+		t.Fatal("want disconnected error")
+	}
+}
+
+func TestRoundRobinMuchSlowerThanDecay(t *testing.T) {
+	// The whole point of the randomized literature: O(n·D) is far worse
+	// than O(D log n) already at moderate sizes.
+	g := gen.Path(60)
+	rr, err := RoundRobinBroadcast(g, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecayBroadcast(g, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.CompleteStep <= 2*dec.CompleteStep {
+		t.Fatalf("round robin (%d) should be much slower than decay (%d)",
+			rr.CompleteStep, dec.CompleteStep)
+	}
+}

@@ -1,0 +1,267 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+// This file implements strongly-selective families and the deterministic
+// broadcast built on them — the classic combinatorial machinery behind the
+// deterministic strand the paper surveys in §1.5.1 (Kowalski's O(n log D)
+// uses related selector objects; the simple construction below yields the
+// textbook O(D·k²·log n) bound for max degree k).
+//
+// A family F of subsets of [n] is (n,k)-strongly-selective when for every
+// set A ⊆ [n] with |A| ≤ k and every a ∈ A there is a set S ∈ F with
+// A ∩ S = {a}. Running one radio step per set S (members of S transmit if
+// informed) guarantees every node with an informed neighbor and at most k
+// informed neighbors receives within one pass of F.
+
+// SelectiveFamily is an ordered list of subsets of [0,n).
+type SelectiveFamily struct {
+	N    int
+	Sets [][]int32
+	// member[i] lists the set-indices containing i (for O(1) Act checks).
+	member [][]int32
+}
+
+// NewSelectiveFamily builds an (n,k)-strongly-selective family via the
+// modular (prime residue) construction: the sets {x ≡ r mod p} over all
+// primes p in (k·⌈log_k n⌉ .. 2·k·⌈log_k n⌉] and residues r < p. Size
+// O(k²·log²n / log²k); selectivity follows since two distinct elements can
+// collide modulo fewer than log_p(n) of the primes, so fewer than |A|·log
+// primes are "spoiled" for a given a ∈ A while more are available.
+func NewSelectiveFamily(n, k int) (*SelectiveFamily, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: selective family needs n ≥ 1")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("baseline: selective family needs 1 ≤ k ≤ n, got k=%d", k)
+	}
+	// Selectivity needs enough primes: for a target a ∈ A, another element
+	// b ≠ a "spoils" prime p when p divides a−b; since |a−b| < n, at most
+	// ⌊log_m n⌋ primes above m are spoiled per b, so (k−1)·⌈log_m n⌉ + 1
+	// primes suffice. We take twice that for slack, drawn from (m, ∞) with
+	// m = max(k+1, k·⌈log₂ n⌉) so each set isolates small-A intersections.
+	m := k * ceilLog2(n)
+	if m < k+1 {
+		m = k + 1
+	}
+	logMN := 1
+	for pow := m; pow < n; pow *= m {
+		logMN++
+	}
+	needed := 2*((k-1)*logMN+1) + 1
+	primes := primesInRange(m+1, 16*m+64)
+	if len(primes) > needed {
+		primes = primes[:needed]
+	}
+	if len(primes) == 0 {
+		return nil, fmt.Errorf("baseline: no primes above %d", m)
+	}
+	f := &SelectiveFamily{N: n, member: make([][]int32, n)}
+	for _, p := range primes {
+		for r := 0; r < p; r++ {
+			var set []int32
+			for x := r; x < n; x += p {
+				set = append(set, int32(x))
+			}
+			if len(set) == 0 {
+				continue
+			}
+			idx := int32(len(f.Sets))
+			f.Sets = append(f.Sets, set)
+			for _, x := range set {
+				f.member[x] = append(f.member[x], idx)
+			}
+		}
+	}
+	return f, nil
+}
+
+// Contains reports whether element x is in set i.
+func (f *SelectiveFamily) Contains(i, x int) bool {
+	for _, idx := range f.member[x] {
+		if int(idx) == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the family size (steps per pass).
+func (f *SelectiveFamily) Len() int { return len(f.Sets) }
+
+// VerifySelective exhaustively checks the selectivity property for all sets
+// A of size ≤ k drawn from the given universe subset (intended for tests;
+// exponential in |universe| choose k).
+func (f *SelectiveFamily) VerifySelective(universe []int, k int) error {
+	var rec func(start int, chosen []int) error
+	rec = func(start int, chosen []int) error {
+		if len(chosen) >= 2 { // |A| = 1 is trivially selected by singletons mod p
+			for _, a := range chosen {
+				if !f.selects(chosen, a) {
+					return fmt.Errorf("baseline: family fails to select %d from %v", a, chosen)
+				}
+			}
+		}
+		if len(chosen) == k {
+			return nil
+		}
+		for i := start; i < len(universe); i++ {
+			if err := rec(i+1, append(chosen, universe[i])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0, nil)
+}
+
+// selects reports whether some set isolates a within A.
+func (f *SelectiveFamily) selects(a []int, target int) bool {
+	for _, si := range f.member[target] {
+		hit := 0
+		for _, x := range a {
+			if f.Contains(int(si), x) {
+				hit++
+			}
+		}
+		if hit == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectiveBroadcast runs deterministic broadcast using repeated passes of
+// an (n,k)-strongly-selective family with k = Δ+1 (so every listener's
+// informed in-neighborhood is always coverable): in step t of a pass, the
+// informed members of set F[t] transmit. Each pass advances the frontier at
+// least one hop, giving ≤ D passes ≈ O(D·k²·log²n) steps. IDs are engine
+// indices (the same relaxation as RoundRobinBroadcast, documented there).
+func SelectiveBroadcast(g *graph.Graph, source int, seed uint64) (*Result, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: empty graph")
+	}
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("baseline: source %d out of range", source)
+	}
+	if !g.Connected() {
+		return nil, graph.ErrDisconnected
+	}
+	k := g.MaxDegree() + 1
+	if k > n {
+		k = n
+	}
+	fam, err := NewSelectiveFamily(n, k)
+	if err != nil {
+		return nil, err
+	}
+	d, err := g.DiameterApprox()
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := (2*d + 4) * fam.Len()
+	// Arbitrary id assignment, as for round robin.
+	ids := xrand.New(seed ^ 0x5e1).Perm(n)
+	nodes := make([]*selNode, n)
+	stop := false
+	factory := func(info radio.NodeInfo) radio.Protocol {
+		nd := &selNode{fam: fam, id: ids[info.Index], stop: &stop, budget: maxSteps}
+		if info.Index == source {
+			nd.informed = true
+		}
+		nodes[info.Index] = nd
+		return nd
+	}
+	completeStep := -1
+	res, err := radio.Run(g, factory, radio.Options{
+		MaxSteps: maxSteps,
+		Seed:     seed,
+		OnStep: func(st radio.StepStats) {
+			if completeStep >= 0 {
+				return
+			}
+			for _, nd := range nodes {
+				if !nd.informed {
+					return
+				}
+			}
+			completeStep = st.Step + 1
+			stop = true
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		CompleteStep:  completeStep,
+		Steps:         res.Steps,
+		Transmissions: res.Transmissions,
+		Levels:        fam.Len(),
+		Winner:        1,
+	}, nil
+}
+
+// selNode transmits in the family sets containing its id, when informed.
+type selNode struct {
+	fam      *SelectiveFamily
+	id       int
+	informed bool
+	step     int
+	budget   int
+	stop     *bool
+}
+
+var _ radio.Protocol = (*selNode)(nil)
+
+func (s *selNode) Act(step int) radio.Action {
+	if s.informed && s.fam.Contains(step%s.fam.Len(), s.id) {
+		return radio.Transmit(int64(1))
+	}
+	return radio.Listen()
+}
+
+func (s *selNode) Deliver(step int, msg radio.Message) {
+	s.step = step + 1
+	if msg != nil {
+		s.informed = true
+	}
+}
+
+func (s *selNode) Done() bool { return *s.stop || s.step >= s.budget }
+
+// ceilLog2 returns ⌈log₂ n⌉, minimum 1.
+func ceilLog2(n int) int {
+	b := 1
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// primesInRange returns the primes in [lo, hi] by trial sieve.
+func primesInRange(lo, hi int) []int {
+	if lo < 2 {
+		lo = 2
+	}
+	var out []int
+	for p := lo; p <= hi; p++ {
+		isPrime := true
+		for q := 2; q*q <= p; q++ {
+			if p%q == 0 {
+				isPrime = false
+				break
+			}
+		}
+		if isPrime {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestPrimesInRange(t *testing.T) {
+	got := primesInRange(10, 30)
+	want := []int{11, 13, 17, 19, 23, 29}
+	if len(got) != len(want) {
+		t.Fatalf("primes %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("primes %v, want %v", got, want)
+		}
+	}
+	if ps := primesInRange(0, 2); len(ps) != 1 || ps[0] != 2 {
+		t.Fatalf("primesInRange(0,2) = %v", ps)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := ceilLog2(n); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSelectiveFamilyValidation(t *testing.T) {
+	if _, err := NewSelectiveFamily(0, 1); err == nil {
+		t.Fatal("want n error")
+	}
+	if _, err := NewSelectiveFamily(10, 0); err == nil {
+		t.Fatal("want k error")
+	}
+	if _, err := NewSelectiveFamily(10, 11); err == nil {
+		t.Fatal("want k>n error")
+	}
+}
+
+func TestSelectiveFamilyProperty(t *testing.T) {
+	// Exhaustive verification on small universes: every |A| ≤ k subset of
+	// the sampled universe has each element isolated by some set.
+	fam, err := NewSelectiveFamily(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := []int{0, 1, 5, 17, 31, 32, 63, 40}
+	if err := fam.VerifySelective(universe, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectiveFamilyPropertyRandomUniverses(t *testing.T) {
+	fam, err := NewSelectiveFamily(128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(128)
+		if err := fam.VerifySelective(perm[:7], 4); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSelectiveFamilyContainsConsistent(t *testing.T) {
+	fam, err := NewSelectiveFamily(40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, set := range fam.Sets {
+		for _, x := range set {
+			if !fam.Contains(i, int(x)) {
+				t.Fatalf("member table inconsistent at set %d element %d", i, x)
+			}
+		}
+	}
+}
+
+func TestSelectiveBroadcastCompletes(t *testing.T) {
+	for i, g := range []*graph.Graph{gen.Path(24), gen.Cycle(20), gen.Grid(5, 5), gen.Star(16)} {
+		res, err := SelectiveBroadcast(g, 0, uint64(i))
+		if err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if res.CompleteStep < 0 {
+			t.Fatalf("graph %d: incomplete within %d steps", i, res.Steps)
+		}
+	}
+}
+
+func TestSelectiveBroadcastDeterministicPerSeed(t *testing.T) {
+	g := gen.Grid(4, 5)
+	a, err := SelectiveBroadcast(g, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectiveBroadcast(g, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CompleteStep != b.CompleteStep {
+		t.Fatalf("non-deterministic: %d vs %d", a.CompleteStep, b.CompleteStep)
+	}
+}
+
+func TestSelectiveBroadcastValidation(t *testing.T) {
+	if _, err := SelectiveBroadcast(graph.New(0), 0, 1); err == nil {
+		t.Fatal("want empty error")
+	}
+	if _, err := SelectiveBroadcast(gen.Path(4), 9, 1); err == nil {
+		t.Fatal("want range error")
+	}
+	disc := graph.New(4)
+	disc.AddEdge(0, 1)
+	disc.AddEdge(2, 3)
+	if _, err := SelectiveBroadcast(disc, 0, 1); err == nil {
+		t.Fatal("want disconnected error")
+	}
+}
+
+func TestSelectiveFamilySizePolylog(t *testing.T) {
+	// At fixed k the family size must grow polylogarithmically in n — the
+	// whole point versus round robin's Θ(n) frames. A 100× larger universe
+	// should grow the family by at most the ~(log ratio)² ≈ 4.5× factor
+	// (we allow 8× for construction slack), not 100×.
+	small, err := NewSelectiveFamily(60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := NewSelectiveFamily(6000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Len() > 8*small.Len() {
+		t.Fatalf("family size grew %d → %d for 100× universe; not polylog",
+			small.Len(), large.Len())
+	}
+}

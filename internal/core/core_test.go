@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// fastParams keeps the clustering count small so core tests stay quick.
+var fastParams = Params{FinesPerScale: 2}
+
+func TestBroadcastPath(t *testing.T) {
+	g := gen.Path(48)
+	res, err := Broadcast(g, 0, fastParams, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompleteStep < 0 {
+		t.Fatalf("broadcast did not complete within %d steps", res.MainSteps)
+	}
+	if res.Winner != 1 {
+		t.Fatalf("winner %d", res.Winner)
+	}
+	if res.MISSteps <= 0 || res.ChargedSetupSteps <= 0 {
+		t.Fatalf("missing cost components: %+v", res)
+	}
+	if res.TotalSteps < res.CompleteStep {
+		t.Fatalf("total %d < complete %d", res.TotalSteps, res.CompleteStep)
+	}
+}
+
+func TestBroadcastGrid(t *testing.T) {
+	g := gen.Grid(8, 8)
+	res, err := Broadcast(g, 0, fastParams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompleteStep < 0 {
+		t.Fatal("grid broadcast incomplete")
+	}
+	if res.MISSize <= 0 || res.MISSize > g.N() {
+		t.Fatalf("MIS size %d", res.MISSize)
+	}
+	if res.B < 4 {
+		t.Fatalf("b = %d", res.B)
+	}
+}
+
+func TestBroadcastUDG(t *testing.T) {
+	rng := xrand.New(3)
+	g, _, err := gen.ConnectedUDG(100, 7, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Broadcast(g, 0, fastParams, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompleteStep < 0 {
+		t.Fatal("UDG broadcast incomplete")
+	}
+}
+
+func TestBroadcastGNP(t *testing.T) {
+	rng := xrand.New(4)
+	g, err := gen.GNPConnected(80, 0.08, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Broadcast(g, 5, fastParams, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompleteStep < 0 {
+		t.Fatal("GNP broadcast incomplete")
+	}
+}
+
+func TestBroadcastAllCentersBaseline(t *testing.T) {
+	g := gen.Grid(7, 7)
+	p := fastParams
+	p.CenterMode = AllCenters
+	res, err := Broadcast(g, 0, p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompleteStep < 0 {
+		t.Fatal("baseline broadcast incomplete")
+	}
+	if res.MISSize != g.N() {
+		t.Fatalf("AllCenters should use every node, got %d", res.MISSize)
+	}
+	if res.MISSteps != 0 {
+		t.Fatalf("AllCenters should not pay MIS steps, got %d", res.MISSteps)
+	}
+}
+
+func TestCompeteMultiSourceHighestWins(t *testing.T) {
+	g := gen.Path(30)
+	sources := map[int]int64{0: 10, 29: 99, 15: 50}
+	res, err := Compete(g, sources, fastParams, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != 99 {
+		t.Fatalf("winner %d, want 99", res.Winner)
+	}
+	if res.CompleteStep < 0 {
+		t.Fatal("compete incomplete")
+	}
+}
+
+func TestCompeteValidation(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := Compete(graph.New(0), map[int]int64{0: 1}, fastParams, 1); err == nil {
+		t.Fatal("want empty-graph error")
+	}
+	if _, err := Compete(g, nil, fastParams, 1); err == nil {
+		t.Fatal("want no-sources error")
+	}
+	if _, err := Compete(g, map[int]int64{9: 1}, fastParams, 1); err == nil {
+		t.Fatal("want source-range error")
+	}
+	disc := graph.New(4)
+	disc.AddEdge(0, 1)
+	disc.AddEdge(2, 3)
+	if _, err := Compete(disc, map[int]int64{0: 1}, fastParams, 1); err == nil {
+		t.Fatal("want disconnected error")
+	}
+}
+
+func TestBroadcastDeterministicForSeed(t *testing.T) {
+	g := gen.Grid(6, 6)
+	a, err := Broadcast(g, 0, fastParams, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Broadcast(g, 0, fastParams, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CompleteStep != b.CompleteStep || a.TotalSteps != b.TotalSteps {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestLeaderElectionAgreement(t *testing.T) {
+	g := gen.Grid(7, 7)
+	er, err := LeaderElection(g, fastParams, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.CompleteStep < 0 {
+		t.Fatal("election incomplete")
+	}
+	if er.Candidates < 1 {
+		t.Fatalf("candidates %d", er.Candidates)
+	}
+	if er.LeaderID != er.Winner {
+		t.Fatalf("leader %d vs winner %d", er.LeaderID, er.Winner)
+	}
+}
+
+func TestLeaderElectionCandidateScale(t *testing.T) {
+	// Θ(log n) candidates in expectation: check a generous band over seeds.
+	g := gen.Path(200)
+	total := 0
+	const runs = 5
+	for s := uint64(0); s < runs; s++ {
+		er, err := LeaderElection(g, fastParams, 10+s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += er.Candidates
+	}
+	avg := float64(total) / runs
+	if avg < 2 || avg > 60 {
+		t.Fatalf("average candidates %v outside Θ(log n) band", avg)
+	}
+}
+
+func TestBroadcastCompleteStepBeatsBudget(t *testing.T) {
+	// On a small path, completion should land far below the step budget —
+	// the loop must terminate at completion, not run to MaxSteps.
+	g := gen.Path(20)
+	res, err := Broadcast(g, 0, fastParams, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompleteStep < 0 {
+		t.Fatal("incomplete")
+	}
+	if res.MainSteps > res.CompleteStep+1 {
+		t.Fatalf("main loop ran to %d after completing at %d", res.MainSteps, res.CompleteStep)
+	}
+}
+
+func TestBroadcastCliqueChain(t *testing.T) {
+	g := gen.CliqueChain(5, 6)
+	res, err := Broadcast(g, 0, fastParams, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompleteStep < 0 {
+		t.Fatal("clique-chain broadcast incomplete")
+	}
+}
+
+func TestBroadcastRealClusterConstruction(t *testing.T) {
+	// Full-fidelity mode: fine clusterings built by the RadioPartition
+	// protocol, consuming real steps instead of charged ones.
+	g := gen.Grid(5, 5)
+	p := Params{FinesPerScale: 1, RealClusterConstruction: true}
+	res, err := Broadcast(g, 0, p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompleteStep < 0 {
+		t.Fatal("broadcast incomplete in real-construction mode")
+	}
+	if res.RealSetupSteps <= 0 {
+		t.Fatal("RealSetupSteps not recorded")
+	}
+	if res.TotalSteps < res.RealSetupSteps {
+		t.Fatalf("total %d below real setup %d", res.TotalSteps, res.RealSetupSteps)
+	}
+}
+
+func TestCenterModeString(t *testing.T) {
+	if MISCenters.String() != "mis" || AllCenters.String() != "all" {
+		t.Fatal("bad strings")
+	}
+	if CenterMode(9).String() == "" {
+		t.Fatal("unknown mode should still print")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpx"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+func TestRadioPartitionValidation(t *testing.T) {
+	g := gen.Path(6)
+	if _, _, err := RadioPartition(graph.New(0), []int{0}, 0.5, PartitionParams{}, 1); err == nil {
+		t.Fatal("want empty-graph error")
+	}
+	if _, _, err := RadioPartition(g, []int{0}, 0, PartitionParams{}, 1); err == nil {
+		t.Fatal("want beta error")
+	}
+	if _, _, err := RadioPartition(g, nil, 0.5, PartitionParams{}, 1); err == nil {
+		t.Fatal("want no-centers error")
+	}
+	if _, _, err := RadioPartition(g, []int{7}, 0.5, PartitionParams{}, 1); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestRadioPartitionCoversAndConnects(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", gen.Path(24)},
+		{"grid", gen.Grid(6, 6)},
+		{"cycle", gen.Cycle(20)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			misSet := tc.g.GreedyMIS(nil)
+			a, steps, err := RadioPartition(tc.g, misSet, 0.5, PartitionParams{}, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if steps <= 0 {
+				t.Fatal("no steps recorded")
+			}
+			inMIS := map[int]bool{}
+			for _, v := range misSet {
+				inMIS[v] = true
+			}
+			for v := 0; v < tc.g.N(); v++ {
+				c := a.Center[v]
+				if c < 0 {
+					t.Fatalf("node %d unassigned", v)
+				}
+				if !inMIS[c] {
+					t.Fatalf("node %d assigned to non-center %d", v, c)
+				}
+			}
+			// The growth protocol guarantees the ValidateClusters invariants:
+			// centers own themselves and every member has an uphill neighbor.
+			if err := a.ValidateClusters(tc.g); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRadioPartitionFeedsScheduler(t *testing.T) {
+	// The radio-built clustering must be a drop-in replacement for the
+	// centrally computed one: BuildForest + ComputeSchedule must verify.
+	g := gen.Grid(5, 7)
+	a, _, err := RadioPartition(g, g.GreedyMIS(nil), 0.4, PartitionParams{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sched.BuildForest(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.ComputeSchedule(g, f)
+	if err := sched.VerifyDowncast(g, f, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.VerifyUpcast(g, f, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadioPartitionRadiiComparableToCentralized(t *testing.T) {
+	// Discretization and collisions may stretch radii, but only by small
+	// factors: compare against the centralized MPX bound O(log n / β).
+	g := gen.Grid(8, 8)
+	misSet := g.GreedyMIS(nil)
+	const beta = 0.5
+	a, _, err := RadioPartition(g, misSet, beta, PartitionParams{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(11)
+	central, err := mpx.Partition(g, misSet, beta, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 4 * (central.MaxRadius() + 4)
+	if a.MaxRadius() > bound {
+		t.Fatalf("radio radius %d vs centralized %d (allowing 4x+16)", a.MaxRadius(), central.MaxRadius())
+	}
+}
+
+func TestRadioPartitionSingleCenter(t *testing.T) {
+	// One center must absorb the whole connected graph, with hops weakly
+	// increasing along the growth (every hop count realizable).
+	g := gen.Path(16)
+	a, _, err := RadioPartition(g, []int{0}, 0.3, PartitionParams{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 16; v++ {
+		if a.Center[v] != 0 {
+			t.Fatalf("node %d not in the single cluster", v)
+		}
+		if a.Hops[v] < v { // along a path, hops ≥ true distance
+			t.Fatalf("node %d hops %d below distance %d", v, a.Hops[v], v)
+		}
+	}
+}
+
+func TestRadioPartitionDeterministicPerSeed(t *testing.T) {
+	g := gen.Grid(5, 5)
+	misSet := g.GreedyMIS(nil)
+	a1, _, err := RadioPartition(g, misSet, 0.5, PartitionParams{}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := RadioPartition(g, misSet, 0.5, PartitionParams{}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a1.Center {
+		if a1.Center[v] != a2.Center[v] || a1.Hops[v] != a2.Hops[v] {
+			t.Fatalf("node %d differs across identical seeds", v)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mpx"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// buildTestClusterings constructs a couple of clusterings for program tests.
+func buildTestClusterings(t *testing.T) []clustering {
+	t.Helper()
+	g := gen.Grid(6, 6)
+	rng := xrand.New(3)
+	var out []clustering
+	for _, beta := range []float64{0.5, 0.25} {
+		a, err := mpx.Partition(g, g.GreedyMIS(nil), beta, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := sched.BuildForest(g, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, clustering{
+			assign: a,
+			forest: f,
+			sch:    sched.ComputeSchedule(g, f),
+			ell:    6,
+		})
+	}
+	return out
+}
+
+func TestBuildProgramLengthAndBudget(t *testing.T) {
+	cs := buildTestClusterings(t)
+	rng := xrand.New(9)
+	params := Params{}.withDefaults()
+	const budget = 500
+	prog := buildProgram(cs, budget, params, 6, rng)
+	if len(prog) != budget {
+		t.Fatalf("program length %d, want exactly %d", len(prog), budget)
+	}
+}
+
+func TestBuildProgramBackgroundCadence(t *testing.T) {
+	cs := buildTestClusterings(t)
+	rng := xrand.New(10)
+	params := Params{BackgroundEvery: 3}.withDefaults()
+	prog := buildProgram(cs, 300, params, 6, rng)
+	bg := 0
+	for _, d := range prog {
+		if d.kind == stepBackground {
+			bg++
+			if d.bgLevel < 1 || int(d.bgLevel) > 6 {
+				t.Fatalf("background level %d outside [1,6]", d.bgLevel)
+			}
+		}
+	}
+	// One background step per 3 foreground steps → about a quarter of all.
+	frac := float64(bg) / float64(len(prog))
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("background fraction %v, want ≈ 0.25", frac)
+	}
+}
+
+func TestBuildProgramNoBackground(t *testing.T) {
+	cs := buildTestClusterings(t)
+	rng := xrand.New(11)
+	params := Params{BackgroundEvery: -1}.withDefaults()
+	prog := buildProgram(cs, 200, params, 6, rng)
+	for _, d := range prog {
+		if d.kind == stepBackground {
+			t.Fatal("background step emitted with BackgroundEvery < 0")
+		}
+	}
+}
+
+func TestBuildProgramStepsValid(t *testing.T) {
+	cs := buildTestClusterings(t)
+	rng := xrand.New(12)
+	params := Params{}.withDefaults()
+	prog := buildProgram(cs, 400, params, 6, rng)
+	for i, d := range prog {
+		switch d.kind {
+		case stepDown:
+			c := cs[d.cluster]
+			if int(d.depth) < 0 || int(d.depth) >= c.ell && int(d.depth) > c.forest.MaxDepth {
+				t.Fatalf("step %d: down depth %d out of range", i, d.depth)
+			}
+			if int(d.slot) >= c.sch.DownSlotsAt[d.depth] {
+				t.Fatalf("step %d: down slot %d exceeds layer count %d", i, d.slot, c.sch.DownSlotsAt[d.depth])
+			}
+		case stepUp:
+			c := cs[d.cluster]
+			if int(d.depth) < 1 {
+				t.Fatalf("step %d: up depth %d < 1", i, d.depth)
+			}
+			if int(d.slot) >= c.sch.UpSlotsAt[d.depth] {
+				t.Fatalf("step %d: up slot %d exceeds layer count %d", i, d.slot, c.sch.UpSlotsAt[d.depth])
+			}
+		case stepBackground:
+			// checked elsewhere
+		default:
+			t.Fatalf("step %d: unknown kind %d", i, d.kind)
+		}
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.CenterMode != MISCenters || p.FinesPerScale != 3 || p.ICPFactor != 2 ||
+		p.BackgroundEvery != 4 || p.PartitionChargeC != 2 || p.ScheduleChargeC != 2 {
+		t.Fatalf("unexpected defaults %+v", p)
+	}
+	// Negative BackgroundEvery survives (disable semantics).
+	p2 := Params{BackgroundEvery: -1}.withDefaults()
+	if p2.BackgroundEvery != -1 {
+		t.Fatalf("BackgroundEvery -1 overwritten to %d", p2.BackgroundEvery)
+	}
+}

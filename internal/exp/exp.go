@@ -1,0 +1,194 @@
+// Package exp is the experiment harness that regenerates the paper's
+// quantitative claims as tables (E1–E16, see DESIGN.md §4 and
+// EXPERIMENTS.md). Each experiment produces one or more stats.Tables; the
+// cmd/radionet-bench CLI and the root bench_test.go drive the registry.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+const (
+	// Quick runs small instances (CI-sized, seconds).
+	Quick Scale = iota + 1
+	// Full runs the paper-scale sweeps (minutes).
+	Full
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	Scale Scale
+	Seed  uint64
+	Out   io.Writer
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+// Experiment is one reproducible claim-check.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(Config) error
+}
+
+// Registry returns all experiments in ID order.
+func Registry() []Experiment {
+	exps := []Experiment{
+		{ID: "E1", Title: "Radio MIS time scaling", Claim: "Theorem 14: O(log³ n) time-steps", Run: RunE1},
+		{ID: "E2", Title: "Radio MIS correctness", Claim: "Theorem 14: maximal independent set whp", Run: RunE2},
+		{ID: "E3", Title: "EstimateEffectiveDegree separation", Claim: "Lemma 11: High for d≥1, Low for d≤0.01", Run: RunE3},
+		{ID: "E4", Title: "Amplified Decay delivery", Claim: "Claim 10: neighbors of S informed whp", Run: RunE4},
+		{ID: "E5", Title: "Cluster center distance", Claim: "Theorem 2: E[dist] = O(log_D α/β) for ≥0.77 of j", Run: RunE5},
+		{ID: "E6", Title: "Bad scale count", Claim: "Lemma 5: ≤ 0.02·log₂D bad j", Run: RunE6},
+		{ID: "E7", Title: "Broadcast comparison", Claim: "Theorems 6–7: O(D·log_D α + polylog) beats Decay baselines", Run: RunE7},
+		{ID: "E8", Title: "Growth-bounded leading term", Claim: "Corollary 9: O(D + polylog) on growth-bounded graphs", Run: RunE8},
+		{ID: "E9", Title: "Leader election", Claim: "Theorem 8: same time as broadcast, unique leader whp", Run: RunE9},
+		{ID: "E10", Title: "Golden rounds", Claim: "Lemmas 12–13: Ω(log n) golden rounds, constant removal probability", Run: RunE10},
+		{ID: "E11", Title: "Growth-bound measurement", Claim: "§1.3: geometric classes have α(B_d) = poly(d), α = poly(D)", Run: RunE11},
+		{ID: "E12", Title: "Center-set ablation", Claim: "§2.2: MIS-restricted centers are what buys the improvement", Run: RunE12},
+		{ID: "E13", Title: "SINR cross-model validation", Claim: "footnote 1: the graph abstraction is worst-case vs SINR physics", Run: RunE13},
+		{ID: "E14", Title: "Multi-source Compete", Claim: "Theorem 6: |S|·D^0.125 additive source term", Run: RunE14},
+		{ID: "E15", Title: "Wake-up model ablation", Claim: "§1.1: synchronous wake-up is required by Algorithm 7", Run: RunE15},
+		{ID: "E16", Title: "Wake-up reduction", Claim: "§1.5.1 fn.3: MIS on a k-clique with estimate n forces a clear transmission", Run: RunE16},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// Lookup finds an experiment by ID (case-sensitive).
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// RunAll executes every experiment against cfg, stopping on first error.
+func RunAll(cfg Config) error {
+	for _, e := range Registry() {
+		fmt.Fprintf(cfg.out(), "## %s — %s\n\nClaim: %s\n\n", e.ID, e.Title, e.Claim)
+		if err := e.Run(cfg); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// emit writes a rendered table.
+func emit(cfg Config, t *stats.Table) {
+	fmt.Fprintln(cfg.out(), t.Markdown())
+}
+
+// workload bundles a named graph (with its true D and an α lower bound).
+type workload struct {
+	name  string
+	g     *graph.Graph
+	diam  int
+	alpha int
+}
+
+func newWorkload(name string, g *graph.Graph, rng *xrand.RNG) (workload, error) {
+	d, err := g.Diameter()
+	if err != nil {
+		return workload{}, fmt.Errorf("%s: %w", name, err)
+	}
+	alpha := g.IndependenceLowerBound(4, rng)
+	return workload{name: name, g: g, diam: d, alpha: alpha}, nil
+}
+
+// geometricWorkloads returns the growth-bounded suite at the given scale.
+func geometricWorkloads(cfg Config, rng *xrand.RNG) ([]workload, error) {
+	var specs []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}
+	gridSide := 12
+	udgN := 150
+	if cfg.Scale == Full {
+		gridSide = 24
+		udgN = 500
+	}
+	specs = append(specs,
+		struct {
+			name  string
+			build func() (*graph.Graph, error)
+		}{"grid", func() (*graph.Graph, error) { return gen.Grid(gridSide, gridSide), nil }},
+		struct {
+			name  string
+			build func() (*graph.Graph, error)
+		}{"udg", func() (*graph.Graph, error) {
+			g, _, err := gen.ConnectedUDG(udgN, 8, 60, rng)
+			return g, err
+		}},
+		struct {
+			name  string
+			build func() (*graph.Graph, error)
+		}{"quasi-udg", func() (*graph.Graph, error) {
+			for t := 0; t < 60; t++ {
+				pts := gen.UniformPoints(udgN, 2, sideFor(udgN, 8), rng)
+				g, err := gen.QuasiUDG(pts, 1, 1.5, 0.5, rng)
+				if err != nil {
+					return nil, err
+				}
+				if g.Connected() {
+					return g, nil
+				}
+			}
+			return nil, fmt.Errorf("no connected quasi-UDG")
+		}},
+		struct {
+			name  string
+			build func() (*graph.Graph, error)
+		}{"grn", func() (*graph.Graph, error) {
+			for t := 0; t < 60; t++ {
+				pts := gen.UniformPoints(udgN, 2, sideFor(udgN, 10), rng)
+				g, _, err := gen.GeometricRadioNetwork(pts, 1, 1.8, rng)
+				if err != nil {
+					return nil, err
+				}
+				if g.Connected() {
+					return g, nil
+				}
+			}
+			return nil, fmt.Errorf("no connected GRN")
+		}},
+	)
+	var ws []workload
+	for _, s := range specs {
+		g, err := s.build()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		w, err := newWorkload(s.name, g, rng)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// sideFor returns the deployment side length giving roughly the target
+// average degree for n uniform points with unit radius.
+func sideFor(n int, deg float64) float64 {
+	return math.Sqrt(float64(n) * math.Pi / deg)
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg(buf *bytes.Buffer) Config {
+	return Config{Scale: Quick, Seed: 1, Out: buf}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	exps := Registry()
+	if len(exps) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("E5")
+	if err != nil || e.ID != "E5" {
+		t.Fatalf("lookup E5: %v %v", e, err)
+	}
+	if _, err := Lookup("E99"); err == nil {
+		t.Fatal("want unknown-id error")
+	}
+}
+
+// Each experiment must run at Quick scale and produce a table mentioning its
+// headline quantity. These run the full pipeline end-to-end, so they double
+// as integration tests of mis/mpx/core/baseline.
+
+func runOne(t *testing.T, id string, mustContain ...string) {
+	t.Helper()
+	var buf bytes.Buffer
+	e, err := Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(quickCfg(&buf)); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	out := buf.String()
+	if len(out) < 50 {
+		t.Fatalf("%s produced no output", id)
+	}
+	for _, s := range mustContain {
+		if !strings.Contains(out, s) {
+			t.Fatalf("%s output missing %q:\n%s", id, s, out)
+		}
+	}
+}
+
+func TestE1(t *testing.T)  { runOne(t, "E1", "clique", "exponent") }
+func TestE2(t *testing.T)  { runOne(t, "E2", "valid", "isolated+edges") }
+func TestE3(t *testing.T)  { runOne(t, "E3", "frac High", "Low") }
+func TestE4(t *testing.T)  { runOne(t, "E4", "frac delivered") }
+func TestE5(t *testing.T)  { runOne(t, "E5", "E[dist] MIS-ctr", "share") }
+func TestE6(t *testing.T)  { runOne(t, "E6", "max bad j") }
+func TestE9(t *testing.T)  { runOne(t, "E9", "paper", "decay") }
+func TestE10(t *testing.T) { runOne(t, "E10", "golden") }
+func TestE11(t *testing.T) { runOne(t, "E11", "growth exponent") }
+func TestE12(t *testing.T) { runOne(t, "E12", "mis", "all") }
+
+func TestE14(t *testing.T) { runOne(t, "E14", "|S|") }
+func TestE16(t *testing.T) { runOne(t, "E16", "first-clear") }
+func TestE15(t *testing.T) { runOne(t, "E15", "stagger", "valid") }
+
+func TestE13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runOne(t, "E13", "sinr", "MIS valid")
+}
+
+// E7/E8 are the heavyweight broadcast sweeps; still must pass at Quick scale.
+func TestE7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runOne(t, "E7", "speedup", "cliquechain")
+}
+
+func TestE8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runOne(t, "E8", "slope")
+}

@@ -1,0 +1,98 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// ClassNames lists the graph classes ByName understands.
+var ClassNames = []string{
+	"path", "cycle", "clique", "star", "grid", "tree", "gnp", "udg",
+	"quasiudg", "grn", "cliquechain", "lollipop", "hypercube", "regular",
+}
+
+// ByName builds a graph of roughly n nodes from a named class, used by the
+// CLIs and examples. Randomized classes derive their randomness from seed.
+func ByName(name string, n int, seed uint64) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: need n ≥ 1, got %d", n)
+	}
+	rng := xrand.New(seed ^ 0x517cc1b727220a95)
+	switch name {
+	case "path":
+		return Path(n), nil
+	case "cycle":
+		return Cycle(n), nil
+	case "clique":
+		return Clique(n), nil
+	case "star":
+		return Star(n), nil
+	case "grid":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if side < 1 {
+			side = 1
+		}
+		return Grid(side, side), nil
+	case "tree":
+		return RandomTree(n, rng), nil
+	case "gnp":
+		return GNPConnected(n, math.Min(1, 8/float64(n)), 60, rng)
+	case "udg":
+		g, _, err := ConnectedUDG(n, 8, 60, rng)
+		return g, err
+	case "quasiudg":
+		side := math.Sqrt(float64(n) * math.Pi / 8)
+		for t := 0; t < 60; t++ {
+			pts := UniformPoints(n, 2, side, rng)
+			g, err := QuasiUDG(pts, 1, 1.5, 0.5, rng)
+			if err != nil {
+				return nil, err
+			}
+			if g.Connected() {
+				return g, nil
+			}
+		}
+		return nil, fmt.Errorf("gen: no connected quasi-UDG(n=%d) found", n)
+	case "grn":
+		side := math.Sqrt(float64(n) * math.Pi / 10)
+		for t := 0; t < 60; t++ {
+			pts := UniformPoints(n, 2, side, rng)
+			g, _, err := GeometricRadioNetwork(pts, 1, 1.8, rng)
+			if err != nil {
+				return nil, err
+			}
+			if g.Connected() {
+				return g, nil
+			}
+		}
+		return nil, fmt.Errorf("gen: no connected GRN(n=%d) found", n)
+	case "cliquechain":
+		k := int(math.Round(math.Sqrt(float64(n))))
+		if k < 2 {
+			k = 2
+		}
+		return CliqueChain(k, (n+k-1)/k), nil
+	case "hypercube":
+		d := 1
+		for 1<<uint(d) < n {
+			d++
+		}
+		return Hypercube(d), nil
+	case "regular":
+		if n%2 != 0 {
+			n++
+		}
+		return RandomRegular(n, 4, 300, rng)
+	case "lollipop":
+		head := n / 2
+		if head < 2 {
+			head = 2
+		}
+		return Lollipop(head, n-head), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown graph class %q (known: %v)", name, ClassNames)
+	}
+}

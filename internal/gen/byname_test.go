@@ -1,0 +1,77 @@
+package gen
+
+import "testing"
+
+func TestByNameAllClasses(t *testing.T) {
+	for _, name := range ClassNames {
+		g, err := ByName(name, 40, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() < 2 {
+			t.Fatalf("%s: too small (%d nodes)", name, g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nosuch", 10, 1); err == nil {
+		t.Fatal("want unknown-class error")
+	}
+	if _, err := ByName("path", 0, 1); err == nil {
+		t.Fatal("want n error")
+	}
+}
+
+func TestByNameDeterministic(t *testing.T) {
+	a, err := ByName("gnp", 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("gnp", 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", a.M(), b.M())
+	}
+	for v := 0; v < a.N(); v++ {
+		for _, w := range a.Neighbors(v) {
+			if !b.HasEdge(v, int(w)) {
+				t.Fatalf("edge {%d,%d} missing in replay", v, w)
+			}
+		}
+	}
+}
+
+func TestByNameSeedsVary(t *testing.T) {
+	a, err := ByName("udg", 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("udg", 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() == b.M() && sameEdges(a, b) {
+		t.Fatal("different seeds produced identical UDGs")
+	}
+}
+
+func sameEdges(a, b interface {
+	N() int
+	Neighbors(int) []int32
+	HasEdge(int, int) bool
+}) bool {
+	for v := 0; v < a.N(); v++ {
+		for _, w := range a.Neighbors(v) {
+			if !b.HasEdge(v, int(w)) {
+				return false
+			}
+		}
+	}
+	return true
+}

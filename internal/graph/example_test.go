@@ -1,0 +1,42 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func ExampleGraph_Diameter() {
+	g := gen.Grid(4, 6) // 4×6 grid: diameter (4−1)+(6−1) = 8
+	d, err := g.Diameter()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d)
+	// Output: 8
+}
+
+func ExampleGraph_IsMaximalIndependentSet() {
+	g := gen.Path(5)
+	fmt.Println(g.IsMaximalIndependentSet([]int{0, 2, 4}))
+	fmt.Println(g.IsMaximalIndependentSet([]int{0, 4})) // vertex 2 undominated
+	// Output:
+	// true
+	// false
+}
+
+func ExampleGraph_IndependenceNumberExact() {
+	g := gen.Cycle(8)
+	alpha, ok := g.IndependenceNumberExact()
+	fmt.Println(alpha, ok)
+	// Output: 4 true
+}
+
+func ExampleGraph_BFS() {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	fmt.Println(g.BFS(0))
+	// Output: [0 1 2 -1]
+}

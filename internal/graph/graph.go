@@ -1,0 +1,318 @@
+// Package graph provides the undirected-graph substrate used by the radio
+// network simulator: adjacency-list graphs, traversal, diameter computation,
+// connectivity, and independence-number tooling (verification, greedy maximal
+// independent sets, exact maximum independent sets for small instances, and
+// growth-bound measurement).
+//
+// Radio networks in the paper are undirected graphs G = (V,E); nodes are
+// indexed 0..n-1. The graph is visible only to the simulation engine and to
+// analysis code — protocol code never sees it (ad-hoc model).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph on vertices 0..n-1.
+type Graph struct {
+	n   int
+	adj [][]int32
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, nb := range g.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// AddEdge inserts the undirected edge {u,v}. Self-loops and duplicate edges
+// are ignored (the model is a simple graph).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return
+	}
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, w := range g.adj[a] {
+		if int(w) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns Δ(G), 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	maxDeg := 0
+	for _, nb := range g.adj {
+		if len(nb) > maxDeg {
+			maxDeg = len(nb)
+		}
+	}
+	return maxDeg
+}
+
+// Neighbors returns the adjacency list of v. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// NeighborsInt returns a fresh []int copy of v's adjacency list.
+func (g *Graph) NeighborsInt(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for i, w := range g.adj[v] {
+		out[i] = int(w)
+	}
+	return out
+}
+
+// SortAdjacency sorts every adjacency list ascending, giving the graph a
+// canonical in-memory form (useful for deterministic iteration and tests).
+func (g *Graph) SortAdjacency() {
+	for _, nb := range g.adj {
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for v, nb := range g.adj {
+		c.adj[v] = append([]int32(nil), nb...)
+	}
+	return c
+}
+
+// Validate checks structural invariants: symmetry, no self-loops, no
+// duplicates, indices in range.
+func (g *Graph) Validate() error {
+	for v, nb := range g.adj {
+		seen := make(map[int32]bool, len(nb))
+		for _, w := range nb {
+			if int(w) == v {
+				return fmt.Errorf("self-loop at %d", v)
+			}
+			if w < 0 || int(w) >= g.n {
+				return fmt.Errorf("vertex %d has out-of-range neighbor %d", v, w)
+			}
+			if seen[w] {
+				return fmt.Errorf("duplicate edge {%d,%d}", v, w)
+			}
+			seen[w] = true
+			if !g.HasEdge(int(w), v) {
+				return fmt.Errorf("asymmetric edge {%d,%d}", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Unreachable is the distance reported for vertices not reachable from the
+// BFS source(s).
+const Unreachable = -1
+
+// BFS returns the vector of hop distances from src; Unreachable for
+// disconnected vertices.
+func (g *Graph) BFS(src int) []int {
+	return g.MultiBFS([]int{src})
+}
+
+// MultiBFS returns hop distances from the nearest of the given sources.
+func (g *Graph) MultiBFS(sources []int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		if s < 0 || s >= g.n || dist[s] == 0 {
+			continue
+		}
+		dist[s] = 0
+		queue = append(queue, int32(s))
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, w := range g.adj[u] {
+			if dist[w] == Unreachable {
+				dist[w] = du + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns max distance from v to any reachable vertex, and
+// whether all vertices were reachable.
+func (g *Graph) Eccentricity(v int) (ecc int, connected bool) {
+	dist := g.BFS(v)
+	connected = true
+	for _, d := range dist {
+		if d == Unreachable {
+			connected = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, connected
+}
+
+// Connected reports whether the graph is connected (vacuously true for n<=1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, ok := g.Eccentricity(0)
+	return ok
+}
+
+// Components returns a component id per vertex and the component count.
+func (g *Graph) Components() (comp []int, count int) {
+	comp = make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for v := 0; v < g.n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		comp[v] = count
+		queue := []int32{int32(v)}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, w := range g.adj[u] {
+				if comp[w] == -1 {
+					comp[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// ErrDisconnected is returned by Diameter on disconnected graphs.
+var ErrDisconnected = errors.New("graph: disconnected")
+
+// Diameter computes the exact diameter by running a BFS from every vertex.
+// O(n·m); intended for the n ≤ ~10⁴ instances the experiments use.
+func (g *Graph) Diameter() (int, error) {
+	if g.n == 0 {
+		return 0, nil
+	}
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		ecc, ok := g.Eccentricity(v)
+		if !ok {
+			return 0, ErrDisconnected
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, nil
+}
+
+// DiameterApprox returns a lower bound on the diameter within a factor 2,
+// computed by a double BFS sweep. Returns ErrDisconnected when applicable.
+func (g *Graph) DiameterApprox() (int, error) {
+	if g.n == 0 {
+		return 0, nil
+	}
+	dist := g.BFS(0)
+	far, fd := 0, 0
+	for v, d := range dist {
+		if d == Unreachable {
+			return 0, ErrDisconnected
+		}
+		if d > fd {
+			far, fd = v, d
+		}
+	}
+	ecc, ok := g.Eccentricity(far)
+	if !ok {
+		return 0, ErrDisconnected
+	}
+	return ecc, nil
+}
+
+// InducedSubgraph returns the subgraph induced on keep (a vertex set given
+// as indices into g), along with the mapping old→new (-1 for dropped).
+func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
+	remap := make([]int, g.n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, v := range keep {
+		remap[v] = i
+	}
+	sub := New(len(keep))
+	for i, v := range keep {
+		for _, w := range g.adj[v] {
+			j := remap[w]
+			if j > i { // add each edge once
+				sub.adj[i] = append(sub.adj[i], int32(j))
+				sub.adj[j] = append(sub.adj[j], int32(i))
+			}
+		}
+	}
+	return sub, remap
+}
+
+// BallVertices returns the vertices within hop distance d of v (inclusive).
+func (g *Graph) BallVertices(v, d int) []int {
+	dist := g.BFS(v)
+	var out []int
+	for u, du := range dist {
+		if du != Unreachable && du <= d {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// DegreeHistogram returns counts indexed by degree.
+func (g *Graph) DegreeHistogram() []int {
+	hist := make([]int, g.MaxDegree()+1)
+	for _, nb := range g.adj {
+		hist[len(nb)]++
+	}
+	return hist
+}

@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// IsIndependentSet reports whether set (a vertex subset) contains no edge.
+func (g *Graph) IsIndependentSet(set []int) bool {
+	in := make([]bool, g.n)
+	for _, v := range set {
+		if v < 0 || v >= g.n {
+			return false
+		}
+		in[v] = true
+	}
+	for _, v := range set {
+		for _, w := range g.adj[v] {
+			if in[w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependentSet reports whether set is independent and maximal:
+// every vertex outside the set has a neighbor inside it.
+func (g *Graph) IsMaximalIndependentSet(set []int) bool {
+	if !g.IsIndependentSet(set) {
+		return false
+	}
+	in := make([]bool, g.n)
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := 0; v < g.n; v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, w := range g.adj[v] {
+			if in[w] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyMIS computes a maximal independent set by scanning vertices in the
+// given order (identity order when order is nil).
+func (g *Graph) GreedyMIS(order []int) []int {
+	if order == nil {
+		order = make([]int, g.n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	blocked := make([]bool, g.n)
+	var mis []int
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		mis = append(mis, v)
+		blocked[v] = true
+		for _, w := range g.adj[v] {
+			blocked[w] = true
+		}
+	}
+	sort.Ints(mis)
+	return mis
+}
+
+// GreedyMinDegreeMIS computes a maximal independent set scanning vertices in
+// ascending degree order — a classic heuristic lower bound for the
+// independence number α(G).
+func (g *Graph) GreedyMinDegreeMIS() []int {
+	order := make([]int, g.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := len(g.adj[order[i]]), len(g.adj[order[j]])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	return g.GreedyMIS(order)
+}
+
+// IndependenceLowerBound estimates α(G) from below by taking the best of the
+// min-degree greedy set and `trials` random-order greedy sets.
+func (g *Graph) IndependenceLowerBound(trials int, rng *xrand.RNG) int {
+	best := len(g.GreedyMinDegreeMIS())
+	for t := 0; t < trials; t++ {
+		if got := len(g.GreedyMIS(rng.Perm(g.n))); got > best {
+			best = got
+		}
+	}
+	return best
+}
+
+// maxExactIndependence caps the branch-and-bound search size.
+const maxExactIndependence = 64
+
+// IndependenceNumberExact computes α(G) exactly via branch and bound on the
+// max-degree vertex. It is exponential in the worst case and refuses graphs
+// with more than maxExactIndependence vertices (returns ok=false).
+func (g *Graph) IndependenceNumberExact() (alpha int, ok bool) {
+	if g.n > maxExactIndependence {
+		return 0, false
+	}
+	alive := make([]bool, g.n)
+	for i := range alive {
+		alive[i] = true
+	}
+	best := 0
+	var rec func(count, remaining int)
+	rec = func(count, remaining int) {
+		if count+remaining <= best {
+			return // bound: even taking everything left cannot beat best
+		}
+		// pick an alive vertex of maximum alive-degree
+		pick, pickDeg := -1, -1
+		for v := 0; v < g.n; v++ {
+			if !alive[v] {
+				continue
+			}
+			d := 0
+			for _, w := range g.adj[v] {
+				if alive[w] {
+					d++
+				}
+			}
+			if d > pickDeg {
+				pick, pickDeg = v, d
+			}
+		}
+		if pick == -1 {
+			if count > best {
+				best = count
+			}
+			return
+		}
+		if pickDeg <= 1 {
+			// Remaining graph is a union of isolated vertices and disjoint
+			// edges; take one endpoint of each edge and all isolated nodes.
+			extra := 0
+			taken := make([]bool, g.n)
+			for v := 0; v < g.n; v++ {
+				if !alive[v] || taken[v] {
+					continue
+				}
+				extra++
+				taken[v] = true
+				for _, w := range g.adj[v] {
+					if alive[w] {
+						taken[w] = true
+					}
+				}
+			}
+			if count+extra > best {
+				best = count + extra
+			}
+			return
+		}
+		// Branch 1: include pick.
+		var removed []int
+		alive[pick] = false
+		removed = append(removed, pick)
+		for _, w := range g.adj[pick] {
+			if alive[w] {
+				alive[w] = false
+				removed = append(removed, int(w))
+			}
+		}
+		rec(count+1, remaining-len(removed))
+		for _, v := range removed {
+			alive[v] = true
+		}
+		// Branch 2: exclude pick.
+		alive[pick] = false
+		rec(count, remaining-1)
+		alive[pick] = true
+	}
+	rec(0, g.n)
+	return best, true
+}
+
+// GrowthProfile measures, per radius d = 1..maxD, the largest independent set
+// found inside any d-hop ball (sampling `samples` ball centers using rng, or
+// all vertices when samples <= 0 or >= n). This is the empirical version of
+// the paper's growth-bounded-graphs definition (§1.3): a class is
+// (polynomially) growth-bounded when α(B_d(v)) ≤ poly(d).
+//
+// Inside each ball, α is computed exactly when the ball has at most
+// maxExactIndependence vertices and by greedy lower bound otherwise.
+func (g *Graph) GrowthProfile(maxD, samples int, rng *xrand.RNG) []int {
+	centers := make([]int, 0, g.n)
+	if samples <= 0 || samples >= g.n {
+		for v := 0; v < g.n; v++ {
+			centers = append(centers, v)
+		}
+	} else {
+		for _, v := range rng.Perm(g.n)[:samples] {
+			centers = append(centers, v)
+		}
+	}
+	profile := make([]int, maxD+1)
+	for _, c := range centers {
+		dist := g.BFS(c)
+		for d := 0; d <= maxD; d++ {
+			var ball []int
+			for u, du := range dist {
+				if du != Unreachable && du <= d {
+					ball = append(ball, u)
+				}
+			}
+			sub, _ := g.InducedSubgraph(ball)
+			var a int
+			if exact, ok := sub.IndependenceNumberExact(); ok {
+				a = exact
+			} else {
+				a = sub.IndependenceLowerBound(4, rng)
+			}
+			if a > profile[d] {
+				profile[d] = a
+			}
+		}
+	}
+	return profile
+}
+
+// GrowthExponent fits log α(B_d) ≈ e·log d over the measured profile and
+// returns the least-squares exponent e (ignoring d < 2 entries). A graph
+// class is polynomially growth-bounded when this stays bounded as the graph
+// grows; for 2-D unit disk graphs theory predicts e ≈ 2.
+func GrowthExponent(profile []int) float64 {
+	var xs, ys []float64
+	for d := 2; d < len(profile); d++ {
+		if profile[d] <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(d)))
+		ys = append(ys, math.Log(float64(profile[d])))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	n := float64(len(xs))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / denom
+}

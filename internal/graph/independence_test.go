@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestIsIndependentSet(t *testing.T) {
+	g := path(5)
+	if !g.IsIndependentSet([]int{0, 2, 4}) {
+		t.Fatal("{0,2,4} should be independent on a path")
+	}
+	if g.IsIndependentSet([]int{0, 1}) {
+		t.Fatal("{0,1} is an edge")
+	}
+	if g.IsIndependentSet([]int{0, 99}) {
+		t.Fatal("out-of-range member should fail")
+	}
+	if !g.IsIndependentSet(nil) {
+		t.Fatal("empty set is independent")
+	}
+}
+
+func TestIsMaximalIndependentSet(t *testing.T) {
+	g := path(5)
+	if !g.IsMaximalIndependentSet([]int{0, 2, 4}) {
+		t.Fatal("{0,2,4} is a maximal IS on P5")
+	}
+	if g.IsMaximalIndependentSet([]int{0, 4}) {
+		t.Fatal("{0,4} leaves vertex 2 undominated")
+	}
+	if g.IsMaximalIndependentSet([]int{0, 1, 3}) {
+		t.Fatal("{0,1,3} is not independent")
+	}
+}
+
+func TestGreedyMISIsMaximal(t *testing.T) {
+	rng := xrand.New(5)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(40)
+		g := randomConnected(n, rng)
+		mis := g.GreedyMIS(nil)
+		if !g.IsMaximalIndependentSet(mis) {
+			t.Fatalf("greedy output not a maximal IS on trial %d", trial)
+		}
+		mis2 := g.GreedyMIS(rng.Perm(n))
+		if !g.IsMaximalIndependentSet(mis2) {
+			t.Fatalf("random-order greedy output not a maximal IS on trial %d", trial)
+		}
+	}
+}
+
+func TestGreedyMinDegreeMISIsMaximal(t *testing.T) {
+	rng := xrand.New(6)
+	for trial := 0; trial < 20; trial++ {
+		g := randomConnected(4+rng.Intn(30), rng)
+		if !g.IsMaximalIndependentSet(g.GreedyMinDegreeMIS()) {
+			t.Fatal("min-degree greedy not maximal")
+		}
+	}
+}
+
+func TestIndependenceNumberExactKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"path5", path(5), 3},
+		{"path6", path(6), 3},
+		{"cycle5", cycle(5), 2},
+		{"cycle6", cycle(6), 3},
+		{"clique8", clique(8), 1},
+		{"empty10", New(10), 10},
+	}
+	for _, tc := range cases {
+		got, ok := tc.g.IndependenceNumberExact()
+		if !ok {
+			t.Fatalf("%s: exact refused", tc.name)
+		}
+		if got != tc.want {
+			t.Errorf("%s: α = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestIndependenceNumberExactStar(t *testing.T) {
+	// Star K_{1,9}: α = 9 (all leaves).
+	g := New(10)
+	for v := 1; v < 10; v++ {
+		g.AddEdge(0, v)
+	}
+	got, ok := g.IndependenceNumberExact()
+	if !ok || got != 9 {
+		t.Fatalf("α(star) = %d ok=%v, want 9", got, ok)
+	}
+}
+
+func TestIndependenceNumberExactRefusesLarge(t *testing.T) {
+	if _, ok := New(maxExactIndependence + 1).IndependenceNumberExact(); ok {
+		t.Fatal("should refuse graphs larger than the exact cap")
+	}
+}
+
+func TestExactAtLeastGreedy(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := xrand.New(seed)
+		n := int(nRaw%20) + 3
+		g := randomConnected(n, rng)
+		exact, ok := g.IndependenceNumberExact()
+		if !ok {
+			return false
+		}
+		greedy := len(g.GreedyMinDegreeMIS())
+		return exact >= greedy && greedy >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndependenceLowerBound(t *testing.T) {
+	rng := xrand.New(7)
+	g := cycle(12) // α = 6
+	lb := g.IndependenceLowerBound(8, rng)
+	if lb < 4 || lb > 6 {
+		t.Fatalf("lower bound %d outside [4,6]", lb)
+	}
+}
+
+func TestGrowthProfilePath(t *testing.T) {
+	g := path(30)
+	rng := xrand.New(8)
+	profile := g.GrowthProfile(4, 5, rng)
+	// On a path, the d-ball has <= 2d+1 vertices, α(ball) <= d+1.
+	for d := 0; d <= 4; d++ {
+		if profile[d] > d+1 {
+			t.Fatalf("profile[%d] = %d exceeds d+1", d, profile[d])
+		}
+		if profile[d] < 1 {
+			t.Fatalf("profile[%d] = %d < 1", d, profile[d])
+		}
+	}
+}
+
+func TestGrowthExponentLinearProfile(t *testing.T) {
+	// α(B_d) = d exactly → exponent 1.
+	profile := []int{1, 1, 2, 3, 4, 5, 6, 7, 8}
+	e := GrowthExponent(profile)
+	if e < 0.8 || e > 1.2 {
+		t.Fatalf("exponent %v, want ~1", e)
+	}
+	// α(B_d) = d² → exponent 2.
+	quad := make([]int, 9)
+	for d := range quad {
+		quad[d] = d * d
+	}
+	quad[0] = 1
+	e2 := GrowthExponent(quad)
+	if e2 < 1.8 || e2 > 2.2 {
+		t.Fatalf("exponent %v, want ~2", e2)
+	}
+}
+
+func TestGrowthExponentDegenerate(t *testing.T) {
+	if e := GrowthExponent([]int{1, 1}); e != 0 {
+		t.Fatalf("degenerate profile exponent %v, want 0", e)
+	}
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// floydWarshall computes all-pairs hop distances directly from the
+// definition, as a reference for BFS.
+func floydWarshall(g *Graph) [][]int {
+	n := g.N()
+	const inf = 1 << 29
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = inf
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			d[v][int(w)] = 1
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	for i := range d {
+		for j := range d[i] {
+			if d[i][j] >= inf {
+				d[i][j] = Unreachable
+			}
+		}
+	}
+	return d
+}
+
+func TestBFSMatchesFloydWarshall(t *testing.T) {
+	f := func(seed uint64, nRaw, density uint8) bool {
+		rng := xrand.New(seed)
+		n := int(nRaw%18) + 2
+		g := New(n)
+		p := float64(density%80+10) / 200
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Bernoulli(p) {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		ref := floydWarshall(g)
+		for src := 0; src < n; src++ {
+			dist := g.BFS(src)
+			for v := 0; v < n; v++ {
+				if dist[v] != ref[src][v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiameterMatchesReference(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(16)
+		g := randomConnected(n, rng)
+		ref := floydWarshall(g)
+		want := 0
+		for i := range ref {
+			for j := range ref[i] {
+				if ref[i][j] > want {
+					want = ref[i][j]
+				}
+			}
+		}
+		got, err := g.Diameter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: diameter %d, reference %d", trial, got, want)
+		}
+	}
+}
+
+func TestMultiBFSMatchesMinOverSources(t *testing.T) {
+	rng := xrand.New(4)
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(20)
+		g := randomConnected(n, rng)
+		k := 1 + rng.Intn(3)
+		sources := rng.Perm(n)[:k]
+		multi := g.MultiBFS(sources)
+		for v := 0; v < n; v++ {
+			best := Unreachable
+			for _, s := range sources {
+				d := g.BFS(s)[v]
+				if d != Unreachable && (best == Unreachable || d < best) {
+					best = d
+				}
+			}
+			if multi[v] != best {
+				t.Fatalf("trial %d node %d: multi %d vs min %d", trial, v, multi[v], best)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package mis
+
+import (
+	"testing"
+
+	"repro/internal/decay"
+	"repro/internal/gen"
+	"repro/internal/radio"
+)
+
+// TestRadioMISOnConcurrentEngine is the strongest engine cross-validation:
+// the complete Radio MIS protocol — the most stateful protocol in the
+// repository — must produce the *identical* MIS on the goroutine-per-node
+// engine as on the sequential one for the same seed.
+func TestRadioMISOnConcurrentEngine(t *testing.T) {
+	g := gen.Grid(6, 6)
+	params := Params{}.withDefaults()
+	lay := newLayout(g.N(), params)
+	rounds := params.RoundFactor * decay.StepsPerIteration(g.N())
+
+	runEngineMode := func(concurrent bool) []int {
+		t.Helper()
+		nodes := make([]*node, g.N())
+		factory := func(info radio.NodeInfo) radio.Protocol {
+			nodes[info.Index] = newNode(info, params, lay, rounds)
+			return nodes[info.Index]
+		}
+		_, err := radio.Run(g, factory, radio.Options{
+			MaxSteps:   rounds*lay.roundLen + 1,
+			Seed:       1234,
+			Concurrent: concurrent,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var set []int
+		for v, nd := range nodes {
+			if nd.inMIS {
+				set = append(set, v)
+			}
+		}
+		return set
+	}
+
+	seq := runEngineMode(false)
+	con := runEngineMode(true)
+	if len(seq) != len(con) {
+		t.Fatalf("MIS sizes differ: %d vs %d", len(seq), len(con))
+	}
+	for i := range seq {
+		if seq[i] != con[i] {
+			t.Fatalf("MIS differs at position %d: %v vs %v", i, seq, con)
+		}
+	}
+	if err := Verify(g, seq); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package mis
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/radio"
+)
+
+func TestRunDetailedObserverAndEstimate(t *testing.T) {
+	// RunDetailed must honor both the explicit n estimate and the per-step
+	// observer, and still produce a valid MIS.
+	g := gen.Clique(4)
+	steps := 0
+	clearSteps := 0
+	out, err := RunDetailed(g, Params{}, 3, 64, func(st radio.StepStats) {
+		steps++
+		if st.Transmits == 1 {
+			clearSteps++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != out.Steps {
+		t.Fatalf("observer saw %d steps, outcome says %d", steps, out.Steps)
+	}
+	if !out.Completed || len(out.MIS) != 1 {
+		t.Fatalf("outcome %+v", out)
+	}
+	if clearSteps == 0 {
+		t.Fatal("no clear transmission observed (reduction argument needs one)")
+	}
+	// With the inflated estimate (64 ≫ 4), the layout is the 64-node one.
+	roundLen, _ := EstimateLayout(64, Params{})
+	if out.Steps%roundLen != 0 && out.Steps != 1 {
+		// Completion always lands on a round boundary for completed runs.
+		t.Fatalf("steps %d not a multiple of the 64-estimate round length %d", out.Steps, roundLen)
+	}
+}
+
+func TestRunDetailedSmallerEstimateClamped(t *testing.T) {
+	// nEst below n clamps up to n.
+	g := gen.Path(10)
+	out, err := RunDetailed(g, Params{}, 4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("incomplete")
+	}
+	if err := Verify(g, out.MIS); err != nil {
+		t.Fatal(err)
+	}
+}

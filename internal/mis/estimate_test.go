@@ -1,0 +1,123 @@
+package mis
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// lemma11Params uses a larger C so the small-n concentration matches the
+// lemma's asymptotic claim.
+var lemma11Params = Params{DegreeC: 48}
+
+func TestLemma11HighSide(t *testing.T) {
+	// Star center with 8 leaves at p = 1/4 each: d(center) = 2 ≥ 1 → High whp.
+	g := gen.Star(9)
+	p := make([]float64, 9)
+	for v := 1; v < 9; v++ {
+		p[v] = 0.25
+	}
+	highs := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		est, _, err := RunDegreeEstimate(g, p, lemma11Params, uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est[0].TrueEffectiveDegree != 2 {
+			t.Fatalf("wiring error: d(center) = %v", est[0].TrueEffectiveDegree)
+		}
+		if est[0].High {
+			highs++
+		}
+	}
+	if highs < trials-1 {
+		t.Fatalf("High returned only %d/%d times for d=2", highs, trials)
+	}
+}
+
+func TestLemma11LowSide(t *testing.T) {
+	// d(v) = 0 exactly (isolated listeners): must be Low always.
+	g := graph.New(6)
+	p := make([]float64, 6)
+	est, _, err := RunDegreeEstimate(g, p, lemma11Params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, e := range est {
+		if e.High {
+			t.Fatalf("isolated node %d returned High", v)
+		}
+	}
+}
+
+func TestLemma11LowSideTinyDegree(t *testing.T) {
+	// One neighbor at p = 0.005: d(v) = 0.005 ≤ 0.01 → Low whp.
+	g := gen.Path(2)
+	p := []float64{0, 0.005}
+	lows := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		est, _, err := RunDegreeEstimate(g, p, lemma11Params, uint64(100+trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !est[0].High {
+			lows++
+		}
+	}
+	if lows < trials-2 {
+		t.Fatalf("Low returned only %d/%d times for d=0.005", lows, trials)
+	}
+}
+
+func TestLemma11HighSideLargeDegree(t *testing.T) {
+	// Very dense: clique of 64 at p = 1/2 → d(v) = 31.5; the 2^-i sweep must
+	// still find a block with ~1 expected transmitter.
+	g := gen.Clique(64)
+	p := make([]float64, 64)
+	for v := range p {
+		p[v] = 0.5
+	}
+	est, _, err := RunDegreeEstimate(g, p, lemma11Params, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	for _, e := range est {
+		if !e.High {
+			misses++
+		}
+	}
+	if misses > 1 {
+		t.Fatalf("%d/64 clique nodes failed to detect High", misses)
+	}
+}
+
+func TestRunDegreeEstimateValidation(t *testing.T) {
+	g := gen.Path(3)
+	if _, _, err := RunDegreeEstimate(g, []float64{0.1, 0.1}, Params{}, 1); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	if _, _, err := RunDegreeEstimate(g, []float64{0.1, 2, 0.1}, Params{}, 1); err == nil {
+		t.Fatal("want range error")
+	}
+	if _, _, err := RunDegreeEstimate(graph.New(0), nil, Params{}, 1); err == nil {
+		t.Fatal("want empty-graph error")
+	}
+}
+
+func TestDegreeEstimateStepsBudget(t *testing.T) {
+	// One block is (log₂n + 1)·C·log₂n steps = O(log² n).
+	g := gen.Clique(16)
+	p := make([]float64, 16)
+	_, steps, err := RunDegreeEstimate(g, p, Params{DegreeC: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (4 + 1) * 8 * 4 // blocks × C × spi
+	if steps > want+1 {
+		t.Fatalf("steps %d exceeds budget %d", steps, want)
+	}
+}

@@ -1,0 +1,162 @@
+package mis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// GhaffariLocal runs Ghaffari's MIS algorithm (Algorithm 4 of the paper) in
+// the idealized LOCAL message-passing model, where each round every node
+// learns its neighbors' marks, MIS joins, and desire levels exactly. It is
+// the reference the radio adaptation (Algorithm 7) is measured against.
+//
+// It returns the MIS and the number of rounds until the residual graph
+// emptied (or maxRounds if it did not).
+func GhaffariLocal(g *graph.Graph, maxRounds int, seed uint64) ([]int, int, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, 0, fmt.Errorf("mis: empty graph")
+	}
+	rngs := localSeedRNGs(n, seed)
+	p := make([]float64, n)
+	alive := make([]bool, n)
+	inMIS := make([]bool, n)
+	for v := range p {
+		p[v] = 0.5
+		alive[v] = true
+	}
+	marked := make([]bool, n)
+	emptiedAt := maxRounds
+	for round := 0; round < maxRounds; round++ {
+		anyAlive := false
+		for v := 0; v < n; v++ {
+			marked[v] = alive[v] && rngs[v].Bernoulli(p[v])
+			anyAlive = anyAlive || alive[v]
+		}
+		if !anyAlive {
+			emptiedAt = round
+			break
+		}
+		// Joins: marked with no marked neighbor.
+		joined := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if !marked[v] {
+				continue
+			}
+			lone := true
+			for _, u := range g.Neighbors(v) {
+				if marked[u] {
+					lone = false
+					break
+				}
+			}
+			if lone {
+				joined[v] = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			if joined[v] {
+				inMIS[v] = true
+				alive[v] = false
+				for _, u := range g.Neighbors(v) {
+					alive[u] = false
+				}
+			}
+		}
+		// Effective degree and desire-level update (exact in LOCAL).
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			var d float64
+			for _, u := range g.Neighbors(v) {
+				if alive[u] {
+					d += p[u]
+				}
+			}
+			if d >= 2 {
+				p[v] /= 2
+			} else {
+				p[v] = math.Min(2*p[v], 0.5)
+			}
+		}
+	}
+	var out []int
+	for v := 0; v < n; v++ {
+		if inMIS[v] {
+			out = append(out, v)
+		}
+	}
+	return out, emptiedAt, nil
+}
+
+// LubyLocal runs Luby's classic MIS algorithm in the LOCAL model: each round
+// every alive node draws a uniform value; local minima join the MIS and
+// their neighborhoods are removed. Returned alongside the round count.
+//
+// The paper (§4.1, footnote 4) explains why this variant is *not* adaptable
+// to radio networks within O(log³ n); it is included purely as the idealized
+// baseline.
+func LubyLocal(g *graph.Graph, maxRounds int, seed uint64) ([]int, int, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, 0, fmt.Errorf("mis: empty graph")
+	}
+	rngs := localSeedRNGs(n, seed)
+	alive := make([]bool, n)
+	inMIS := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+	vals := make([]float64, n)
+	emptiedAt := maxRounds
+	for round := 0; round < maxRounds; round++ {
+		anyAlive := false
+		for v := 0; v < n; v++ {
+			if alive[v] {
+				vals[v] = rngs[v].Float64()
+				anyAlive = true
+			}
+		}
+		if !anyAlive {
+			emptiedAt = round
+			break
+		}
+		joined := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			minLocal := true
+			for _, u := range g.Neighbors(v) {
+				if alive[u] && vals[u] <= vals[v] && int(u) != v {
+					if vals[u] < vals[v] || int(u) < v { // deterministic tie-break
+						minLocal = false
+						break
+					}
+				}
+			}
+			if minLocal {
+				joined[v] = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			if joined[v] {
+				inMIS[v] = true
+				alive[v] = false
+				for _, u := range g.Neighbors(v) {
+					alive[u] = false
+				}
+			}
+		}
+	}
+	var out []int
+	for v := 0; v < n; v++ {
+		if inMIS[v] {
+			out = append(out, v)
+		}
+	}
+	return out, emptiedAt, nil
+}

@@ -1,0 +1,109 @@
+package mis
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestGhaffariLocalCorrectness(t *testing.T) {
+	rng := xrand.New(3)
+	graphs := []*graph.Graph{
+		gen.Path(100), gen.Clique(60), gen.Grid(10, 10),
+		gen.GNP(120, 0.06, rng), gen.Star(50), gen.RandomTree(90, rng),
+	}
+	for i, g := range graphs {
+		set, rounds, err := GhaffariLocal(g, 200, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds >= 200 {
+			t.Fatalf("graph %d: did not converge", i)
+		}
+		if err := Verify(g, set); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+	}
+}
+
+func TestLubyLocalCorrectness(t *testing.T) {
+	rng := xrand.New(4)
+	graphs := []*graph.Graph{
+		gen.Path(100), gen.Clique(60), gen.Grid(10, 10), gen.GNP(120, 0.06, rng),
+	}
+	for i, g := range graphs {
+		set, rounds, err := LubyLocal(g, 200, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds >= 200 {
+			t.Fatalf("graph %d: did not converge", i)
+		}
+		if err := Verify(g, set); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+	}
+}
+
+func TestLocalAlgorithmsEmptyGraph(t *testing.T) {
+	if _, _, err := GhaffariLocal(graph.New(0), 10, 1); err == nil {
+		t.Fatal("want error")
+	}
+	if _, _, err := LubyLocal(graph.New(0), 10, 1); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestGhaffariLocalConvergesInLogRounds(t *testing.T) {
+	// O(log Δ + ...) round complexity; on a 4096-node clique it should be
+	// well under 60 rounds with the defaults.
+	_, rounds, err := GhaffariLocal(gen.Clique(512), 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds > 80 {
+		t.Fatalf("clique convergence took %d rounds", rounds)
+	}
+}
+
+func TestLubyLocalCliqueOneRound(t *testing.T) {
+	set, rounds, err := LubyLocal(gen.Clique(128), 50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("clique MIS size %d", len(set))
+	}
+	if rounds > 2 {
+		t.Fatalf("luby on a clique took %d rounds", rounds)
+	}
+}
+
+func TestLocalAndRadioAgreeOnStructure(t *testing.T) {
+	// Not equality of sets (different randomness), but both must be valid
+	// maximal independent sets of the same graph, and on bipartite-ish
+	// structured graphs their sizes should be in the same ballpark.
+	g := gen.Grid(8, 8)
+	radioOut, err := Run(g, Params{}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localSet, _, err := GhaffariLocal(g, 200, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, radioOut.MIS); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, localSet); err != nil {
+		t.Fatal(err)
+	}
+	// Any MIS of the 8x8 grid has size between 16 (domination bound) and 32.
+	for _, sz := range []int{len(radioOut.MIS), len(localSet)} {
+		if sz < 13 || sz > 32 {
+			t.Fatalf("implausible grid MIS size %d", sz)
+		}
+	}
+}

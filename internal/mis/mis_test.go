@@ -1,0 +1,258 @@
+package mis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestRadioMISSingleNode(t *testing.T) {
+	out, err := Run(graph.New(1), Params{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.MIS) != 1 || out.MIS[0] != 0 {
+		t.Fatalf("MIS = %v, want {0}", out.MIS)
+	}
+	if !out.Completed {
+		t.Fatal("single node should complete")
+	}
+}
+
+func TestRadioMISEmptyGraphError(t *testing.T) {
+	if _, err := Run(graph.New(0), Params{}, 1); err == nil {
+		t.Fatal("want error for empty graph")
+	}
+}
+
+func TestRadioMISIsolatedNodes(t *testing.T) {
+	// MIS is a local problem; disconnected graphs are legal (§1.2).
+	g := graph.New(8) // no edges: MIS must be everything
+	out, err := Run(g, Params{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.MIS) != 8 {
+		t.Fatalf("MIS size %d, want 8", len(out.MIS))
+	}
+	if err := Verify(g, out.MIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadioMISCorrectnessAcrossClasses(t *testing.T) {
+	rng := xrand.New(1)
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path64", gen.Path(64)},
+		{"cycle63", gen.Cycle(63)},
+		{"clique48", gen.Clique(48)},
+		{"star64", gen.Star(64)},
+		{"grid8x8", gen.Grid(8, 8)},
+		{"gnp", gen.GNP(96, 0.08, rng)},
+		{"tree", gen.RandomTree(80, rng)},
+		{"cliquechain", gen.CliqueChain(6, 8)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := Run(tc.g, Params{}, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Completed {
+				t.Fatalf("did not complete within %d rounds", out.Rounds)
+			}
+			if err := Verify(tc.g, out.MIS); err != nil {
+				t.Fatalf("%v (MIS=%v)", err, out.MIS)
+			}
+		})
+	}
+}
+
+func TestRadioMISUDG(t *testing.T) {
+	rng := xrand.New(2)
+	g, _, err := gen.ConnectedUDG(120, 7, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(g, Params{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("UDG MIS did not complete")
+	}
+	if err := Verify(g, out.MIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadioMISCliqueSelectsExactlyOne(t *testing.T) {
+	g := gen.Clique(32)
+	for seed := uint64(0); seed < 5; seed++ {
+		out, err := Run(g, Params{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.MIS) != 1 {
+			t.Fatalf("seed %d: clique MIS size %d, want 1", seed, len(out.MIS))
+		}
+	}
+}
+
+func TestRadioMISMultipleSeeds(t *testing.T) {
+	g := gen.Grid(6, 10)
+	for seed := uint64(10); seed < 18; seed++ {
+		out, err := Run(g, Params{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Completed {
+			t.Fatalf("seed %d: incomplete", seed)
+		}
+		if err := Verify(g, out.MIS); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRadioMISStepsAreLogCubed(t *testing.T) {
+	// Theorem 14: O(log³ n) time-steps. Check Steps / log³n stays bounded
+	// (within a factor band) as n grows on cliques — the densest case.
+	ratios := []float64{}
+	for _, n := range []int{16, 64, 256} {
+		out, err := Run(gen.Clique(n), Params{}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Completed {
+			t.Fatalf("n=%d incomplete", n)
+		}
+		l := math.Log2(float64(n))
+		ratios = append(ratios, float64(out.Steps)/(l*l*l))
+	}
+	// The ratio should not blow up with n (allow ~3x drift across the sweep).
+	if ratios[2] > 3*ratios[0] {
+		t.Fatalf("steps/log³n growing: %v", ratios)
+	}
+}
+
+func TestRadioMISJoinDominatedBookkeeping(t *testing.T) {
+	g := gen.Star(16)
+	out, err := Run(g, Params{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, out.MIS); err != nil {
+		t.Fatal(err)
+	}
+	inMIS := map[int]bool{}
+	for _, v := range out.MIS {
+		inMIS[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if inMIS[v] {
+			if out.JoinRound[v] < 0 {
+				t.Fatalf("MIS node %d has no join round", v)
+			}
+			if out.DominatedRound[v] >= 0 {
+				t.Fatalf("MIS node %d also dominated", v)
+			}
+		} else {
+			if out.DominatedRound[v] < 0 {
+				t.Fatalf("non-MIS node %d never dominated", v)
+			}
+		}
+	}
+}
+
+func TestRadioMISObserverGoldenRounds(t *testing.T) {
+	// Exercise the Lemma 12/13 instrumentation path: effective degrees are
+	// computable from snapshots and the residual graph shrinks over rounds.
+	g := gen.GNP(64, 0.1, xrand.New(9))
+	var aliveSeries []int
+	params := Params{Observer: func(round int, states []NodeState) {
+		alive := 0
+		for _, s := range states {
+			if s.Alive {
+				alive++
+			}
+		}
+		aliveSeries = append(aliveSeries, alive)
+		for v := range states {
+			d := EffectiveDegree(g, states, v)
+			if d < 0 {
+				t.Fatalf("negative effective degree %v", d)
+			}
+		}
+	}}
+	out, err := Run(g, params, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aliveSeries) == 0 {
+		t.Fatal("observer never called")
+	}
+	for i := 1; i < len(aliveSeries); i++ {
+		if aliveSeries[i] > aliveSeries[i-1] {
+			t.Fatalf("alive count increased: %v", aliveSeries)
+		}
+	}
+	if !out.Completed {
+		t.Fatal("incomplete")
+	}
+	if aliveSeries[len(aliveSeries)-1] != 0 {
+		// After the final round all nodes should be removed (they halt).
+		t.Fatalf("final alive count %d", aliveSeries[len(aliveSeries)-1])
+	}
+}
+
+func TestRadioMISWithOverestimates(t *testing.T) {
+	// The ad-hoc model only promises linear upper estimates of n; the
+	// algorithm must still work when n̂ = 4·n.
+	g := gen.Grid(5, 8)
+	lay, rounds := EstimateLayout(4*g.N(), Params{})
+	_ = lay
+	_ = rounds
+	out, err := runWithEstimate(g, Params{}, 13, 4*g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("incomplete with overestimated n")
+	}
+	if err := Verify(g, out.MIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateLayoutScaling(t *testing.T) {
+	r16, rounds16 := EstimateLayout(16, Params{})
+	r256, rounds256 := EstimateLayout(256, Params{})
+	if r256 <= r16 || rounds256 <= rounds16 {
+		t.Fatalf("layout should grow with n: (%d,%d) vs (%d,%d)", r16, rounds16, r256, rounds256)
+	}
+	// roundLen is Θ(log² n): ratio for 16→256 (log 4→8) should be ~4.
+	ratio := float64(r256) / float64(r16)
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("roundLen ratio %v outside [2,8]", ratio)
+	}
+}
+
+func TestVerifyRejectsBadSets(t *testing.T) {
+	g := gen.Path(5)
+	if err := Verify(g, []int{0, 1}); err == nil {
+		t.Fatal("dependent set accepted")
+	}
+	if err := Verify(g, []int{0, 4}); err == nil {
+		t.Fatal("non-maximal set accepted")
+	}
+	if err := Verify(g, []int{0, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+}

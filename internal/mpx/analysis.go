@@ -1,0 +1,188 @@
+package mpx
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Profile holds, for one fixed node v, the counts m_i of MIS (center) nodes
+// at each hop distance i = 0..D from v — the quantities the paper's §3
+// analysis is phrased in.
+type Profile struct {
+	// M[i] is m_i, the number of candidate centers at distance exactly i.
+	M []int
+}
+
+// DistanceProfile computes the profile of v with respect to the given
+// candidate-center set (an MIS for the paper's variant, all of V for CD21).
+func DistanceProfile(g *graph.Graph, centers []int, v int) (Profile, error) {
+	if v < 0 || v >= g.N() {
+		return Profile{}, fmt.Errorf("mpx: vertex %d out of range", v)
+	}
+	dist := g.BFS(v)
+	maxD := 0
+	for _, d := range dist {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	m := make([]int, maxD+1)
+	for _, c := range centers {
+		if c < 0 || c >= g.N() {
+			return Profile{}, fmt.Errorf("mpx: center %d out of range", c)
+		}
+		if d := dist[c]; d != graph.Unreachable {
+			m[d]++
+		}
+	}
+	return Profile{M: m}, nil
+}
+
+// TBS computes the paper's T_β = Σ i·m_i·e^{-iβ}, B_β = Σ m_i·e^{-iβ} and
+// S_β = T_β / B_β. S_β bounds (up to the factor 5 of Lemma 3) the expected
+// distance from v to its cluster center under Partition(β, centers).
+func (p Profile) TBS(beta float64) (tb, bb, sb float64) {
+	for i, mi := range p.M {
+		if mi == 0 {
+			continue
+		}
+		w := float64(mi) * math.Exp(-float64(i)*beta)
+		tb += float64(i) * w
+		bb += w
+	}
+	if bb == 0 {
+		return tb, bb, math.Inf(1)
+	}
+	return tb, bb, tb / bb
+}
+
+// SJ returns s_j = Σ_{i=0}^{2^{j+1}} m_i (clamped at the profile end).
+func (p Profile) SJ(j int) int {
+	if j < 0 {
+		return 0
+	}
+	limit := 1 << uint(j+1)
+	s := 0
+	for i, mi := range p.M {
+		if i > limit {
+			break
+		}
+		s += mi
+	}
+	return s
+}
+
+// B computes the paper's b = 2^{⌈log₂ log_D α⌉ + 2}, clamped below at 4
+// (which the paper's 2 ≤ 4·log_D α ≤ b chain presumes). D and alpha must be
+// at least 2.
+func B(d, alpha int) (int, error) {
+	if d < 2 || alpha < 2 {
+		return 0, fmt.Errorf("mpx: B needs D ≥ 2 and α ≥ 2, got D=%d α=%d", d, alpha)
+	}
+	logDalpha := math.Log(float64(alpha)) / math.Log(float64(d))
+	if logDalpha < 1 {
+		logDalpha = 1
+	}
+	exp := int(math.Ceil(math.Log2(logDalpha))) + 2
+	if exp < 2 {
+		exp = 2
+	}
+	return 1 << uint(exp), nil
+}
+
+// JRange returns the paper's sweep range for the random scale j:
+// 0.01·log₂D ≤ j ≤ 0.1·log₂D, widened to at least [1, 2] so that small-D
+// experiments remain meaningful (the paper's constants are asymptotic).
+func JRange(d int) (jmin, jmax int) {
+	logD := math.Log2(float64(d))
+	jmin = int(math.Ceil(0.01 * logD))
+	jmax = int(math.Floor(0.1 * logD))
+	if jmin < 1 {
+		jmin = 1
+	}
+	if jmax < jmin+1 {
+		jmax = jmin + 1
+	}
+	return jmin, jmax
+}
+
+// IsBadJ evaluates the failure condition of Lemmas 4–5 for scale j: j is
+// “bad” when for some r ≥ 8, s_{j+log b+r} > 2^{b·2^{r-1}} · s_{j+log b}.
+// Comparisons run in log₂-space to avoid overflow.
+func (p Profile) IsBadJ(j, b int) bool {
+	logB := int(math.Round(math.Log2(float64(b))))
+	base := p.SJ(j + logB)
+	if base == 0 {
+		// s_0 ≥ 1 in the paper (v itself or a neighbor is in the MIS); a
+		// zero base can only happen for malformed inputs — treat as bad.
+		return true
+	}
+	logBase := math.Log2(float64(base))
+	maxIdx := len(p.M) // beyond this, SJ saturates and cannot grow
+	for r := 8; j+logB+r <= maxIdx+1; r++ {
+		sHigh := p.SJ(j + logB + r)
+		if sHigh == 0 {
+			continue
+		}
+		growth := math.Log2(float64(sHigh)) - logBase
+		if growth > float64(b)*math.Pow(2, float64(r-1)) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountBadJs counts bad scales in [jmin, jmax]; Lemma 5 bounds this by
+// 0.02·log₂ D when centers form an independent set of size ≤ α.
+func (p Profile) CountBadJs(jmin, jmax, b int) int {
+	bad := 0
+	for j := jmin; j <= jmax; j++ {
+		if p.IsBadJ(j, b) {
+			bad++
+		}
+	}
+	return bad
+}
+
+// TheoremTwoBound returns the Theorem 2 prediction c·b·2^j for the expected
+// center distance at scale j (c absorbs the proof's constant; pass 1 to get
+// the raw b·2^j unit used in experiment tables).
+func TheoremTwoBound(b, j int, c float64) float64 {
+	return c * float64(b) * math.Pow(2, float64(j))
+}
+
+// MeanCenterDistance estimates E[dist(v, center(v))] under repeated
+// Partition(β, centers) clusterings, and also returns the S_β bound from the
+// fixed profile for comparison (Lemma 3: E[dist] ≤ 5·S_β).
+func MeanCenterDistance(g *graph.Graph, centers []int, v int, beta float64, trials int, rng interface {
+	Exponential(float64) float64
+}) (float64, error) {
+	// Re-implement the assignment for just node v: v joins the center
+	// minimizing dist(v,c) − δ_c, so only distances from v matter.
+	dist := g.BFS(v)
+	var reachable []int
+	for _, c := range centers {
+		if dist[c] != graph.Unreachable {
+			reachable = append(reachable, c)
+		}
+	}
+	if len(reachable) == 0 {
+		return 0, fmt.Errorf("mpx: no center reaches %d", v)
+	}
+	var sum float64
+	for t := 0; t < trials; t++ {
+		bestKey := math.Inf(1)
+		bestDist := 0
+		for _, c := range reachable {
+			key := float64(dist[c]) - rng.Exponential(beta)
+			if key < bestKey {
+				bestKey = key
+				bestDist = dist[c]
+			}
+		}
+		sum += float64(bestDist)
+	}
+	return sum / float64(trials), nil
+}

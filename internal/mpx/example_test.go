@@ -1,0 +1,49 @@
+package mpx_test
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/mpx"
+	"repro/internal/xrand"
+)
+
+func ExampleB() {
+	// α = D → log_D α = 1 → b clamps to 4; α = D² → b = 8.
+	b1, _ := mpx.B(1024, 1024)
+	b2, _ := mpx.B(32, 1024)
+	fmt.Println(b1, b2)
+	// Output: 4 8
+}
+
+func ExampleJRange() {
+	jmin, jmax := mpx.JRange(1 << 20)
+	fmt.Println(jmin, jmax)
+	// Output: 1 2
+}
+
+func ExamplePartition() {
+	g := gen.Path(20)
+	misSet := g.GreedyMIS(nil) // every other node on a path
+	a, err := mpx.Partition(g, misSet, 0.5, xrand.New(7))
+	if err != nil {
+		panic(err)
+	}
+	// Every node is assigned to an MIS center, and clusters are connected.
+	assigned := 0
+	for _, c := range a.Center {
+		if c >= 0 {
+			assigned++
+		}
+	}
+	fmt.Println(assigned, a.ValidateClusters(g) == nil)
+	// Output: 20 true
+}
+
+func ExampleProfile_TBS() {
+	// One center at distance 0 and two at distance 1.
+	p := mpx.Profile{M: []int{1, 2}}
+	_, _, s := p.TBS(1e9) // huge β: far centers vanish, S → 0
+	fmt.Printf("%.0f\n", s)
+	// Output: 0
+}

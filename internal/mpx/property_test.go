@@ -1,0 +1,134 @@
+package mpx
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/xrand"
+)
+
+// TestEdgeCutProbability checks the MPX decomposition's defining property:
+// the probability that an edge is cut (endpoints in different clusters) is
+// O(β). We measure the empirical cut fraction on a grid at several β and
+// assert the scaling (halving β roughly halves the cut rate) plus a
+// generous absolute constant.
+func TestEdgeCutProbability(t *testing.T) {
+	g := gen.Grid(16, 16)
+	centers := make([]int, g.N())
+	for i := range centers {
+		centers[i] = i
+	}
+	rng := xrand.New(7)
+	const reps = 40
+	cutRate := func(beta float64) float64 {
+		cut, total := 0, 0
+		for r := 0; r < reps; r++ {
+			a, err := Partition(g, centers, beta, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := 0; u < g.N(); u++ {
+				for _, w := range g.Neighbors(u) {
+					if int(w) > u {
+						total++
+						if a.Center[u] != a.Center[w] {
+							cut++
+						}
+					}
+				}
+			}
+		}
+		return float64(cut) / float64(total)
+	}
+	r1 := cutRate(0.4)
+	r2 := cutRate(0.2)
+	r3 := cutRate(0.1)
+	// Absolute bound: P(cut) ≤ c·β with a generous c.
+	for _, tc := range []struct {
+		beta, rate float64
+	}{{0.4, r1}, {0.2, r2}, {0.1, r3}} {
+		if tc.rate > 2.5*tc.beta {
+			t.Fatalf("cut rate %v at β=%v exceeds 2.5β", tc.rate, tc.beta)
+		}
+	}
+	// Scaling: halving β should at least reduce the cut rate substantially.
+	if !(r1 > r2 && r2 > r3) {
+		t.Fatalf("cut rates not decreasing with β: %v %v %v", r1, r2, r3)
+	}
+	if r3 > 0.75*r1 {
+		t.Fatalf("cut rate barely responds to β: %v vs %v", r3, r1)
+	}
+}
+
+// TestMISCentersEdgeCutAlsoLinear repeats the cut-rate property for the
+// paper's Partition(β, MIS): restricting centers must not break the MPX
+// padding behavior (the analysis of Lemma 3 relies on it).
+func TestMISCentersEdgeCutAlsoLinear(t *testing.T) {
+	g := gen.Grid(14, 14)
+	misSet := g.GreedyMIS(nil)
+	rng := xrand.New(9)
+	const reps = 40
+	cut, total := 0, 0
+	const beta = 0.2
+	for r := 0; r < reps; r++ {
+		a, err := Partition(g, misSet, beta, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.N(); u++ {
+			for _, w := range g.Neighbors(u) {
+				if int(w) > u {
+					total++
+					if a.Center[u] != a.Center[w] {
+						cut++
+					}
+				}
+			}
+		}
+	}
+	rate := float64(cut) / float64(total)
+	if rate > 3*beta {
+		t.Fatalf("MIS-centered cut rate %v exceeds 3β at β=%v", rate, beta)
+	}
+}
+
+// TestPartitionLawTotalAssignment is the basic partition law under random
+// inputs: on connected graphs every node lands in exactly one cluster whose
+// center is a candidate.
+func TestPartitionLawTotalAssignment(t *testing.T) {
+	rng := xrand.New(11)
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.Intn(60)
+		g := gen.RandomTree(n, rng)
+		// Random candidate subset including at least one node.
+		var centers []int
+		for v := 0; v < n; v++ {
+			if rng.Bernoulli(0.3) {
+				centers = append(centers, v)
+			}
+		}
+		if len(centers) == 0 {
+			centers = append(centers, rng.Intn(n))
+		}
+		beta := 0.05 + rng.Float64()
+		a, err := Partition(g, centers, beta, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isCandidate := map[int]bool{}
+		for _, c := range centers {
+			isCandidate[c] = true
+		}
+		for v := 0; v < n; v++ {
+			if a.Center[v] < 0 {
+				t.Fatalf("trial %d: node %d unassigned on connected graph", trial, v)
+			}
+			if !isCandidate[a.Center[v]] {
+				t.Fatalf("trial %d: node %d assigned to non-candidate", trial, v)
+			}
+		}
+		if err := a.ValidateClusters(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package radio simulates the ad-hoc radio network model of the paper (§1.1).
+//
+// Time is divided into synchronous time-steps. In each step every awake node
+// either transmits a message or listens. A listening node hears a message iff
+// exactly one of its neighbors transmits in that step; with zero or with two
+// or more transmitting neighbors it hears nothing, and it cannot distinguish
+// the two cases (no collision detection). A transmitting node hears nothing.
+//
+// The model is ad-hoc: protocol code receives only linear upper estimates of
+// the global parameters n, D and α plus a private randomness source — never
+// the graph, its own degree, or its neighbors. All nodes wake up in step 0
+// (synchronous wake-up).
+//
+// Two engines with identical semantics are provided: a fast sequential
+// engine, and a concurrent engine running one goroutine per node with
+// two-phase barriers per time-step. A differential test asserts they produce
+// identical transcripts for identical seeds.
+package radio
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Message is an arbitrary protocol payload. Protocols compare messages by
+// their own conventions (the paper only requires a consistent total order
+// for Compete, which implementations provide themselves).
+type Message any
+
+// Collision is the marker delivered to listeners with two or more
+// transmitting neighbors when Options.CollisionDetection is on. The paper's
+// algorithms never rely on it (its model is without collision detection,
+// §1.1); it exists for the §1.5.2 comparisons of what CD buys.
+type collisionMarker struct{}
+
+// Collision is the sentinel value (see Options.CollisionDetection).
+var Collision Message = collisionMarker{}
+
+// IsCollision reports whether msg is the collision marker.
+func IsCollision(msg Message) bool {
+	_, ok := msg.(collisionMarker)
+	return ok
+}
+
+// Action is a node's choice for one time-step.
+type Action struct {
+	// Transmit is true to broadcast Msg to all neighbors this step;
+	// false to listen.
+	Transmit bool
+	// Msg is the payload sent when Transmit is true.
+	Msg Message
+}
+
+// Listen is the listening action.
+func Listen() Action { return Action{} }
+
+// Transmit returns a transmitting action carrying msg.
+func Transmit(msg Message) Action { return Action{Transmit: true, Msg: msg} }
+
+// Protocol is the per-node state machine interface. The engine calls, for
+// every time-step in order: Act on every live node, then Deliver on every
+// live node (with the received message, or nil when nothing was heard —
+// including always for transmitters). A node whose Done returns true before
+// a step neither transmits nor receives for the remainder of the run.
+type Protocol interface {
+	Act(step int) Action
+	Deliver(step int, msg Message)
+	Done() bool
+}
+
+// NodeInfo is everything a node may legitimately know at wake-up in the
+// ad-hoc model: upper estimates of the graph parameters and a private RNG.
+// Index identifies the node to the engine only; protocols must not treat it
+// as a network identity (they draw random IDs instead, §1.1).
+type NodeInfo struct {
+	Index int
+	N     int // linear upper estimate of the node count
+	D     int // linear upper estimate of the diameter
+	Alpha int // polynomial estimate of the independence number
+	RNG   *xrand.RNG
+}
+
+// Factory constructs the protocol instance for one node.
+type Factory func(info NodeInfo) Protocol
+
+// StepStats aggregates one step's activity.
+type StepStats struct {
+	Step       int
+	Transmits  int
+	Deliveries int
+	Collisions int // listeners with ≥2 transmitting neighbors
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// MaxSteps bounds the run; required (>0).
+	MaxSteps int
+	// Seed seeds the experiment; per-node RNGs are split from it.
+	Seed uint64
+	// N, D, Alpha override the estimates given to nodes. Zero values are
+	// replaced by the true graph values (the model allows exact knowledge;
+	// protocols must tolerate upper estimates, which tests exercise).
+	N, D, Alpha int
+	// Concurrent selects the goroutine-per-node engine.
+	Concurrent bool
+	// OnStep, when non-nil, observes each step's statistics.
+	OnStep func(StepStats)
+	// WakeAt, when non-nil (length n), staggers wake-up: node v is dormant
+	// — neither acting nor receiving, with its local clock frozen — until
+	// step WakeAt[v]. Nil means synchronous wake-up at step 0, the paper's
+	// model (§1.1). Experiment E15 uses this to show which guarantees
+	// depend on the synchronous-wake-up assumption.
+	WakeAt []int
+	// CollisionDetection, when true, delivers the Collision marker to
+	// listeners with ≥2 transmitting neighbors instead of silence — the
+	// stronger model of §1.5.2. Off (the paper's model) by default.
+	CollisionDetection bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Steps is the number of time-steps executed.
+	Steps int
+	// AllDone reports whether every node halted before MaxSteps.
+	AllDone bool
+	// Transmissions counts transmit actions over the whole run.
+	Transmissions int64
+	// Deliveries counts successful single-transmitter receptions.
+	Deliveries int64
+	// Collisions counts listener-steps with ≥2 transmitting neighbors.
+	Collisions int64
+}
+
+// Run simulates the protocol on g until all nodes are done or MaxSteps is
+// reached.
+func Run(g *graph.Graph, factory Factory, opts Options) (Result, error) {
+	if opts.MaxSteps <= 0 {
+		return Result{}, fmt.Errorf("radio: MaxSteps must be positive, got %d", opts.MaxSteps)
+	}
+	nodes, err := buildNodes(g, factory, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.WakeAt != nil && len(opts.WakeAt) != g.N() {
+		return Result{}, fmt.Errorf("radio: WakeAt has %d entries for %d nodes", len(opts.WakeAt), g.N())
+	}
+	if opts.Concurrent {
+		return runConcurrent(g, nodes, opts)
+	}
+	return runSequential(g, nodes, opts)
+}
+
+// awake reports whether node v participates at the given step.
+func awake(opts Options, v, step int) bool {
+	return opts.WakeAt == nil || step >= opts.WakeAt[v]
+}
+
+func buildNodes(g *graph.Graph, factory Factory, opts Options) ([]Protocol, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("radio: empty graph")
+	}
+	estN, estD, estAlpha := opts.N, opts.D, opts.Alpha
+	if estN <= 0 {
+		estN = n
+	}
+	if estD <= 0 {
+		d, err := g.DiameterApprox()
+		if err != nil {
+			// Disconnected graphs are allowed for MIS; use n as the bound.
+			d = n
+		}
+		if d < 1 {
+			d = 1
+		}
+		estD = d
+	}
+	if estAlpha <= 0 {
+		estAlpha = estN // trivial upper bound α ≤ n
+	}
+	root := xrand.New(opts.Seed)
+	nodes := make([]Protocol, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = factory(NodeInfo{
+			Index: v,
+			N:     estN,
+			D:     estD,
+			Alpha: estAlpha,
+			RNG:   root.Split(uint64(v)),
+		})
+		if nodes[v] == nil {
+			return nil, fmt.Errorf("radio: factory returned nil protocol for node %d", v)
+		}
+	}
+	return nodes, nil
+}
+
+// deliveryPass computes, given the transmit decisions for one step, the
+// message (if any) each node receives, using the exactly-one-neighbor rule.
+// hear[v] stays nil for silence. Counts are accumulated into st.
+func deliveryPass(g *graph.Graph, transmitting []bool, payload []Message, hear []Message, st *StepStats, cd bool) {
+	n := g.N()
+	counts := make([]int8, n)
+	from := make([]int32, n)
+	for v := 0; v < n; v++ {
+		hear[v] = nil
+		if !transmitting[v] {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if counts[w] < 2 {
+				counts[w]++
+			}
+			from[w] = int32(v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if transmitting[v] {
+			continue // transmitters hear nothing
+		}
+		switch counts[v] {
+		case 1:
+			hear[v] = payload[from[v]]
+			st.Deliveries++
+		case 2:
+			st.Collisions++
+			if cd {
+				hear[v] = Collision
+			}
+		}
+	}
+}
+
+func runSequential(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
+	n := g.N()
+	var res Result
+	transmitting := make([]bool, n)
+	payload := make([]Message, n)
+	hear := make([]Message, n)
+	live := make([]bool, n)
+	for step := 0; step < opts.MaxSteps; step++ {
+		anyLive := false
+		for v := 0; v < n; v++ {
+			live[v] = !nodes[v].Done() && awake(opts, v, step)
+			// Dormant nodes still keep the run alive until they wake.
+			anyLive = anyLive || live[v] || !awake(opts, v, step)
+		}
+		if !anyLive {
+			res.AllDone = true
+			break
+		}
+		st := StepStats{Step: step}
+		for v := 0; v < n; v++ {
+			transmitting[v] = false
+			payload[v] = nil
+			if !live[v] {
+				continue
+			}
+			a := nodes[v].Act(step)
+			if a.Transmit {
+				transmitting[v] = true
+				payload[v] = a.Msg
+				st.Transmits++
+			}
+		}
+		deliveryPass(g, transmitting, payload, hear, &st, opts.CollisionDetection)
+		for v := 0; v < n; v++ {
+			if live[v] {
+				nodes[v].Deliver(step, hear[v])
+			}
+		}
+		res.Steps = step + 1
+		res.Transmissions += int64(st.Transmits)
+		res.Deliveries += int64(st.Deliveries)
+		res.Collisions += int64(st.Collisions)
+		if opts.OnStep != nil {
+			opts.OnStep(st)
+		}
+	}
+	if !res.AllDone {
+		allDone := true
+		for _, p := range nodes {
+			if !p.Done() {
+				allDone = false
+				break
+			}
+		}
+		res.AllDone = allDone
+	}
+	return res, nil
+}
+
+// runConcurrent executes the same semantics with one goroutine per node and
+// two barriers per time-step (act phase, deliver phase). Nodes only touch
+// their own protocol state, so the transcript is deterministic and equal to
+// the sequential engine's for the same seed.
+func runConcurrent(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
+	n := g.N()
+	var res Result
+
+	transmitting := make([]bool, n)
+	payload := make([]Message, n)
+	hear := make([]Message, n)
+	live := make([]bool, n)
+
+	actStart := make([]chan int, n)  // engine → node: run Act for step s
+	deliverGo := make([]chan int, n) // engine → node: run Deliver for step s
+	var phase sync.WaitGroup         // engine waits for all nodes per phase
+	stop := make(chan struct{})      // engine → nodes: shut down
+	var workers sync.WaitGroup       // engine waits for goroutine exit
+
+	for v := 0; v < n; v++ {
+		actStart[v] = make(chan int, 1)
+		deliverGo[v] = make(chan int, 1)
+		workers.Add(1)
+		go func(v int) {
+			defer workers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case step := <-actStart[v]:
+					if live[v] {
+						a := nodes[v].Act(step)
+						transmitting[v] = a.Transmit
+						if a.Transmit {
+							payload[v] = a.Msg
+						} else {
+							payload[v] = nil
+						}
+					} else {
+						transmitting[v] = false
+						payload[v] = nil
+					}
+					phase.Done()
+				case step := <-deliverGo[v]:
+					if live[v] {
+						nodes[v].Deliver(step, hear[v])
+					}
+					phase.Done()
+				}
+			}
+		}(v)
+	}
+	defer func() {
+		close(stop)
+		workers.Wait()
+	}()
+
+	for step := 0; step < opts.MaxSteps; step++ {
+		anyLive := false
+		for v := 0; v < n; v++ {
+			live[v] = !nodes[v].Done() && awake(opts, v, step)
+			// Dormant nodes still keep the run alive until they wake.
+			anyLive = anyLive || live[v] || !awake(opts, v, step)
+		}
+		if !anyLive {
+			res.AllDone = true
+			break
+		}
+		st := StepStats{Step: step}
+		phase.Add(n)
+		for v := 0; v < n; v++ {
+			actStart[v] <- step
+		}
+		phase.Wait()
+		for v := 0; v < n; v++ {
+			if transmitting[v] {
+				st.Transmits++
+			}
+		}
+		deliveryPass(g, transmitting, payload, hear, &st, opts.CollisionDetection)
+		phase.Add(n)
+		for v := 0; v < n; v++ {
+			deliverGo[v] <- step
+		}
+		phase.Wait()
+		res.Steps = step + 1
+		res.Transmissions += int64(st.Transmits)
+		res.Deliveries += int64(st.Deliveries)
+		res.Collisions += int64(st.Collisions)
+		if opts.OnStep != nil {
+			opts.OnStep(st)
+		}
+	}
+	if !res.AllDone {
+		allDone := true
+		for _, p := range nodes {
+			if !p.Done() {
+				allDone = false
+				break
+			}
+		}
+		res.AllDone = allDone
+	}
+	return res, nil
+}

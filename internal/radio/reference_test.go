@@ -1,0 +1,110 @@
+package radio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// TestDeliveryPassMatchesBruteForce checks the optimized deliveryPass
+// against a direct transcription of the model's definition ("a listening
+// node hears a message iff exactly one of its neighbors transmits") on
+// random graphs with random transmit sets.
+func TestDeliveryPassMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64, nRaw, density uint8) bool {
+		rng := xrand.New(seed)
+		n := int(nRaw%30) + 2
+		g := graph.New(n)
+		p := float64(density%90+5) / 100
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Bernoulli(p) {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		transmitting := make([]bool, n)
+		payload := make([]Message, n)
+		for v := 0; v < n; v++ {
+			if rng.Bernoulli(0.4) {
+				transmitting[v] = true
+				payload[v] = v
+			}
+		}
+		hear := make([]Message, n)
+		var st StepStats
+		deliveryPass(g, transmitting, payload, hear, &st, false)
+		// Brute force per the definition.
+		for v := 0; v < n; v++ {
+			var want Message
+			if !transmitting[v] {
+				count, from := 0, -1
+				for _, w := range g.Neighbors(v) {
+					if transmitting[w] {
+						count++
+						from = int(w)
+					}
+				}
+				if count == 1 {
+					want = payload[from]
+				}
+			}
+			if hear[v] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeliveryStatsConsistent cross-checks the per-step counters against a
+// recount from first principles.
+func TestDeliveryStatsConsistent(t *testing.T) {
+	rng := xrand.New(42)
+	g := graph.New(25)
+	for u := 0; u < 25; u++ {
+		for v := u + 1; v < 25; v++ {
+			if rng.Bernoulli(0.2) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	transmitting := make([]bool, 25)
+	payload := make([]Message, 25)
+	for v := range transmitting {
+		if rng.Bernoulli(0.5) {
+			transmitting[v] = true
+			payload[v] = v
+		}
+	}
+	hear := make([]Message, 25)
+	var st StepStats
+	deliveryPass(g, transmitting, payload, hear, &st, false)
+	deliveries, collisions := 0, 0
+	for v := 0; v < 25; v++ {
+		if transmitting[v] {
+			continue
+		}
+		count := 0
+		for _, w := range g.Neighbors(v) {
+			if transmitting[w] {
+				count++
+			}
+		}
+		if count == 1 {
+			deliveries++
+		}
+		if count >= 2 {
+			collisions++
+		}
+	}
+	if st.Deliveries != deliveries || st.Collisions != collisions {
+		t.Fatalf("stats (%d,%d) vs recount (%d,%d)",
+			st.Deliveries, st.Collisions, deliveries, collisions)
+	}
+}

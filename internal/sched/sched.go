@@ -1,0 +1,283 @@
+// Package sched builds broadcast schedules inside MPX clusterings, playing
+// the role of the fast intra-cluster schedules of Ghaffari–Haeupler–
+// Khabbazian as used by Haeupler–Wajc and Czumaj–Davies (Algorithm 9 of the
+// paper and its surrounding machinery).
+//
+// From a clustering it derives the shifted-BFS forest (every non-center node
+// keeps one uphill parent) and assigns each node transmission slots such
+// that, when one tree layer transmits at a time, every parent→child
+// (downcast) and child→parent (upcast) delivery is collision-free under the
+// radio model — including collisions caused by *other* clusters' same-depth
+// nodes. Slot counts are O(1) on growth-bounded graphs, which is what makes
+// Corollary 9's O(D + polylog n) total time materialize in simulation.
+//
+// Per the documented substitution (DESIGN.md §2), the slot assignment is
+// computed centrally and its distributed construction cost is charged as
+// O(log² n) rounds per clustering by the callers.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mpx"
+)
+
+// Forest is the per-clustering shifted-BFS forest.
+type Forest struct {
+	// Parent[v] is v's uphill neighbor toward its cluster center
+	// (-1 for centers and unassigned nodes).
+	Parent []int32
+	// Depth[v] is the hop distance to the cluster center (-1 unassigned).
+	Depth []int
+	// Children[v] lists v's tree children.
+	Children [][]int32
+	// MaxDepth is the deepest layer present.
+	MaxDepth int
+}
+
+// BuildForest derives the forest from a clustering. For determinism the
+// lowest-indexed uphill neighbor is chosen as parent.
+func BuildForest(g *graph.Graph, a *mpx.Assignment) (*Forest, error) {
+	n := g.N()
+	if len(a.Center) != n {
+		return nil, fmt.Errorf("sched: assignment size %d vs graph %d", len(a.Center), n)
+	}
+	f := &Forest{
+		Parent:   make([]int32, n),
+		Depth:    make([]int, n),
+		Children: make([][]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		f.Parent[v] = -1
+		f.Depth[v] = a.Hops[v]
+		if f.Depth[v] > f.MaxDepth {
+			f.MaxDepth = f.Depth[v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		c := a.Center[v]
+		if c < 0 || v == c {
+			continue
+		}
+		parent := int32(-1)
+		for _, w := range g.Neighbors(v) {
+			if a.Center[w] == c && a.Hops[w] == a.Hops[v]-1 {
+				if parent == -1 || w < parent {
+					parent = w
+				}
+			}
+		}
+		if parent == -1 {
+			return nil, fmt.Errorf("sched: node %d has no uphill neighbor (invalid clustering)", v)
+		}
+		f.Parent[v] = parent
+		f.Children[parent] = append(f.Children[parent], int32(v))
+	}
+	return f, nil
+}
+
+// Schedule carries slot assignments for layered transmission.
+type Schedule struct {
+	// DownSlot[v] is v's slot when its layer transmits downward
+	// (to tree children); -1 if v has no children.
+	DownSlot []int
+	// UpSlot[v] is v's slot when its layer transmits upward (to its
+	// parent); -1 for centers.
+	UpSlot []int
+	// DownSlots and UpSlots are the slot counts (max over layers).
+	DownSlots int
+	// UpSlots is the upcast slot count.
+	UpSlots int
+	// DownSlotsAt[d] / UpSlotsAt[d] are the per-layer slot counts, so
+	// callers can charge sparse layers only what they need (0 for layers
+	// with no scheduled transmitter).
+	DownSlotsAt []int
+	// UpSlotsAt is the per-layer upcast slot count.
+	UpSlotsAt []int
+}
+
+// ComputeSchedule greedily colors each layer's transmitters so no scheduled
+// delivery collides:
+//
+//   - downcast: transmitter u (depth d) must be heard by every child w;
+//     u conflicts with any other depth-d node x adjacent to some child of u.
+//   - upcast: transmitter v (depth d) must be heard by Parent[v];
+//     v conflicts with any other depth-d node x adjacent to Parent[v].
+func ComputeSchedule(g *graph.Graph, f *Forest) *Schedule {
+	n := g.N()
+	s := &Schedule{
+		DownSlot:    make([]int, n),
+		UpSlot:      make([]int, n),
+		DownSlotsAt: make([]int, f.MaxDepth+1),
+		UpSlotsAt:   make([]int, f.MaxDepth+1),
+	}
+	for v := range s.DownSlot {
+		s.DownSlot[v] = -1
+		s.UpSlot[v] = -1
+	}
+	// Group nodes by depth.
+	layers := make([][]int32, f.MaxDepth+1)
+	for v := 0; v < n; v++ {
+		if d := f.Depth[v]; d >= 0 {
+			layers[d] = append(layers[d], int32(v))
+		}
+	}
+	layerOf := make([]int, n)
+	for v := range layerOf {
+		layerOf[v] = -2
+	}
+	for d, layer := range layers {
+		for _, v := range layer {
+			layerOf[v] = d
+		}
+	}
+
+	for d, layer := range layers {
+		// --- Downcast coloring for depth-d transmitters with children.
+		downConf := conflictLists(g, f, layer, layerOf, d, true)
+		s.DownSlotsAt[d] = greedyColor(layer, downConf, s.DownSlot, func(v int32) bool {
+			return len(f.Children[v]) > 0
+		})
+		s.DownSlots = maxInt(s.DownSlots, s.DownSlotsAt[d])
+		// --- Upcast coloring for depth-d transmitters with a parent.
+		if d == 0 {
+			continue
+		}
+		upConf := conflictLists(g, f, layer, layerOf, d, false)
+		s.UpSlotsAt[d] = greedyColor(layer, upConf, s.UpSlot, func(v int32) bool {
+			return f.Parent[v] >= 0
+		})
+		s.UpSlots = maxInt(s.UpSlots, s.UpSlotsAt[d])
+	}
+	if s.DownSlots == 0 {
+		s.DownSlots = 1
+	}
+	if s.UpSlots == 0 {
+		s.UpSlots = 1
+	}
+	return s
+}
+
+// conflictLists builds, for the given layer, each transmitter's conflict set
+// among same-layer transmitters. For downcast the protected listeners are
+// the transmitter's children; for upcast, its parent.
+func conflictLists(g *graph.Graph, f *Forest, layer []int32, layerOf []int, depth int, down bool) map[int32][]int32 {
+	conf := make(map[int32][]int32, len(layer))
+	add := func(a, b int32) {
+		if a == b {
+			return
+		}
+		conf[a] = append(conf[a], b)
+		conf[b] = append(conf[b], a)
+	}
+	for _, u := range layer {
+		var listeners []int32
+		if down {
+			listeners = f.Children[u]
+		} else if p := f.Parent[u]; p >= 0 {
+			listeners = []int32{p}
+		}
+		for _, w := range listeners {
+			for _, x := range g.Neighbors(int(w)) {
+				if x != u && layerOf[x] == depth {
+					// x transmitting in the same step would collide at w.
+					add(u, x)
+				}
+			}
+		}
+	}
+	return conf
+}
+
+// greedyColor assigns the lowest free color to each eligible vertex in index
+// order and returns the number of colors used.
+func greedyColor(layer []int32, conf map[int32][]int32, out []int, eligible func(int32) bool) int {
+	used := 0
+	for _, v := range layer {
+		if !eligible(v) {
+			continue
+		}
+		taken := map[int]bool{}
+		for _, u := range conf[v] {
+			if c := out[u]; c >= 0 {
+				taken[c] = true
+			}
+		}
+		c := 0
+		for taken[c] {
+			c++
+		}
+		out[v] = c
+		if c+1 > used {
+			used = c + 1
+		}
+	}
+	return used
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// VerifyDowncast checks the collision-freedom guarantee: for every depth d
+// and slot s, when exactly the depth-d nodes with DownSlot s transmit, every
+// child of every transmitter has exactly one transmitting neighbor.
+func VerifyDowncast(g *graph.Graph, f *Forest, s *Schedule) error {
+	return verify(g, f, s, true)
+}
+
+// VerifyUpcast is the upcast analogue: every scheduled parent hears its
+// child without collision.
+func VerifyUpcast(g *graph.Graph, f *Forest, s *Schedule) error {
+	return verify(g, f, s, false)
+}
+
+func verify(g *graph.Graph, f *Forest, s *Schedule, down bool) error {
+	n := g.N()
+	slotOf := s.DownSlot
+	if !down {
+		slotOf = s.UpSlot
+	}
+	for d := 0; d <= f.MaxDepth; d++ {
+		maxSlot := s.DownSlots
+		if !down {
+			maxSlot = s.UpSlots
+		}
+		for slot := 0; slot < maxSlot; slot++ {
+			transmitting := make([]bool, n)
+			for v := 0; v < n; v++ {
+				if f.Depth[v] == d && slotOf[v] == slot {
+					transmitting[v] = true
+				}
+			}
+			for v := 0; v < n; v++ {
+				if !transmitting[v] {
+					continue
+				}
+				var listeners []int32
+				if down {
+					listeners = f.Children[v]
+				} else if p := f.Parent[v]; p >= 0 {
+					listeners = []int32{p}
+				}
+				for _, w := range listeners {
+					count := 0
+					for _, x := range g.Neighbors(int(w)) {
+						if transmitting[x] {
+							count++
+						}
+					}
+					if count != 1 {
+						return fmt.Errorf("sched: listener %d of %d hears %d transmitters (depth %d slot %d down=%v)",
+							w, v, count, d, slot, down)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

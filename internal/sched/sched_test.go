@@ -1,0 +1,194 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpx"
+	"repro/internal/xrand"
+)
+
+func clusterAll(t *testing.T, g *graph.Graph, beta float64, seed uint64) *mpx.Assignment {
+	t.Helper()
+	rng := xrand.New(seed)
+	centers := make([]int, g.N())
+	for i := range centers {
+		centers[i] = i
+	}
+	a, err := mpx.Partition(g, centers, beta, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func clusterMIS(t *testing.T, g *graph.Graph, beta float64, seed uint64) *mpx.Assignment {
+	t.Helper()
+	rng := xrand.New(seed)
+	a, err := mpx.Partition(g, g.GreedyMIS(nil), beta, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBuildForestStructure(t *testing.T) {
+	g := gen.Grid(6, 6)
+	a := clusterMIS(t, g, 0.3, 1)
+	f, err := BuildForest(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		switch {
+		case a.Center[v] == v:
+			if f.Parent[v] != -1 || f.Depth[v] != 0 {
+				t.Fatalf("center %d: parent %d depth %d", v, f.Parent[v], f.Depth[v])
+			}
+		case a.Center[v] >= 0:
+			p := f.Parent[v]
+			if p < 0 {
+				t.Fatalf("node %d has no parent", v)
+			}
+			if f.Depth[int(p)] != f.Depth[v]-1 {
+				t.Fatalf("node %d depth %d but parent depth %d", v, f.Depth[v], f.Depth[int(p)])
+			}
+			if a.Center[int(p)] != a.Center[v] {
+				t.Fatalf("node %d parent in different cluster", v)
+			}
+			if !g.HasEdge(v, int(p)) {
+				t.Fatalf("parent edge {%d,%d} missing", v, p)
+			}
+		}
+	}
+}
+
+func TestBuildForestChildrenConsistent(t *testing.T) {
+	g := gen.Cycle(24)
+	a := clusterMIS(t, g, 0.4, 2)
+	f, err := BuildForest(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childCount := 0
+	for v, kids := range f.Children {
+		for _, c := range kids {
+			if int(f.Parent[c]) != v {
+				t.Fatalf("child %d of %d has parent %d", c, v, f.Parent[c])
+			}
+			childCount++
+		}
+	}
+	// Every non-center node appears exactly once as a child.
+	nonCenters := 0
+	for v := range f.Parent {
+		if f.Parent[v] >= 0 {
+			nonCenters++
+		}
+	}
+	if childCount != nonCenters {
+		t.Fatalf("children %d vs non-centers %d", childCount, nonCenters)
+	}
+}
+
+func TestBuildForestSizeMismatch(t *testing.T) {
+	g := gen.Path(4)
+	a := &mpx.Assignment{Center: []int{0, 0}, Hops: []int{0, 1}}
+	if _, err := BuildForest(g, a); err == nil {
+		t.Fatal("want size-mismatch error")
+	}
+}
+
+func TestScheduleCollisionFree(t *testing.T) {
+	rng := xrand.New(3)
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", gen.Grid(8, 8)},
+		{"cycle", gen.Cycle(50)},
+		{"gnp", gen.GNP(80, 0.07, rng)},
+		{"clique", gen.Clique(24)},
+		{"star", gen.Star(30)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, misCenters := range []bool{true, false} {
+				var a *mpx.Assignment
+				if misCenters {
+					a = clusterMIS(t, tc.g, 0.25, 4)
+				} else {
+					a = clusterAll(t, tc.g, 0.25, 5)
+				}
+				f, err := BuildForest(tc.g, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := ComputeSchedule(tc.g, f)
+				if err := VerifyDowncast(tc.g, f, s); err != nil {
+					t.Fatalf("downcast (mis=%v): %v", misCenters, err)
+				}
+				if err := VerifyUpcast(tc.g, f, s); err != nil {
+					t.Fatalf("upcast (mis=%v): %v", misCenters, err)
+				}
+			}
+		})
+	}
+}
+
+func TestScheduleSlotCountsSmallOnGrid(t *testing.T) {
+	// Growth-bounded graphs should need O(1) slots — this is the engine of
+	// Corollary 9's O(D + polylog) bound.
+	g := gen.Grid(12, 12)
+	a := clusterMIS(t, g, 0.3, 6)
+	f, err := BuildForest(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeSchedule(g, f)
+	if s.DownSlots > 12 || s.UpSlots > 12 {
+		t.Fatalf("grid slots too large: down=%d up=%d", s.DownSlots, s.UpSlots)
+	}
+}
+
+func TestScheduleUDGSlotsBounded(t *testing.T) {
+	rng := xrand.New(7)
+	g, _, err := gen.ConnectedUDG(150, 8, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := clusterMIS(t, g, 0.3, 8)
+	f, err := BuildForest(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeSchedule(g, f)
+	if err := VerifyDowncast(g, f, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyUpcast(g, f, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.DownSlots > 30 || s.UpSlots > 30 {
+		t.Fatalf("UDG slots suspiciously large: down=%d up=%d", s.DownSlots, s.UpSlots)
+	}
+}
+
+func TestSingletonClustersTrivialSchedule(t *testing.T) {
+	// Huge beta → tiny clusters → everyone is (almost) a center; slots
+	// default to 1 and verification is vacuous but must pass.
+	g := gen.Path(20)
+	a := clusterAll(t, g, 100, 9)
+	f, err := BuildForest(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeSchedule(g, f)
+	if s.DownSlots < 1 || s.UpSlots < 1 {
+		t.Fatalf("slot counts must be ≥ 1: %+v", s)
+	}
+	if err := VerifyDowncast(g, f, s); err != nil {
+		t.Fatal(err)
+	}
+}

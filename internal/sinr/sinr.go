@@ -1,0 +1,236 @@
+// Package sinr implements the signal-to-interference-plus-noise-ratio
+// reception model that footnote 1 of the paper identifies as the
+// geometric-side alternative to the graph abstraction: a listener decodes a
+// transmitter's signal iff the received power divided by (noise + summed
+// interference from all other transmitters) clears a threshold.
+//
+// The package runs the *same* radio.Protocol state machines as the graph
+// engine, so any protocol in this repository (Decay, Radio MIS, baselines)
+// can be executed under SINR physics unchanged — which is exactly how the
+// cross-model experiment E13 validates the paper's remark that the graph
+// model is "in some sense worst-case".
+package sinr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+// Params are the standard SINR physical-layer parameters.
+type Params struct {
+	// Power is the uniform transmission power P. Default 1.
+	Power float64
+	// PathLoss is the path-loss exponent (typically 2–6). Default 4 —
+	// path-loss exponents >2 model near-ground propagation.
+	PathLoss float64
+	// Noise is the ambient noise floor N ≥ 0. Default chosen so that the
+	// decode range at zero interference is exactly 1 (the unit disk): with
+	// P=1 and threshold β, N = 1/β at distance 1.
+	Noise float64
+	// Beta is the SINR decode threshold β > 0. Default 2.
+	Beta float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Power <= 0 {
+		p.Power = 1
+	}
+	if p.PathLoss <= 0 {
+		p.PathLoss = 4
+	}
+	if p.Beta <= 0 {
+		p.Beta = 2
+	}
+	if p.Noise <= 0 {
+		// Decode range 1 at zero interference: P·1^-α / N = β.
+		p.Noise = p.Power / p.Beta
+	}
+	return p
+}
+
+// DecodeRange returns the maximum distance at which a lone transmitter is
+// decodable: P·d^-α / N ≥ β ⇔ d ≤ (P/(N·β))^(1/α).
+func (p Params) DecodeRange() float64 {
+	p = p.withDefaults()
+	return math.Pow(p.Power/(p.Noise*p.Beta), 1/p.PathLoss)
+}
+
+// Options mirrors radio.Options for the SINR engine.
+type Options struct {
+	// MaxSteps bounds the run; required.
+	MaxSteps int
+	// Seed seeds per-node RNGs (split as in the graph engine).
+	Seed uint64
+	// N, D, Alpha estimates passed to nodes; zero values default to
+	// len(points), a hop estimate over the decode-range graph, and N.
+	N, D, Alpha int
+	// OnStep observes per-step statistics.
+	OnStep func(radio.StepStats)
+}
+
+// Result matches radio.Result.
+type Result = radio.Result
+
+// Run executes the protocol over points under SINR reception. In each step,
+// a listening node v decodes the transmission of u iff
+//
+//	P·d(u,v)^-α / (Noise + Σ_{w transmitting, w≠u} P·d(w,v)^-α) ≥ Beta.
+//
+// At most one transmitter can clear the threshold for β ≥ 1, so delivery is
+// unambiguous. Transmitters hear nothing (half-duplex, as in the graph
+// model).
+func Run(points []gen.Point, factory radio.Factory, params Params, opts Options) (Result, error) {
+	params = params.withDefaults()
+	n := len(points)
+	if n == 0 {
+		return Result{}, fmt.Errorf("sinr: no points")
+	}
+	if opts.MaxSteps <= 0 {
+		return Result{}, fmt.Errorf("sinr: MaxSteps must be positive, got %d", opts.MaxSteps)
+	}
+	if params.Beta < 1 {
+		return Result{}, fmt.Errorf("sinr: Beta must be ≥ 1 for unambiguous decoding, got %v", params.Beta)
+	}
+	estN, estD, estAlpha := opts.N, opts.D, opts.Alpha
+	if estN <= 0 {
+		estN = n
+	}
+	if estD <= 0 {
+		estD = hopEstimate(points, params)
+	}
+	if estAlpha <= 0 {
+		estAlpha = estN
+	}
+	root := xrand.New(opts.Seed)
+	nodes := make([]radio.Protocol, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = factory(radio.NodeInfo{
+			Index: v,
+			N:     estN,
+			D:     estD,
+			Alpha: estAlpha,
+			RNG:   root.Split(uint64(v)),
+		})
+		if nodes[v] == nil {
+			return Result{}, fmt.Errorf("sinr: factory returned nil protocol for node %d", v)
+		}
+	}
+
+	var res Result
+	transmitting := make([]bool, n)
+	payload := make([]radio.Message, n)
+	live := make([]bool, n)
+	var txIdx []int
+	for step := 0; step < opts.MaxSteps; step++ {
+		anyLive := false
+		for v := 0; v < n; v++ {
+			live[v] = !nodes[v].Done()
+			anyLive = anyLive || live[v]
+		}
+		if !anyLive {
+			res.AllDone = true
+			break
+		}
+		st := radio.StepStats{Step: step}
+		txIdx = txIdx[:0]
+		for v := 0; v < n; v++ {
+			transmitting[v] = false
+			payload[v] = nil
+			if !live[v] {
+				continue
+			}
+			a := nodes[v].Act(step)
+			if a.Transmit {
+				transmitting[v] = true
+				payload[v] = a.Msg
+				txIdx = append(txIdx, v)
+				st.Transmits++
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !live[v] {
+				continue
+			}
+			var msg radio.Message
+			if !transmitting[v] {
+				if u, ok := decode(points, txIdx, v, params); ok {
+					msg = payload[u]
+					st.Deliveries++
+				} else if len(txIdx) > 1 {
+					st.Collisions++
+				}
+			}
+			// Act-then-Deliver per step, matching the graph engine.
+			nodes[v].Deliver(step, msg)
+		}
+		res.Steps = step + 1
+		res.Transmissions += int64(st.Transmits)
+		res.Deliveries += int64(st.Deliveries)
+		res.Collisions += int64(st.Collisions)
+		if opts.OnStep != nil {
+			opts.OnStep(st)
+		}
+	}
+	if !res.AllDone {
+		allDone := true
+		for _, p := range nodes {
+			if !p.Done() {
+				allDone = false
+				break
+			}
+		}
+		res.AllDone = allDone
+	}
+	return res, nil
+}
+
+// decode returns the index of the unique transmitter v can decode, if any.
+func decode(points []gen.Point, txIdx []int, v int, p Params) (int, bool) {
+	if len(txIdx) == 0 {
+		return 0, false
+	}
+	// Received powers from all transmitters.
+	var total float64
+	best, bestPow := -1, 0.0
+	for _, u := range txIdx {
+		d := points[u].Dist(points[v])
+		if d == 0 {
+			d = 1e-9 // co-located points: effectively infinite power
+		}
+		pow := p.Power * math.Pow(d, -p.PathLoss)
+		total += pow
+		if pow > bestPow {
+			best, bestPow = u, pow
+		}
+	}
+	// Only the strongest signal can possibly clear β ≥ 1.
+	interference := total - bestPow
+	if bestPow/(p.Noise+interference) >= p.Beta {
+		return best, true
+	}
+	return 0, false
+}
+
+// ConnectivityGraph returns the zero-interference reachability graph: the
+// unit disk graph at the decode range. This is the graph-model counterpart
+// the paper's abstraction uses, and the reference against which E13 checks
+// protocol outputs produced under SINR physics.
+func ConnectivityGraph(points []gen.Point, params Params) *graph.Graph {
+	return gen.UDG(points, params.withDefaults().DecodeRange())
+}
+
+// hopEstimate estimates the diameter of the decode-range graph (n when
+// disconnected).
+func hopEstimate(points []gen.Point, params Params) int {
+	g := ConnectivityGraph(points, params)
+	d, err := g.DiameterApprox()
+	if err != nil || d < 1 {
+		return len(points)
+	}
+	return d
+}

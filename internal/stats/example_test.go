@@ -1,0 +1,38 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+func ExampleMean() {
+	fmt.Println(stats.Mean([]float64{1, 2, 3, 4}))
+	// Output: 2.5
+}
+
+func ExampleQuantile() {
+	xs := []float64{10, 20, 30, 40, 50}
+	fmt.Println(stats.Quantile(xs, 0.5), stats.Quantile(xs, 1))
+	// Output: 30 50
+}
+
+func ExampleLinearFit() {
+	// y = 3x − 1, exactly.
+	fit, err := stats.LinearFit([]float64{0, 1, 2, 3}, []float64{-1, 2, 5, 8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("slope=%.0f intercept=%.0f r2=%.0f\n", fit.Slope, fit.Intercept, fit.R2)
+	// Output: slope=3 intercept=-1 r2=1
+}
+
+func ExampleTable_Markdown() {
+	tb := &stats.Table{Header: []string{"n", "steps"}}
+	tb.AddRowf(16, 120)
+	fmt.Print(tb.Markdown())
+	// Output:
+	// | n  | steps |
+	// |----|-------|
+	// | 16 | 120   |
+}

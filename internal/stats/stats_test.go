@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2.138089935) > 1e-6 {
+		t.Fatalf("stddev %v", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("empty-input defaults")
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Median(xs); m != 2.5 {
+		t.Fatalf("median %v", m)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 %v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("q1 %v", q)
+	}
+	if q := Quantile(xs, 0.25); math.Abs(q-1.75) > 1e-12 {
+		t.Fatalf("q.25 %v", q)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+	// Quantile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("min/max wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty defaults")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	f, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Fatalf("fit %+v", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Fatalf("R² %v", f.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("want too-few error")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("want mismatch error")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("want degenerate error")
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := xrand.New(1)
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		xi := float64(i)
+		x = append(x, xi)
+		y = append(y, 3*xi-7+rng.Normal())
+	}
+	f, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-3) > 0.01 || math.Abs(f.Intercept+7) > 1 {
+		t.Fatalf("fit %+v", f)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("R² %v", f.R2)
+	}
+}
+
+func TestPowerLawExponent(t *testing.T) {
+	var x, y []float64
+	for i := 1; i <= 50; i++ {
+		x = append(x, float64(i))
+		y = append(y, 2.5*math.Pow(float64(i), 1.7))
+	}
+	e, err := PowerLawExponent(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-1.7) > 1e-9 {
+		t.Fatalf("exponent %v", e)
+	}
+	// Non-positive values skipped.
+	e2, err := PowerLawExponent([]float64{0, 1, 2, 4}, []float64{5, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e2-1) > 1e-9 {
+		t.Fatalf("exponent with skips %v", e2)
+	}
+	if _, err := PowerLawExponent([]float64{0}, []float64{1}); err == nil {
+		t.Fatal("want error with <2 usable points")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := xrand.New(2)
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 10 + rng.Normal()
+	}
+	lo, hi := BootstrapCI(xs, 0.95, 500, rng)
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v,%v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("CI [%v,%v] misses true mean 10", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Fatalf("CI [%v,%v] too wide", lo, hi)
+	}
+	l0, h0 := BootstrapCI(nil, 0.95, 100, rng)
+	if l0 != 0 || h0 != 0 {
+		t.Fatal("empty CI defaults")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := xrand.New(seed)
+		n := int(nRaw%30) + 2
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableMarkdownAndTSV(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"n", "steps"}}
+	tb.AddRow("16", "120")
+	tb.AddRowf(32, 3.14159)
+	md := tb.Markdown()
+	if !strings.Contains(md, "### demo") || !strings.Contains(md, "| n ") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+	if !strings.Contains(md, "3.142") {
+		t.Fatalf("float formatting missing:\n%s", md)
+	}
+	tsv := tb.TSV()
+	if !strings.HasPrefix(tsv, "n\tsteps\n16\t120\n") {
+		t.Fatalf("tsv:\n%s", tsv)
+	}
+}
