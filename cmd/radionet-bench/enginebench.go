@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+// This file implements the -engine-bench mode: it runs the simulator-engine
+// micro-benchmarks through testing.Benchmark and writes a machine-readable
+// BENCH_engine.json so the perf trajectory is tracked across PRs. The
+// seed-baseline block records the same workloads measured on the seed's
+// engines (dense-scan delivery, goroutine-per-node concurrency) for
+// comparison.
+
+// EngineBenchResult is one benchmark row of BENCH_engine.json.
+type EngineBenchResult struct {
+	Name            string  `json:"name"`
+	Nodes           int     `json:"nodes"`
+	StepsPerOp      int     `json:"steps_per_op"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	NodeStepsPerSec float64 `json:"node_steps_per_sec"`
+}
+
+// EngineBenchReport is the BENCH_engine.json document.
+type EngineBenchReport struct {
+	GeneratedBy  string              `json:"generated_by"`
+	GoVersion    string              `json:"go_version"`
+	GoMaxProcs   int                 `json:"gomaxprocs"`
+	Benchmarks   []EngineBenchResult `json:"benchmarks"`
+	SeedBaseline []EngineBenchResult `json:"seed_baseline"`
+	BaselineNote string              `json:"baseline_note"`
+}
+
+// benchPayload is boxed once so protocols don't allocate per transmission.
+var benchPayload radio.Message = int64(7)
+
+// benchNode transmits a coin flip per step; dead nodes retire at step 0.
+type benchNode struct {
+	rng    *xrand.RNG
+	step   int
+	budget int
+	dead   bool
+}
+
+func (c *benchNode) Act(step int) radio.Action {
+	if c.rng.Bernoulli(0.5) {
+		return radio.Transmit(benchPayload)
+	}
+	return radio.Listen()
+}
+func (c *benchNode) Deliver(step int, msg radio.Message) { c.step = step + 1 }
+func (c *benchNode) Done() bool                          { return c.dead || c.step >= c.budget }
+
+// benchSequentialSteps measures one engine step per op on an rows×cols grid
+// where the first liveCount nodes stay live (0 = all).
+func benchSequentialSteps(rows, cols, liveCount int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := gen.Grid(rows, cols)
+		g.Freeze()
+		factory := func(info radio.NodeInfo) radio.Protocol {
+			dead := liveCount > 0 && info.Index >= liveCount
+			return &benchNode{rng: info.RNG, budget: b.N, dead: dead}
+		}
+		b.ResetTimer()
+		if _, err := radio.Run(g, factory, radio.Options{MaxSteps: b.N, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPoolRun measures one 64-step worker-pool run per op, engine
+// construction included.
+func benchPoolRun(rows, cols int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := gen.Grid(rows, cols)
+		g.Freeze()
+		for i := 0; i < b.N; i++ {
+			factory := func(info radio.NodeInfo) radio.Protocol {
+				return &benchNode{rng: info.RNG, budget: 64}
+			}
+			if _, err := radio.Run(g, factory, radio.Options{MaxSteps: 64, Seed: 1, Concurrent: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// engineBenchSpecs defines the tracked engine micro-benches.
+var engineBenchSpecs = []struct {
+	name       string
+	nodes      int
+	stepsPerOp int
+	fn         func(b *testing.B)
+}{
+	{"seq_dense_n1024", 1024, 1, benchSequentialSteps(32, 32, 0)},
+	{"seq_sparse_n4096_live64", 4096, 1, benchSequentialSteps(64, 64, 64)},
+	{"pool_n256_64steps", 256, 64, benchPoolRun(16, 16)},
+	{"pool_n1024_64steps", 1024, 64, benchPoolRun(32, 32)},
+}
+
+// seedBaseline is the same workload set measured at PR 1 on the seed's
+// engines (per-step dense-scan delivery with fresh counts/from allocations,
+// and the goroutine-per-node concurrent engine), on the hardware that
+// produced the first committed BENCH_engine.json.
+var seedBaseline = []EngineBenchResult{
+	{Name: "seq_dense_n1024", Nodes: 1024, StepsPerOp: 1, NsPerOp: 43366, AllocsPerOp: 2, BytesPerOp: 5122, NodeStepsPerSec: 1024 / 43366e-9},
+	{Name: "seq_sparse_n4096_live64", Nodes: 4096, StepsPerOp: 1, NsPerOp: 34653, AllocsPerOp: 2, BytesPerOp: 20487, NodeStepsPerSec: 4096 / 34653e-9},
+	{Name: "pool_n256_64steps", Nodes: 256, StepsPerOp: 64, NsPerOp: 14017021, AllocsPerOp: 1721, BytesPerOp: 237355, NodeStepsPerSec: 256 * 64 / 14017021e-9},
+	{Name: "pool_n1024_64steps", Nodes: 1024, StepsPerOp: 64, NsPerOp: 76403940, AllocsPerOp: 7958, BytesPerOp: 1094148, NodeStepsPerSec: 1024 * 64 / 76403940e-9},
+}
+
+// runEngineBench executes the engine micro-benches and writes the JSON
+// report to out.
+func runEngineBench(out io.Writer) error {
+	report := EngineBenchReport{
+		GeneratedBy:  "radionet-bench -engine-bench",
+		GoVersion:    runtime.Version(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		SeedBaseline: seedBaseline,
+		BaselineNote: "seed engines (dense-scan delivery, goroutine-per-node concurrency) measured at PR 1 on the hardware of the first committed report",
+	}
+	for _, spec := range engineBenchSpecs {
+		r := testing.Benchmark(spec.fn)
+		if r.N == 0 {
+			return fmt.Errorf("engine bench %s did not run", spec.name)
+		}
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		report.Benchmarks = append(report.Benchmarks, EngineBenchResult{
+			Name:            spec.name,
+			Nodes:           spec.nodes,
+			StepsPerOp:      spec.stepsPerOp,
+			NsPerOp:         ns,
+			AllocsPerOp:     r.AllocsPerOp(),
+			BytesPerOp:      r.AllocedBytesPerOp(),
+			NodeStepsPerSec: float64(spec.nodes*spec.stepsPerOp) / (ns * 1e-9),
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

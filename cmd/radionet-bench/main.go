@@ -4,9 +4,13 @@
 // Usage:
 //
 //	radionet-bench [-scale quick|full] [-seed N] [-run E5,E7] [-list]
+//	radionet-bench -engine-bench BENCH_engine.json
 //
 // With no -run flag every experiment runs in order. Output is
-// GitHub-flavored Markdown on stdout.
+// GitHub-flavored Markdown on stdout. With -engine-bench, the simulator
+// engine micro-benchmarks run instead and a machine-readable JSON report
+// (ns/op, allocs/op, node-steps/s) is written to the given file so the
+// perf trajectory is tracked across PRs.
 package main
 
 import (
@@ -32,8 +36,24 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	runList := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := fs.Bool("list", false, "list experiments and exit")
+	engineBench := fs.String("engine-bench", "", "run engine micro-benches and write the JSON report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *engineBench != "" {
+		f, err := os.Create(*engineBench)
+		if err != nil {
+			return err
+		}
+		if err := runEngineBench(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "engine benchmarks written to %s\n", *engineBench)
+		return nil
 	}
 	if *list {
 		for _, e := range exp.Registry() {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -37,6 +40,47 @@ func TestRunMultipleExperiments(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "E3") || !strings.Contains(out, "E4") {
 		t.Fatalf("missing experiment sections:\n%s", out)
+	}
+}
+
+func TestEngineBenchReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine benches take several seconds")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-engine-bench", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report EngineBenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(report.Benchmarks) != len(engineBenchSpecs) {
+		t.Fatalf("got %d benchmark rows, want %d", len(report.Benchmarks), len(engineBenchSpecs))
+	}
+	byName := map[string]EngineBenchResult{}
+	for _, r := range report.Benchmarks {
+		if r.NsPerOp <= 0 || r.NodeStepsPerSec <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		byName[r.Name] = r
+	}
+	// The tracked engine invariant: the sequential step loop is
+	// allocation-free.
+	for _, name := range []string{"seq_dense_n1024", "seq_sparse_n4096_live64"} {
+		if r, ok := byName[name]; !ok {
+			t.Fatalf("missing bench %s", name)
+		} else if r.AllocsPerOp != 0 {
+			t.Fatalf("%s allocates %d/op; the sequential step loop must be zero-alloc", name, r.AllocsPerOp)
+		}
+	}
+	if len(report.SeedBaseline) == 0 {
+		t.Fatal("seed baseline missing")
 	}
 }
 

@@ -44,78 +44,81 @@ func (p Point) DistLInf(q Point) float64 {
 
 // Path returns the path graph P_n (diameter n-1, α = ⌈n/2⌉).
 func Path(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for i := 0; i+1 < n; i++ {
-		g.AddEdge(i, i+1)
+		b.Add(i, i+1)
 	}
-	return g
+	return b.Build()
 }
 
 // Cycle returns the cycle C_n.
 func Cycle(n int) *graph.Graph {
-	g := Path(n)
-	if n > 2 {
-		g.AddEdge(0, n-1)
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.Add(i, i+1)
 	}
-	return g
+	if n > 2 {
+		b.Add(0, n-1)
+	}
+	return b.Build()
 }
 
 // Clique returns the complete graph K_n (D = 1, α = 1) — the single-hop
 // network used in the MIS lower-bound reduction.
 func Clique(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			g.AddEdge(i, j)
+			b.Add(i, j)
 		}
 	}
-	return g
+	return b.Build()
 }
 
 // Star returns K_{1,n-1} with center 0.
 func Star(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for v := 1; v < n; v++ {
-		g.AddEdge(0, v)
+		b.Add(0, v)
 	}
-	return g
+	return b.Build()
 }
 
 // Grid returns the rows×cols grid graph — growth-bounded with α(B_d)=Θ(d²).
 func Grid(rows, cols int) *graph.Graph {
-	g := graph.New(rows * cols)
+	b := graph.NewBuilder(rows * cols)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				g.AddEdge(id(r, c), id(r, c+1))
+				b.Add(id(r, c), id(r, c+1))
 			}
 			if r+1 < rows {
-				g.AddEdge(id(r, c), id(r+1, c))
+				b.Add(id(r, c), id(r+1, c))
 			}
 		}
 	}
-	return g
+	return b.Build()
 }
 
 // RandomTree returns a uniform random recursive tree on n vertices.
 func RandomTree(n int, rng *xrand.RNG) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for v := 1; v < n; v++ {
-		g.AddEdge(v, rng.Intn(v))
+		b.Add(v, rng.Intn(v))
 	}
-	return g
+	return b.Build()
 }
 
 // GNP returns an Erdős–Rényi G(n,p) random graph.
 func GNP(n int, p float64, rng *xrand.RNG) *graph.Graph {
-	g := graph.New(n)
 	if p >= 1 {
 		return Clique(n)
 	}
 	if p <= 0 {
-		return g
+		return graph.New(n)
 	}
+	b := graph.NewBuilder(n)
 	// Skip-sampling: jump geometric gaps between present edges.
 	v, w := 1, -1
 	for v < n {
@@ -125,10 +128,10 @@ func GNP(n int, p float64, rng *xrand.RNG) *graph.Graph {
 			v++
 		}
 		if v < n {
-			g.AddEdge(v, w)
+			b.Add(v, w)
 		}
 	}
-	return g
+	return b.Build()
 }
 
 // GNPConnected retries G(n,p) until connected (at most tries attempts).
@@ -167,15 +170,15 @@ func UnitBallLInf(pts []Point, radius float64) *graph.Graph {
 }
 
 func thresholdGraph(pts []Point, radius float64, dist func(Point, Point) float64) *graph.Graph {
-	g := graph.New(len(pts))
+	b := graph.NewBuilder(len(pts))
 	for i := range pts {
 		for j := i + 1; j < len(pts); j++ {
 			if dist(pts[i], pts[j]) <= radius {
-				g.AddEdge(i, j)
+				b.Add(i, j)
 			}
 		}
 	}
-	return g
+	return b.Build()
 }
 
 // QuasiUDG builds a quasi unit disk graph (§1.3): pairs closer than r are
@@ -185,19 +188,19 @@ func QuasiUDG(pts []Point, r, bigR, pMid float64, rng *xrand.RNG) (*graph.Graph,
 	if bigR < r {
 		return nil, fmt.Errorf("gen: quasi-UDG needs R >= r, got r=%v R=%v", r, bigR)
 	}
-	g := graph.New(len(pts))
+	b := graph.NewBuilder(len(pts))
 	for i := range pts {
 		for j := i + 1; j < len(pts); j++ {
 			d := pts[i].Dist(pts[j])
 			switch {
 			case d < r:
-				g.AddEdge(i, j)
+				b.Add(i, j)
 			case d <= bigR && rng.Bernoulli(pMid):
-				g.AddEdge(i, j)
+				b.Add(i, j)
 			}
 		}
 	}
-	return g, nil
+	return b.Build(), nil
 }
 
 // GeometricRadioNetwork builds the undirected subclass of geometric radio
@@ -214,16 +217,16 @@ func GeometricRadioNetwork(pts []Point, minRange, maxRange float64, rng *xrand.R
 	for i := range ranges {
 		ranges[i] = minRange + rng.Float64()*(maxRange-minRange)
 	}
-	g := graph.New(len(pts))
+	b := graph.NewBuilder(len(pts))
 	for i := range pts {
 		for j := i + 1; j < len(pts); j++ {
 			d := pts[i].Dist(pts[j])
 			if d <= ranges[i] && d <= ranges[j] { // mutual reachability only
-				g.AddEdge(i, j)
+				b.Add(i, j)
 			}
 		}
 	}
-	return g, ranges, nil
+	return b.Build(), ranges, nil
 }
 
 // ConnectedUDG generates points until the UDG is connected, scaling the
@@ -247,36 +250,36 @@ func ConnectedUDG(n int, degTarget float64, tries int, rng *xrand.RNG) (*graph.G
 // polynomial in D, used to show the α-parametrization helps beyond
 // geometric classes.
 func CliqueChain(k, s int) *graph.Graph {
-	g := graph.New(k * s)
+	b := graph.NewBuilder(k * s)
 	for c := 0; c < k; c++ {
 		base := c * s
 		for i := 0; i < s; i++ {
 			for j := i + 1; j < s; j++ {
-				g.AddEdge(base+i, base+j)
+				b.Add(base+i, base+j)
 			}
 		}
 		if c+1 < k {
-			g.AddEdge(base+s-1, base+s) // bridge to next clique
+			b.Add(base+s-1, base+s) // bridge to next clique
 		}
 	}
-	return g
+	return b.Build()
 }
 
 // Lollipop returns a clique of size s with a path of length tail attached:
 // small α with large D concentrated in the tail.
 func Lollipop(s, tail int) *graph.Graph {
-	g := graph.New(s + tail)
+	b := graph.NewBuilder(s + tail)
 	for i := 0; i < s; i++ {
 		for j := i + 1; j < s; j++ {
-			g.AddEdge(i, j)
+			b.Add(i, j)
 		}
 	}
 	prev := s - 1
 	for t := 0; t < tail; t++ {
-		g.AddEdge(prev, s+t)
+		b.Add(prev, s+t)
 		prev = s + t
 	}
-	return g
+	return b.Build()
 }
 
 // Hypercube returns the d-dimensional hypercube graph Q_d on 2^d vertices
@@ -284,16 +287,16 @@ func Lollipop(s, tail int) *graph.Graph {
 // exponential in D, the opposite regime from growth-bounded classes.
 func Hypercube(d int) *graph.Graph {
 	n := 1 << uint(d)
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for v := 0; v < n; v++ {
-		for b := 0; b < d; b++ {
-			w := v ^ (1 << uint(b))
+		for bit := 0; bit < d; bit++ {
+			w := v ^ (1 << uint(bit))
 			if w > v {
-				g.AddEdge(v, w)
+				b.Add(v, w)
 			}
 		}
 	}
-	return g
+	return b.Build()
 }
 
 // RandomRegular returns a random d-regular multigraph-free graph on n
@@ -346,7 +349,7 @@ func DoublingTreeBallGraph(b, depth int, radius int) *graph.Graph {
 	for i := 0; i < depth; i++ {
 		n *= b
 	}
-	g := graph.New(n)
+	bld := graph.NewBuilder(n)
 	digits := func(x int) []int {
 		ds := make([]int, depth)
 		for i := depth - 1; i >= 0; i-- {
@@ -366,9 +369,9 @@ func DoublingTreeBallGraph(b, depth int, radius int) *graph.Graph {
 				common++
 			}
 			if 2*(depth-common) <= radius {
-				g.AddEdge(u, v)
+				bld.Add(u, v)
 			}
 		}
 	}
-	return g
+	return bld.Build()
 }

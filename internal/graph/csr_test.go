@@ -1,0 +1,240 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// randomEdgeStream draws a stream of (u,v) pairs including self-loops,
+// duplicates (in both orientations), and out-of-range endpoints, so Builder
+// and AddEdge are exercised on exactly the inputs they promise to clean up.
+func randomEdgeStream(rng *xrand.RNG, n, m int) (us, vs []int) {
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n+2) - 1 // -1 .. n, out of range on both sides
+		v := rng.Intn(n+2) - 1
+		if rng.Bernoulli(0.3) && len(us) > 0 {
+			j := rng.Intn(len(us)) // replay an earlier pair, maybe reversed
+			u, v = us[j], vs[j]
+			if rng.Bernoulli(0.5) {
+				u, v = v, u
+			}
+		}
+		us = append(us, u)
+		vs = append(vs, v)
+	}
+	return us, vs
+}
+
+// TestBuilderMatchesAddEdge checks that Build produces adjacency lists
+// identical — including neighbor order — to replaying the same stream
+// through AddEdge, for streams full of duplicates and junk.
+func TestBuilderMatchesAddEdge(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		rng := xrand.New(seed)
+		n := int(nRaw%40) + 1
+		m := int(mRaw)
+		us, vs := randomEdgeStream(rng, n, m)
+
+		ref := New(n)
+		b := NewBuilder(n)
+		for i := range us {
+			ref.AddEdge(us[i], vs[i])
+			b.Add(us[i], vs[i])
+		}
+		got := b.Build()
+
+		if got.N() != ref.N() || got.M() != ref.M() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			rn, gn := ref.Neighbors(v), got.Neighbors(v)
+			if len(rn) != len(gn) {
+				return false
+			}
+			for i := range rn {
+				if rn[i] != gn[i] {
+					return false
+				}
+			}
+		}
+		return got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFreezeMatchesAdjacency checks the CSR view against the adjacency
+// lists on random graphs.
+func TestFreezeMatchesAdjacency(t *testing.T) {
+	rng := xrand.New(11)
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(50) + 1
+		g := New(n)
+		for e := 0; e < 3*n; e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		c := g.Freeze()
+		if c.N() != g.N() || c.M() != g.M() {
+			t.Fatalf("trial %d: CSR n=%d m=%d vs graph n=%d m=%d", trial, c.N(), c.M(), g.N(), g.M())
+		}
+		for v := 0; v < n; v++ {
+			if c.Degree(v) != g.Degree(v) {
+				t.Fatalf("trial %d: degree mismatch at %d", trial, v)
+			}
+			cn, gn := c.Neighbors(v), g.Neighbors(v)
+			for i := range gn {
+				if cn[i] != gn[i] {
+					t.Fatalf("trial %d: neighbor list mismatch at %d", trial, v)
+				}
+			}
+		}
+		if g.Freeze() != c {
+			t.Fatal("Freeze on a quiescent graph must return the cached view")
+		}
+	}
+}
+
+// TestFreezeInvalidation checks that mutation drops the cached snapshot.
+func TestFreezeInvalidation(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	c1 := g.Freeze()
+	if c1.M() != 1 {
+		t.Fatalf("m=%d", c1.M())
+	}
+	g.AddEdge(2, 3)
+	c2 := g.Freeze()
+	if c2 == c1 {
+		t.Fatal("AddEdge must invalidate the cached CSR")
+	}
+	if c2.M() != 2 || c2.Degree(2) != 1 {
+		t.Fatalf("stale CSR after mutation: m=%d", c2.M())
+	}
+	g.SortAdjacency()
+	if g.Freeze() == c2 {
+		t.Fatal("SortAdjacency must invalidate the cached CSR")
+	}
+}
+
+// TestBuilderGraphMutable checks that a Builder-built graph (whose lists are
+// carved from the shared flat array) still supports AddEdge without
+// corrupting sibling lists.
+func TestBuilderGraphMutable(t *testing.T) {
+	b := NewBuilder(4)
+	b.Add(0, 1)
+	b.Add(1, 2)
+	b.Add(2, 3)
+	g := b.Build()
+	g.AddEdge(0, 2) // appends into the carved list for 0 and 2
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(1, 2) || g.M() != 4 {
+		t.Fatalf("unexpected graph after post-Build AddEdge: m=%d", g.M())
+	}
+	// Sibling lists must be untouched.
+	if got := g.Neighbors(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("neighbor list of 1 corrupted: %v", got)
+	}
+}
+
+// bfsAdjacency is an independent reference BFS over the raw adjacency
+// lists, used to cross-check the CSR-backed MultiBFS.
+func bfsAdjacency(g *Graph, sources []int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	var queue []int
+	for _, s := range sources {
+		if s < 0 || s >= g.N() || dist[s] == 0 {
+			continue
+		}
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, w := range g.Neighbors(u) {
+			if dist[w] == Unreachable {
+				dist[w] = dist[u] + 1
+				queue = append(queue, int(w))
+			}
+		}
+	}
+	return dist
+}
+
+// TestMultiBFSMatchesAdjacencyBFS cross-checks the CSR BFS against the
+// reference, including after mutations that invalidate the cache.
+func TestMultiBFSMatchesAdjacencyBFS(t *testing.T) {
+	rng := xrand.New(23)
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(60) + 2
+		g := New(n)
+		for e := 0; e < 2*n; e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		srcs := []int{rng.Intn(n), rng.Intn(n)}
+		got := g.MultiBFS(srcs)
+		want := bfsAdjacency(g, srcs)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: dist[%d]=%d want %d", trial, v, got[v], want[v])
+			}
+		}
+		// Mutate (cache now stale) and re-check.
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+		got = g.BFS(srcs[0])
+		want = bfsAdjacency(g, srcs[:1])
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d after mutation: dist[%d]=%d want %d", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestInducedSubgraphOnFrozen checks InducedSubgraph agrees whether or not
+// the parent graph has a frozen view, and that the result validates.
+func TestInducedSubgraphOnFrozen(t *testing.T) {
+	rng := xrand.New(31)
+	n := 30
+	g := New(n)
+	for e := 0; e < 90; e++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	var keep []int
+	for v := 0; v < n; v += 2 {
+		keep = append(keep, v)
+	}
+	subCold, remapCold := g.Clone().InducedSubgraph(keep)
+	g.Freeze()
+	subWarm, remapWarm := g.InducedSubgraph(keep)
+	if err := subWarm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := range remapCold {
+		if remapCold[v] != remapWarm[v] {
+			t.Fatalf("remap differs at %d", v)
+		}
+	}
+	if subCold.M() != subWarm.M() || subCold.N() != subWarm.N() {
+		t.Fatalf("induced subgraph differs: (%d,%d) vs (%d,%d)",
+			subCold.N(), subCold.M(), subWarm.N(), subWarm.M())
+	}
+	for v := 0; v < subCold.N(); v++ {
+		a, b := subCold.Neighbors(v), subWarm.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree differs at %d", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("neighbor order differs at %d", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFreezeConcurrentReaders(t *testing.T) {
+	g := New(200)
+	for v := 0; v+1 < 200; v++ {
+		g.AddEdge(v, v+1)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			g.BFS(src)
+			g.Freeze()
+		}(i)
+	}
+	wg.Wait()
+}

@@ -13,12 +13,21 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Graph is an undirected simple graph on vertices 0..n-1.
+//
+// Like the adjacency lists, the graph is safe for concurrent readers —
+// including the methods that lazily build the cached CSR view (Freeze, BFS,
+// Diameter, the engines) — but mutation (AddEdge, SortAdjacency) requires
+// external synchronization against all other use.
 type Graph struct {
 	n   int
 	adj [][]int32
+
+	mu  sync.Mutex // guards csr; adjacency itself needs external sync
+	csr *CSR       // cached frozen view (see Freeze); nil when stale
 }
 
 // New returns an empty graph on n vertices.
@@ -50,6 +59,7 @@ func (g *Graph) AddEdge(u, v int) {
 	if g.HasEdge(u, v) {
 		return
 	}
+	g.invalidate()
 	g.adj[u] = append(g.adj[u], int32(v))
 	g.adj[v] = append(g.adj[v], int32(u))
 }
@@ -101,6 +111,7 @@ func (g *Graph) NeighborsInt(v int) []int {
 // SortAdjacency sorts every adjacency list ascending, giving the graph a
 // canonical in-memory form (useful for deterministic iteration and tests).
 func (g *Graph) SortAdjacency() {
+	g.invalidate()
 	for _, nb := range g.adj {
 		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
 	}
@@ -150,7 +161,10 @@ func (g *Graph) BFS(src int) []int {
 }
 
 // MultiBFS returns hop distances from the nearest of the given sources.
+// It traverses the frozen CSR view (building it on first use) so the edge
+// scan is one contiguous array walk.
 func (g *Graph) MultiBFS(sources []int) []int {
+	c := g.Freeze()
 	dist := make([]int, g.n)
 	for i := range dist {
 		dist[i] = Unreachable
@@ -166,7 +180,7 @@ func (g *Graph) MultiBFS(sources []int) []int {
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		du := dist[u]
-		for _, w := range g.adj[u] {
+		for _, w := range c.edges[c.offsets[u]:c.offsets[u+1]] {
 			if dist[w] == Unreachable {
 				dist[w] = du + 1
 				queue = append(queue, w)

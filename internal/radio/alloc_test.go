@@ -1,0 +1,78 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/xrand"
+)
+
+// steadyMsg is boxed once so transmitting it allocates nothing.
+var steadyMsg Message = int64(42)
+
+// steadyNode transmits a preallocated message with probability 1/2 each
+// step; neither Act nor Deliver allocates.
+type steadyNode struct {
+	rng    *xrand.RNG
+	step   int
+	budget int
+}
+
+func (s *steadyNode) Act(step int) Action {
+	if s.rng.Bernoulli(0.5) {
+		return Transmit(steadyMsg)
+	}
+	return Listen()
+}
+func (s *steadyNode) Deliver(step int, msg Message) { s.step = step + 1 }
+func (s *steadyNode) Done() bool                    { return s.step >= s.budget }
+
+// TestSequentialStepZeroAlloc asserts the sequential step loop performs
+// zero heap allocations per step after warm-up: total allocations of a run
+// must not grow with MaxSteps. Run-construction costs (protocol instances,
+// RNG splits, engine scratch) are identical for both run lengths and cancel
+// out; any per-step allocation would surface as a positive difference
+// across the extra 256 steps.
+func TestSequentialStepZeroAlloc(t *testing.T) {
+	g := gen.Grid(16, 16)
+	g.Freeze() // build the CSR cache outside the measured region
+	runSteps := func(steps int) {
+		factory := func(info NodeInfo) Protocol {
+			return &steadyNode{rng: info.RNG, budget: steps}
+		}
+		if _, err := Run(g, factory, Options{MaxSteps: steps, Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	short := testing.AllocsPerRun(5, func() { runSteps(64) })
+	long := testing.AllocsPerRun(5, func() { runSteps(320) })
+	if long > short {
+		t.Fatalf("sequential step loop allocates: %.1f allocs over 256 extra steps (%.1f vs %.1f per run)",
+			long-short, long, short)
+	}
+}
+
+// TestSequentialStepZeroAllocWithRetirement repeats the check on the sparse
+// regime the active list exists for: most nodes retire at step 0 and a few
+// keep transmitting, so compaction paths are exercised too.
+func TestSequentialStepZeroAllocWithRetirement(t *testing.T) {
+	g := gen.Grid(16, 16)
+	g.Freeze()
+	runSteps := func(steps int) {
+		factory := func(info NodeInfo) Protocol {
+			budget := steps
+			if info.Index >= 16 {
+				budget = 0 // retires immediately
+			}
+			return &steadyNode{rng: info.RNG, budget: budget}
+		}
+		if _, err := Run(g, factory, Options{MaxSteps: steps, Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	short := testing.AllocsPerRun(5, func() { runSteps(64) })
+	long := testing.AllocsPerRun(5, func() { runSteps(320) })
+	if long > short {
+		t.Fatalf("sparse step loop allocates: %.1f allocs over 256 extra steps", long-short)
+	}
+}

@@ -1,0 +1,131 @@
+package radio
+
+import "repro/internal/graph"
+
+// engine is the step-loop state shared by the sequential and worker-pool
+// engines: the frozen CSR topology, the protocol instances, and reusable
+// scratch buffers sized once at construction so the per-step loop allocates
+// nothing.
+//
+// Sparse-delivery invariants (DESIGN.md §3): between steps every scratch
+// entry is at its zero value — transmitting[v]=false, payload[v]=nil,
+// hear[v]=nil, counts[v]=0 — and txList/touched are empty. Each step dirties
+// only the entries reachable from this step's transmitters (themselves plus
+// their neighbors) and resetStep restores the invariant by re-zeroing
+// exactly those entries, so a step with k transmitters of total degree d
+// costs O(k + d) delivery work regardless of n.
+type engine struct {
+	csr   *graph.CSR
+	nodes []Protocol
+	opts  Options
+
+	transmitting []bool    // transmitting[v]: v transmits this step
+	payload      []Message // payload[v]: message v transmits
+	hear         []Message // hear[v]: message v receives (nil = silence)
+	counts       []int8    // transmitting-neighbor count, saturated at 2
+	from         []int32   // some transmitting neighbor (valid when counts==1)
+	txList       []int32   // this step's transmitters, ascending
+	touched      []int32   // nodes with ≥1 transmitting neighbor this step
+}
+
+func newEngine(g *graph.Graph, nodes []Protocol, opts Options) *engine {
+	n := len(nodes)
+	return &engine{
+		csr:          g.Freeze(),
+		nodes:        nodes,
+		opts:         opts,
+		transmitting: make([]bool, n),
+		payload:      make([]Message, n),
+		hear:         make([]Message, n),
+		counts:       make([]int8, n),
+		from:         make([]int32, n),
+		txList:       make([]int32, 0, n),
+		touched:      make([]int32, 0, n),
+	}
+}
+
+// newActive returns the initial active list 0..n-1. A node leaves the list
+// permanently the first time it is observed awake with Done() true; dormant
+// nodes (WakeAt in the future) stay on the list — they keep the run alive —
+// but are neither polled nor delivered to.
+func (e *engine) newActive() []int32 {
+	active := make([]int32, len(e.nodes))
+	for v := range active {
+		active[v] = int32(v)
+	}
+	return active
+}
+
+// countTransmitters accumulates the delivery counts for one step's
+// transmitter list: for every neighbor w of a transmitter, counts[w] rises
+// (saturating at 2), from[w] records a transmitting neighbor, and w is
+// recorded in touched on first contact. May be called several times per
+// step (once per worker shard); lists must arrive in ascending global order
+// for the engines to stay transcript-identical, though delivery itself only
+// depends on the transmitter set.
+func (e *engine) countTransmitters(tx []int32) {
+	for _, v := range tx {
+		for _, w := range e.csr.Neighbors(int(v)) {
+			switch e.counts[w] {
+			case 0:
+				e.counts[w] = 1
+				e.from[w] = v
+				e.touched = append(e.touched, w)
+			case 1:
+				e.counts[w] = 2
+			}
+		}
+	}
+}
+
+// resolveDeliveries applies the exactly-one-transmitting-neighbor rule to
+// the touched set, filling hear and the step stats. Deliveries and
+// collisions are counted for every touched listener — including retired or
+// dormant nodes, which hear nothing but still appear in the channel-usage
+// statistics, matching the model's global view of the medium.
+func (e *engine) resolveDeliveries(st *StepStats) {
+	cd := e.opts.CollisionDetection
+	for _, u := range e.touched {
+		if e.transmitting[u] {
+			continue // transmitters hear nothing
+		}
+		if e.counts[u] == 1 {
+			e.hear[u] = e.payload[e.from[u]]
+			st.Deliveries++
+		} else {
+			st.Collisions++
+			if cd {
+				e.hear[u] = Collision
+			}
+		}
+	}
+}
+
+// clearTx re-zeroes the per-transmitter scratch for one transmitter list.
+func (e *engine) clearTx(tx []int32) {
+	for _, v := range tx {
+		e.transmitting[v] = false
+		e.payload[v] = nil
+	}
+}
+
+// clearTouched re-zeroes the per-listener scratch, restoring the between-
+// steps invariant.
+func (e *engine) clearTouched() {
+	for _, u := range e.touched {
+		e.counts[u] = 0
+		e.hear[u] = nil
+	}
+	e.touched = e.touched[:0]
+}
+
+// finishAllDone is the end-of-run sweep when MaxSteps ran out: nodes off the
+// active list are done by construction, so only the remainder is polled.
+func finishAllDone(nodes []Protocol, active []int32) bool {
+	for _, v := range active {
+		if !nodes[v].Done() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package radio
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// The worker-pool engine replaces the earlier goroutine-per-node design
+// (which paid two channel operations per node per step and was ~100× slower
+// than the sequential engine) with a small pool of long-lived workers —
+// min(Options.Shards, n), defaulting to min(GOMAXPROCS, n) when Shards is
+// unset — each owning one contiguous node range. A time-step is two
+// barriers: every worker runs the act phase for its shard (retire, Act,
+// record transmitters), the coordinator resolves deliveries sparsely, then
+// every worker runs the deliver phase for its shard. Workers write only to
+// scratch entries of nodes they own, the coordinator touches shared scratch
+// only between barriers, and shard transmitter lists are merged in shard
+// order, so the transcript is bit-identical to the sequential engine's for
+// the same seed (enforced by the differential tests).
+
+// shard is one worker's slice of the node space and its per-step outputs.
+type shard struct {
+	active    []int32 // not-yet-retired nodes in this shard, ascending
+	txList    []int32 // this step's transmitters in this shard, ascending
+	transmits int
+}
+
+type pool struct {
+	e      *engine
+	shards []*shard
+	cmds   []chan int     // per-worker phase commands: step<<1 | phase
+	phase  sync.WaitGroup // coordinator waits for all workers per phase
+}
+
+const (
+	phaseAct = iota
+	phaseDeliver
+)
+
+// workerCount resolves Options.Shards: an explicit value caps the worker
+// count directly (useful for tests and tuning), otherwise GOMAXPROCS; never
+// more than one worker per node.
+func workerCount(opts *Options, n int) int {
+	w := opts.Shards
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
+	n := len(nodes)
+	p := &pool{e: newEngine(g, nodes, opts)}
+	nw := workerCount(&opts, n)
+	var workers sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		lo, hi := i*n/nw, (i+1)*n/nw
+		s := &shard{
+			active: make([]int32, 0, hi-lo),
+			txList: make([]int32, 0, hi-lo),
+		}
+		for v := lo; v < hi; v++ {
+			s.active = append(s.active, int32(v))
+		}
+		cmd := make(chan int, 1)
+		p.shards = append(p.shards, s)
+		p.cmds = append(p.cmds, cmd)
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for c := range cmd {
+				step := c >> 1
+				if c&1 == phaseAct {
+					p.actPhase(s, step)
+				} else {
+					p.deliverPhase(s, step)
+				}
+				p.phase.Done()
+			}
+		}()
+	}
+	defer func() {
+		for _, cmd := range p.cmds {
+			close(cmd)
+		}
+		workers.Wait()
+	}()
+
+	var res Result
+	for step := 0; step < opts.MaxSteps; step++ {
+		st := StepStats{Step: step}
+		p.barrier(step, phaseAct)
+		remaining := 0
+		for _, s := range p.shards {
+			remaining += len(s.active)
+			st.Transmits += s.transmits
+		}
+		if remaining == 0 {
+			res.AllDone = true
+			break
+		}
+		for _, s := range p.shards {
+			p.e.countTransmitters(s.txList)
+		}
+		p.e.resolveDeliveries(&st)
+		p.barrier(step, phaseDeliver)
+		for _, s := range p.shards {
+			p.e.clearTx(s.txList)
+			s.txList = s.txList[:0]
+		}
+		p.e.clearTouched()
+		res.Steps = step + 1
+		res.Transmissions += int64(st.Transmits)
+		res.Deliveries += int64(st.Deliveries)
+		res.Collisions += int64(st.Collisions)
+		if opts.OnStep != nil {
+			opts.OnStep(st)
+		}
+	}
+	if !res.AllDone {
+		res.AllDone = true
+		for _, s := range p.shards {
+			if !finishAllDone(p.e.nodes, s.active) {
+				res.AllDone = false
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// barrier dispatches one phase to every worker and waits for completion.
+// Channel sends and the WaitGroup give the happens-before edges that make
+// the coordinator's scratch writes visible to workers and vice versa.
+func (p *pool) barrier(step, ph int) {
+	p.phase.Add(len(p.cmds))
+	for _, cmd := range p.cmds {
+		cmd <- step<<1 | ph
+	}
+	p.phase.Wait()
+}
+
+// actPhase mirrors the sequential act phase for one shard: retire nodes
+// observed awake and done, poll the rest, record transmitters. Workers only
+// write scratch entries indexed by nodes they own.
+func (p *pool) actPhase(s *shard, step int) {
+	e := p.e
+	s.transmits = 0
+	w := 0
+	for _, v := range s.active {
+		if !awake(&e.opts, int(v), step) {
+			s.active[w] = v // dormant: stays active, keeps the run alive
+			w++
+			continue
+		}
+		if e.nodes[v].Done() {
+			continue // retired for the remainder of the run
+		}
+		s.active[w] = v
+		w++
+		a := e.nodes[v].Act(step)
+		if a.Transmit {
+			e.transmitting[v] = true
+			e.payload[v] = a.Msg
+			s.txList = append(s.txList, v)
+			s.transmits++
+		}
+	}
+	s.active = s.active[:w]
+}
+
+// deliverPhase hands each live node in the shard its received message.
+func (p *pool) deliverPhase(s *shard, step int) {
+	e := p.e
+	for _, v := range s.active {
+		if awake(&e.opts, int(v), step) {
+			e.nodes[v].Deliver(step, e.hear[v])
+		}
+	}
+}

@@ -12,14 +12,19 @@
 // (synchronous wake-up).
 //
 // Two engines with identical semantics are provided: a fast sequential
-// engine, and a concurrent engine running one goroutine per node with
-// two-phase barriers per time-step. A differential test asserts they produce
-// identical transcripts for identical seeds.
+// engine whose step loop performs no heap allocations, and a sharded
+// worker-pool engine where a small fixed pool of workers (GOMAXPROCS by
+// default, see Options.Shards) each own a contiguous node range with two
+// phase barriers per time-step. Both exploit
+// transmission sparsity: per-step delivery cost is O(#transmitters + the sum
+// of their degrees), not O(n), and nodes whose Done returns true are retired
+// from a compacting active list and never polled again. A differential test
+// asserts the engines produce identical transcripts for identical seeds; see
+// DESIGN.md §3 for the architecture and the determinism contract.
 package radio
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/xrand"
@@ -64,7 +69,9 @@ func Transmit(msg Message) Action { return Action{Transmit: true, Msg: msg} }
 // every time-step in order: Act on every live node, then Deliver on every
 // live node (with the received message, or nil when nothing was heard —
 // including always for transmitters). A node whose Done returns true before
-// a step neither transmits nor receives for the remainder of the run.
+// a step neither transmits nor receives for the remainder of the run; the
+// engines retire such a node permanently, so Done must be monotone (once
+// true, always true) and side-effect free.
 type Protocol interface {
 	Act(step int) Action
 	Deliver(step int, msg Message)
@@ -104,8 +111,14 @@ type Options struct {
 	// replaced by the true graph values (the model allows exact knowledge;
 	// protocols must tolerate upper estimates, which tests exercise).
 	N, D, Alpha int
-	// Concurrent selects the goroutine-per-node engine.
+	// Concurrent selects the sharded worker-pool engine.
 	Concurrent bool
+	// Shards, when positive, sets the concurrent engine's worker count
+	// directly (capped at n) — a testing/tuning knob that may oversubscribe
+	// the CPUs. Zero selects min(GOMAXPROCS, n). Each worker owns one
+	// contiguous node range; the transcript is independent of the shard
+	// count (differential tests exercise several).
+	Shards int
 	// OnStep, when non-nil, observes each step's statistics.
 	OnStep func(StepStats)
 	// WakeAt, when non-nil (length n), staggers wake-up: node v is dormant
@@ -148,13 +161,13 @@ func Run(g *graph.Graph, factory Factory, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("radio: WakeAt has %d entries for %d nodes", len(opts.WakeAt), g.N())
 	}
 	if opts.Concurrent {
-		return runConcurrent(g, nodes, opts)
+		return runPool(g, nodes, opts)
 	}
 	return runSequential(g, nodes, opts)
 }
 
 // awake reports whether node v participates at the given step.
-func awake(opts Options, v, step int) bool {
+func awake(opts *Options, v, step int) bool {
 	return opts.WakeAt == nil || step >= opts.WakeAt[v]
 }
 
@@ -196,205 +209,4 @@ func buildNodes(g *graph.Graph, factory Factory, opts Options) ([]Protocol, erro
 		}
 	}
 	return nodes, nil
-}
-
-// deliveryPass computes, given the transmit decisions for one step, the
-// message (if any) each node receives, using the exactly-one-neighbor rule.
-// hear[v] stays nil for silence. Counts are accumulated into st.
-func deliveryPass(g *graph.Graph, transmitting []bool, payload []Message, hear []Message, st *StepStats, cd bool) {
-	n := g.N()
-	counts := make([]int8, n)
-	from := make([]int32, n)
-	for v := 0; v < n; v++ {
-		hear[v] = nil
-		if !transmitting[v] {
-			continue
-		}
-		for _, w := range g.Neighbors(v) {
-			if counts[w] < 2 {
-				counts[w]++
-			}
-			from[w] = int32(v)
-		}
-	}
-	for v := 0; v < n; v++ {
-		if transmitting[v] {
-			continue // transmitters hear nothing
-		}
-		switch counts[v] {
-		case 1:
-			hear[v] = payload[from[v]]
-			st.Deliveries++
-		case 2:
-			st.Collisions++
-			if cd {
-				hear[v] = Collision
-			}
-		}
-	}
-}
-
-func runSequential(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
-	n := g.N()
-	var res Result
-	transmitting := make([]bool, n)
-	payload := make([]Message, n)
-	hear := make([]Message, n)
-	live := make([]bool, n)
-	for step := 0; step < opts.MaxSteps; step++ {
-		anyLive := false
-		for v := 0; v < n; v++ {
-			live[v] = !nodes[v].Done() && awake(opts, v, step)
-			// Dormant nodes still keep the run alive until they wake.
-			anyLive = anyLive || live[v] || !awake(opts, v, step)
-		}
-		if !anyLive {
-			res.AllDone = true
-			break
-		}
-		st := StepStats{Step: step}
-		for v := 0; v < n; v++ {
-			transmitting[v] = false
-			payload[v] = nil
-			if !live[v] {
-				continue
-			}
-			a := nodes[v].Act(step)
-			if a.Transmit {
-				transmitting[v] = true
-				payload[v] = a.Msg
-				st.Transmits++
-			}
-		}
-		deliveryPass(g, transmitting, payload, hear, &st, opts.CollisionDetection)
-		for v := 0; v < n; v++ {
-			if live[v] {
-				nodes[v].Deliver(step, hear[v])
-			}
-		}
-		res.Steps = step + 1
-		res.Transmissions += int64(st.Transmits)
-		res.Deliveries += int64(st.Deliveries)
-		res.Collisions += int64(st.Collisions)
-		if opts.OnStep != nil {
-			opts.OnStep(st)
-		}
-	}
-	if !res.AllDone {
-		allDone := true
-		for _, p := range nodes {
-			if !p.Done() {
-				allDone = false
-				break
-			}
-		}
-		res.AllDone = allDone
-	}
-	return res, nil
-}
-
-// runConcurrent executes the same semantics with one goroutine per node and
-// two barriers per time-step (act phase, deliver phase). Nodes only touch
-// their own protocol state, so the transcript is deterministic and equal to
-// the sequential engine's for the same seed.
-func runConcurrent(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
-	n := g.N()
-	var res Result
-
-	transmitting := make([]bool, n)
-	payload := make([]Message, n)
-	hear := make([]Message, n)
-	live := make([]bool, n)
-
-	actStart := make([]chan int, n)  // engine → node: run Act for step s
-	deliverGo := make([]chan int, n) // engine → node: run Deliver for step s
-	var phase sync.WaitGroup         // engine waits for all nodes per phase
-	stop := make(chan struct{})      // engine → nodes: shut down
-	var workers sync.WaitGroup       // engine waits for goroutine exit
-
-	for v := 0; v < n; v++ {
-		actStart[v] = make(chan int, 1)
-		deliverGo[v] = make(chan int, 1)
-		workers.Add(1)
-		go func(v int) {
-			defer workers.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				case step := <-actStart[v]:
-					if live[v] {
-						a := nodes[v].Act(step)
-						transmitting[v] = a.Transmit
-						if a.Transmit {
-							payload[v] = a.Msg
-						} else {
-							payload[v] = nil
-						}
-					} else {
-						transmitting[v] = false
-						payload[v] = nil
-					}
-					phase.Done()
-				case step := <-deliverGo[v]:
-					if live[v] {
-						nodes[v].Deliver(step, hear[v])
-					}
-					phase.Done()
-				}
-			}
-		}(v)
-	}
-	defer func() {
-		close(stop)
-		workers.Wait()
-	}()
-
-	for step := 0; step < opts.MaxSteps; step++ {
-		anyLive := false
-		for v := 0; v < n; v++ {
-			live[v] = !nodes[v].Done() && awake(opts, v, step)
-			// Dormant nodes still keep the run alive until they wake.
-			anyLive = anyLive || live[v] || !awake(opts, v, step)
-		}
-		if !anyLive {
-			res.AllDone = true
-			break
-		}
-		st := StepStats{Step: step}
-		phase.Add(n)
-		for v := 0; v < n; v++ {
-			actStart[v] <- step
-		}
-		phase.Wait()
-		for v := 0; v < n; v++ {
-			if transmitting[v] {
-				st.Transmits++
-			}
-		}
-		deliveryPass(g, transmitting, payload, hear, &st, opts.CollisionDetection)
-		phase.Add(n)
-		for v := 0; v < n; v++ {
-			deliverGo[v] <- step
-		}
-		phase.Wait()
-		res.Steps = step + 1
-		res.Transmissions += int64(st.Transmits)
-		res.Deliveries += int64(st.Deliveries)
-		res.Collisions += int64(st.Collisions)
-		if opts.OnStep != nil {
-			opts.OnStep(st)
-		}
-	}
-	if !res.AllDone {
-		allDone := true
-		for _, p := range nodes {
-			if !p.Done() {
-				allDone = false
-				break
-			}
-		}
-		res.AllDone = allDone
-	}
-	return res, nil
 }

@@ -8,12 +8,47 @@ import (
 	"repro/internal/xrand"
 )
 
-// TestDeliveryPassMatchesBruteForce checks the optimized deliveryPass
-// against a direct transcription of the model's definition ("a listening
-// node hears a message iff exactly one of its neighbors transmits") on
-// random graphs with random transmit sets.
-func TestDeliveryPassMatchesBruteForce(t *testing.T) {
-	f := func(seed uint64, nRaw, density uint8) bool {
+// runDelivery drives the engine's sparse delivery core for one synthetic
+// step: it loads the given transmit set, runs countTransmitters and
+// resolveDeliveries, hands a copy of hear to the caller, then resets the
+// step and verifies the between-steps invariant (all scratch re-zeroed).
+func runDelivery(t *testing.T, g *graph.Graph, transmitting []bool, payload []Message, cd bool) ([]Message, StepStats) {
+	t.Helper()
+	n := g.N()
+	e := newEngine(g, make([]Protocol, n), Options{CollisionDetection: cd})
+	for v := 0; v < n; v++ {
+		if transmitting[v] {
+			e.transmitting[v] = true
+			e.payload[v] = payload[v]
+			e.txList = append(e.txList, int32(v))
+		}
+	}
+	st := StepStats{}
+	e.countTransmitters(e.txList)
+	e.resolveDeliveries(&st)
+	hear := make([]Message, n)
+	copy(hear, e.hear)
+	e.clearTx(e.txList)
+	e.txList = e.txList[:0]
+	e.clearTouched()
+	for v := 0; v < n; v++ {
+		if e.transmitting[v] || e.payload[v] != nil || e.hear[v] != nil || e.counts[v] != 0 {
+			t.Fatalf("scratch not re-zeroed at node %d after resetStep", v)
+		}
+	}
+	if len(e.txList) != 0 || len(e.touched) != 0 {
+		t.Fatal("txList/touched not emptied")
+	}
+	return hear, st
+}
+
+// TestDeliveryMatchesBruteForce checks the sparse touched-vertex delivery
+// core against a direct transcription of the model's definition ("a
+// listening node hears a message iff exactly one of its neighbors
+// transmits") on random graphs with random transmit sets, with and without
+// collision detection.
+func TestDeliveryMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64, nRaw, density uint8, cd bool) bool {
 		rng := xrand.New(seed)
 		n := int(nRaw%30) + 2
 		g := graph.New(n)
@@ -33,9 +68,7 @@ func TestDeliveryPassMatchesBruteForce(t *testing.T) {
 				payload[v] = v
 			}
 		}
-		hear := make([]Message, n)
-		var st StepStats
-		deliveryPass(g, transmitting, payload, hear, &st, false)
+		hear, _ := runDelivery(t, g, transmitting, payload, cd)
 		// Brute force per the definition.
 		for v := 0; v < n; v++ {
 			var want Message
@@ -49,6 +82,8 @@ func TestDeliveryPassMatchesBruteForce(t *testing.T) {
 				}
 				if count == 1 {
 					want = payload[from]
+				} else if count >= 2 && cd {
+					want = Collision
 				}
 			}
 			if hear[v] != want {
@@ -82,9 +117,7 @@ func TestDeliveryStatsConsistent(t *testing.T) {
 			payload[v] = v
 		}
 	}
-	hear := make([]Message, 25)
-	var st StepStats
-	deliveryPass(g, transmitting, payload, hear, &st, false)
+	_, st := runDelivery(t, g, transmitting, payload, false)
 	deliveries, collisions := 0, 0
 	for v := 0; v < 25; v++ {
 		if transmitting[v] {
@@ -106,5 +139,104 @@ func TestDeliveryStatsConsistent(t *testing.T) {
 	if st.Deliveries != deliveries || st.Collisions != collisions {
 		t.Fatalf("stats (%d,%d) vs recount (%d,%d)",
 			st.Deliveries, st.Collisions, deliveries, collisions)
+	}
+}
+
+// transcript is one run's externally observable behavior: per-node hashes
+// of everything heard, the per-step stats stream, and the Result.
+type transcript struct {
+	hashes []uint64
+	steps  []StepStats
+	res    Result
+}
+
+// runTranscript executes one run with hash-recording random protocols.
+func runTranscript(t *testing.T, g *graph.Graph, opts Options, until int) transcript {
+	t.Helper()
+	hashes := make([]uint64, g.N())
+	factory := func(info NodeInfo) Protocol {
+		rn := &randomNode{info: info, until: until}
+		return &hashCapture{randomNode: rn, out: &hashes[info.Index]}
+	}
+	var steps []StepStats
+	opts.OnStep = func(s StepStats) { steps = append(steps, s) }
+	res, err := Run(g, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return transcript{hashes: hashes, steps: steps, res: res}
+}
+
+// TestEnginesTranscriptIdentical is the engine differential test: across
+// random graphs, seeds, shard counts, collision-detection settings and
+// staggered wake-ups, the sequential and worker-pool engines must produce
+// identical per-node transcripts, per-step stats, and results.
+func TestEnginesTranscriptIdentical(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(60) + 5
+		g := graph.New(n)
+		p := 0.05 + 0.3*rng.Float64()
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Bernoulli(p) {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		opts := Options{
+			MaxSteps:           40,
+			Seed:               rng.Uint64(),
+			CollisionDetection: trial%2 == 0,
+		}
+		if trial%3 == 0 {
+			wake := make([]int, n)
+			for v := range wake {
+				wake[v] = rng.Intn(8)
+			}
+			opts.WakeAt = wake
+		}
+		want := runTranscript(t, g, opts, 30)
+		for _, shards := range []int{1, 2, 4, 7} {
+			o := opts
+			o.Concurrent = true
+			o.Shards = shards
+			got := runTranscript(t, g, o, 30)
+			if got.res != want.res {
+				t.Fatalf("trial %d shards=%d: result %+v vs sequential %+v",
+					trial, shards, got.res, want.res)
+			}
+			if len(got.steps) != len(want.steps) {
+				t.Fatalf("trial %d shards=%d: %d step records vs %d",
+					trial, shards, len(got.steps), len(want.steps))
+			}
+			for i := range want.steps {
+				if got.steps[i] != want.steps[i] {
+					t.Fatalf("trial %d shards=%d: step %d stats %+v vs %+v",
+						trial, shards, i, got.steps[i], want.steps[i])
+				}
+			}
+			for v := range want.hashes {
+				if got.hashes[v] != want.hashes[v] {
+					t.Fatalf("trial %d shards=%d: node %d transcript differs",
+						trial, shards, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolShardCountInvariance pins the worker-count resolution rule.
+func TestPoolShardCountInvariance(t *testing.T) {
+	opts := &Options{}
+	if w := workerCount(opts, 1000); w < 1 {
+		t.Fatalf("default worker count %d", w)
+	}
+	opts.Shards = 4
+	if w := workerCount(opts, 1000); w != 4 {
+		t.Fatalf("explicit shards ignored: %d", w)
+	}
+	if w := workerCount(opts, 2); w != 2 {
+		t.Fatalf("worker count must not exceed n: %d", w)
 	}
 }

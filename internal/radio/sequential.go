@@ -1,0 +1,67 @@
+package radio
+
+import "repro/internal/graph"
+
+// runSequential is the single-threaded engine. After the engine struct is
+// built, the step loop performs zero heap allocations (a regression test
+// asserts this): the active list compacts in place, transmitters and touched
+// listeners go into preallocated scratch lists, and only entries dirtied
+// this step are re-zeroed. Per-step cost is O(#active + #transmitters + Σ
+// transmitter degrees).
+func runSequential(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
+	e := newEngine(g, nodes, opts)
+	active := e.newActive()
+	var res Result
+	for step := 0; step < opts.MaxSteps; step++ {
+		st := StepStats{Step: step}
+		// Act phase: retire done nodes, poll the rest.
+		w := 0
+		for _, v := range active {
+			if !awake(&e.opts, int(v), step) {
+				active[w] = v // dormant: stays active, keeps the run alive
+				w++
+				continue
+			}
+			if e.nodes[v].Done() {
+				continue // retired for the remainder of the run
+			}
+			active[w] = v
+			w++
+			a := e.nodes[v].Act(step)
+			if a.Transmit {
+				e.transmitting[v] = true
+				e.payload[v] = a.Msg
+				e.txList = append(e.txList, v)
+				st.Transmits++
+			}
+		}
+		active = active[:w]
+		if w == 0 {
+			res.AllDone = true
+			break
+		}
+		// Delivery: exactly-one-transmitting-neighbor rule over the touched set.
+		e.countTransmitters(e.txList)
+		e.resolveDeliveries(&st)
+		// Deliver phase: every live node receives its message (or silence).
+		for _, v := range active {
+			if awake(&e.opts, int(v), step) {
+				e.nodes[v].Deliver(step, e.hear[v])
+			}
+		}
+		e.clearTx(e.txList)
+		e.txList = e.txList[:0]
+		e.clearTouched()
+		res.Steps = step + 1
+		res.Transmissions += int64(st.Transmits)
+		res.Deliveries += int64(st.Deliveries)
+		res.Collisions += int64(st.Collisions)
+		if opts.OnStep != nil {
+			opts.OnStep(st)
+		}
+	}
+	if !res.AllDone {
+		res.AllDone = finishAllDone(e.nodes, active)
+	}
+	return res, nil
+}
