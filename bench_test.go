@@ -8,7 +8,6 @@
 package repro
 
 import (
-	"io"
 	"testing"
 
 	"repro/internal/baseline"
@@ -23,17 +22,18 @@ import (
 	"repro/internal/xrand"
 )
 
-// benchExperiment runs one registered experiment per iteration.
+// benchExperiment runs one registered experiment per iteration (trial grid
+// fanned out over GOMAXPROCS workers, as in CI and the CLI).
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	e, err := exp.Lookup(id)
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := exp.Config{Scale: exp.Quick, Seed: 1, Out: io.Discard}
+	cfg := exp.Config{Scale: exp.Quick, Seed: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(cfg); err != nil {
+		if _, err := e.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,16 +1,22 @@
-// Command radionet-bench regenerates the paper's experiment tables (E1–E12,
+// Command radionet-bench regenerates the paper's experiment tables (E1–E16,
 // see DESIGN.md §4 and EXPERIMENTS.md).
 //
 // Usage:
 //
-//	radionet-bench [-scale quick|full] [-seed N] [-run E5,E7] [-list]
+//	radionet-bench [-scale quick|full] [-seed N] [-parallel P] [-run E5,E7] [-json results.json] [-list]
 //	radionet-bench -engine-bench BENCH_engine.json
 //
-// With no -run flag every experiment runs in order. Output is
-// GitHub-flavored Markdown on stdout. With -engine-bench, the simulator
-// engine micro-benchmarks run instead and a machine-readable JSON report
-// (ns/op, allocs/op, node-steps/s) is written to the given file so the
-// perf trajectory is tracked across PRs.
+// With no -run flag every experiment runs in order. Each experiment is a
+// grid of independent trials that the runner fans out over -parallel worker
+// goroutines (default GOMAXPROCS); per-trial seeds are derived from
+// (-seed, experiment, trial index), so the output is byte-identical for
+// every -parallel value. Output is GitHub-flavored Markdown on stdout;
+// -json additionally writes the same run as a structured JSON record
+// (scale, seed, per-experiment tables) to the given file, so full-scale
+// sweeps and Quick-scale CI runs share one code path and a machine-readable
+// trajectory. With -engine-bench, the simulator engine micro-benchmarks run
+// instead and a JSON report (ns/op, allocs/op, node-steps/s) is written to
+// the given file so the perf trajectory is tracked across PRs.
 package main
 
 import (
@@ -34,7 +40,9 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("radionet-bench", flag.ContinueOnError)
 	scaleFlag := fs.String("scale", "quick", "experiment scale: quick or full")
 	seed := fs.Uint64("seed", 1, "experiment seed")
+	parallel := fs.Int("parallel", 0, "trial-runner workers (0 = GOMAXPROCS); output is identical for every value")
 	runList := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	jsonPath := fs.String("json", "", "also write structured results as JSON to this file")
 	list := fs.Bool("list", false, "list experiments and exit")
 	engineBench := fs.String("engine-bench", "", "run engine micro-benches and write the JSON report to this file")
 	if err := fs.Parse(args); err != nil {
@@ -70,19 +78,53 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleFlag)
 	}
-	cfg := exp.Config{Scale: scale, Seed: *seed, Out: out}
-	if *runList == "" {
-		return exp.RunAll(cfg)
+	cfg := exp.Config{Scale: scale, Seed: *seed, Parallel: *parallel}
+	var ids []string
+	if *runList != "" {
+		ids = strings.Split(*runList, ",")
 	}
-	for _, id := range strings.Split(*runList, ",") {
-		e, err := exp.Lookup(strings.TrimSpace(id))
+	exps, err := exp.Resolve(ids)
+	if err != nil {
+		return err
+	}
+	// Stream each experiment's section as it finishes — full-scale suites
+	// run for minutes, and a late failure must not discard earlier tables
+	// (nor, below, the JSON record of the experiments that did finish).
+	res := &exp.Results{Scale: scale.String(), Seed: *seed, Experiments: []exp.ExperimentResult{}}
+	writeJSON := func(partial bool) error {
+		if *jsonPath == "" {
+			return nil
+		}
+		raw, err := res.JSON()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "## %s — %s\n\nClaim: %s\n\n", e.ID, e.Title, e.Claim)
-		if err := e.Run(cfg); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+		if err := os.WriteFile(*jsonPath, raw, 0o644); err != nil {
+			return err
 		}
+		// Status goes to stderr: stdout is the pure-Markdown stream.
+		note := ""
+		if partial {
+			note = " (partial: suite failed)"
+		}
+		fmt.Fprintf(os.Stderr, "structured results written to %s%s\n", *jsonPath, note)
+		return nil
 	}
-	return nil
+	for _, e := range exps {
+		rep, err := e.Run(cfg)
+		if err != nil {
+			runErr := fmt.Errorf("%s: %w", e.ID, err)
+			res.Failed = e.ID
+			if jerr := writeJSON(true); jerr != nil {
+				return fmt.Errorf("%w (and writing partial JSON failed: %v)", runErr, jerr)
+			}
+			return runErr
+		}
+		er := exp.ExperimentResult{ID: e.ID, Title: e.Title, Claim: e.Claim, Tables: rep.Tables}
+		if _, err := io.WriteString(out, er.Markdown()); err != nil {
+			return err
+		}
+		res.Experiments = append(res.Experiments, er)
+	}
+	return writeJSON(false)
 }

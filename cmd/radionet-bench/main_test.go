@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/exp"
 )
 
 func TestListFlag(t *testing.T) {
@@ -40,6 +42,61 @@ func TestRunMultipleExperiments(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "E3") || !strings.Contains(out, "E4") {
 		t.Fatalf("missing experiment sections:\n%s", out)
+	}
+}
+
+func TestJSONFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E3", "-seed", "2", "-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "frac High") {
+		t.Fatalf("markdown output missing table:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res exp.Results
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("results are not valid JSON: %v", err)
+	}
+	if res.Scale != "quick" || res.Seed != 2 {
+		t.Fatalf("metadata wrong: %+v", res)
+	}
+	if len(res.Experiments) != 1 || res.Experiments[0].ID != "E3" {
+		t.Fatalf("experiments wrong: %+v", res.Experiments)
+	}
+	if len(res.Experiments[0].Tables) == 0 || len(res.Experiments[0].Tables[0].Rows) == 0 {
+		t.Fatal("tables empty")
+	}
+}
+
+// TestParallelFlagDeterminism is the CLI half of the determinism-under-
+// parallelism contract: same seed, different -parallel, identical bytes
+// (Markdown and JSON).
+func TestParallelFlagDeterminism(t *testing.T) {
+	render := func(parallel string) (string, []byte) {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "r.json")
+		var buf bytes.Buffer
+		if err := run([]string{"-run", "E4", "-seed", "9", "-parallel", parallel, "-json", path}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), raw
+	}
+	md1, js1 := render("1")
+	md3, js3 := render("3")
+	if md1 != md3 {
+		t.Fatalf("-parallel 1 vs 3 markdown differs:\n%s\n---\n%s", md1, md3)
+	}
+	if !bytes.Equal(js1, js3) {
+		t.Fatal("-parallel 1 vs 3 JSON differs")
 	}
 }
 

@@ -97,6 +97,20 @@ type Params struct {
 	// Result.RealSetupSteps) instead of the engine-computed, cost-charged
 	// construction. Slower and noisier; off by default.
 	RealClusterConstruction bool
+	// WrapFactory, when non-nil, wraps the protocol factories handed to the
+	// radio engine for the simulated phases (the ComputeMIS run and the
+	// main propagation loop). Test instrumentation — the golden-transcript
+	// hashes guarding against silent semantic drift — hooks in here; it
+	// must be transparent (forwarding Act/Deliver/Done unchanged).
+	WrapFactory func(radio.Factory) radio.Factory
+}
+
+// wrap applies WrapFactory, or the identity when unset.
+func (p Params) wrap(f radio.Factory) radio.Factory {
+	if p.WrapFactory == nil {
+		return f
+	}
+	return p.WrapFactory(f)
 }
 
 func (p Params) withDefaults() Params {
@@ -216,7 +230,9 @@ func Compete(g *graph.Graph, sources map[int]int64, params Params, seed uint64) 
 	var centers []int
 	switch params.CenterMode {
 	case MISCenters:
-		out, err := mis.Run(g, params.MIS, seed)
+		out, err := mis.RunOnEngine(g, params.MIS, seed, func(factory radio.Factory, opts radio.Options) (radio.Result, error) {
+			return radio.Run(g, params.wrap(factory), opts)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: ComputeMIS: %w", err)
 		}
@@ -327,7 +343,7 @@ func Compete(g *graph.Graph, sources map[int]int64, params Params, seed uint64) 
 	}
 	res.Winner = target
 
-	mainRes, completeStep, err := runMainLoop(g, sources, clusterings, program, target, seed)
+	mainRes, completeStep, err := runMainLoop(g, sources, clusterings, program, target, params, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -452,7 +468,7 @@ func (c *competeNode) Done() bool {
 
 // runMainLoop executes the program on the radio engine and detects the step
 // at which all nodes know the target (engine-side measurement oracle).
-func runMainLoop(g *graph.Graph, sources map[int]int64, clusterings []clustering, program []stepDesc, target int64, seed uint64) (radio.Result, int, error) {
+func runMainLoop(g *graph.Graph, sources map[int]int64, clusterings []clustering, program []stepDesc, target int64, params Params, seed uint64) (radio.Result, int, error) {
 	n := g.N()
 	nodes := make([]*competeNode, n)
 	stop := false
@@ -495,7 +511,7 @@ func runMainLoop(g *graph.Graph, sources map[int]int64, clusterings []clustering
 			stop = true
 		},
 	}
-	res, err := radio.Run(g, factory, opts)
+	res, err := radio.Run(g, params.wrap(factory), opts)
 	if err != nil {
 		return radio.Result{}, -1, err
 	}

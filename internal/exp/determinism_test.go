@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDeterminismUnderParallelism is the suite-level contract behind
+// `radionet-bench -parallel` (DESIGN.md §4): every registered experiment
+// produces byte-identical Markdown and JSON output for Parallel=1 and
+// Parallel=8 at Quick scale. The heavyweight sweeps (E7/E8/E13) are skipped
+// under -short, matching the rest of this package's suite.
+func TestDeterminismUnderParallelism(t *testing.T) {
+	heavy := map[string]bool{"E7": true, "E8": true, "E13": true}
+	for _, e := range Registry() {
+		if testing.Short() && heavy[e.ID] {
+			continue
+		}
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			renderAt := func(parallel int) (string, []byte) {
+				res, err := RunSuite(Config{Scale: Quick, Seed: 5, Parallel: parallel}, []string{e.ID})
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw, err := res.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Markdown(), raw
+			}
+			md1, js1 := renderAt(1)
+			md8, js8 := renderAt(8)
+			if md1 != md8 {
+				t.Errorf("Markdown differs between Parallel=1 and Parallel=8:\n--- P=1 ---\n%s\n--- P=8 ---\n%s", md1, md8)
+			}
+			if !bytes.Equal(js1, js8) {
+				t.Errorf("JSON differs between Parallel=1 and Parallel=8")
+			}
+			// And a repeated run at the same parallelism is byte-stable too.
+			md8b, js8b := renderAt(8)
+			if md8 != md8b || !bytes.Equal(js8, js8b) {
+				t.Errorf("repeated run at Parallel=8 is not byte-stable")
+			}
+		})
+	}
+}

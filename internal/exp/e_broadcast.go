@@ -12,12 +12,23 @@ import (
 	"repro/internal/xrand"
 )
 
+// completedOr returns step when it is non-negative, else the exhausted
+// budget fallback.
+func completedOr(step, budget int) int {
+	if step < 0 {
+		return budget
+	}
+	return step
+}
+
 // RunE7 — Theorems 6–7: Compete-based broadcast completes in
 // O(D·log_D α + polylog n), beating the Decay baselines whose cost is
 // D·log-factored. We compare four algorithms on geometric (α = poly(D)) and
 // general graphs: the paper's algorithm (MIS centers), the CD21-style
-// ablation (all centers), BGI Decay and truncated Decay.
-func RunE7(cfg Config) error {
+// ablation (all centers), BGI Decay and truncated Decay. One trial = one
+// seed replica running all four algorithms on the same seed, so the
+// comparison is paired.
+func RunE7(cfg Config) (*Report, error) {
 	rng := xrand.New(cfg.Seed ^ 0xe7)
 	reps := 2
 	if cfg.Scale == Full {
@@ -31,34 +42,68 @@ func RunE7(cfg Config) error {
 		pathLens = append(pathLens, 256, 512)
 	}
 	for _, s := range gridSides {
-		w, err := newWorkload("grid", gen.Grid(s, s), rng)
+		w, err := newWorkload("grid"+strconv.Itoa(s), gen.Grid(s, s), rng)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		entries = append(entries, w)
 	}
 	for _, l := range pathLens {
-		w, err := newWorkload("path", gen.Path(l), rng)
+		w, err := newWorkload("path"+strconv.Itoa(l), gen.Path(l), rng)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		entries = append(entries, w)
 	}
 	udg, _, err := gen.ConnectedUDG(200, 8, 60, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	wu, err := newWorkload("udg", udg, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	entries = append(entries, wu)
 	chain, err := newWorkload("cliquechain", gen.CliqueChain(10, 10), rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	entries = append(entries, chain)
 
+	grid := NewGrid("E7")
+	for _, w := range entries {
+		g := w.g
+		grid.AddReps(w.name, reps, func(seed uint64) (Sample, error) {
+			res, err := core.Broadcast(g, 0, core.Params{}, seed)
+			if err != nil {
+				return Sample{}, err
+			}
+			res2, err := core.Broadcast(g, 0, core.Params{CenterMode: core.AllCenters}, seed)
+			if err != nil {
+				return Sample{}, err
+			}
+			bres, err := baseline.DecayBroadcast(g, 0, 0, seed)
+			if err != nil {
+				return Sample{}, err
+			}
+			tres, err := baseline.TruncatedDecayBroadcast(g, 0, 0, seed)
+			if err != nil {
+				return Sample{}, err
+			}
+			return Sample{Values: V(
+				"paperMain", completedOr(res.CompleteStep, res.MainSteps),
+				"paperTotal", res.TotalSteps,
+				"cd21Main", completedOr(res2.CompleteStep, res2.MainSteps),
+				"bgi", completedOr(bres.CompleteStep, bres.Steps),
+				"trunc", completedOr(tres.CompleteStep, tres.Steps),
+			)}, nil
+		})
+	}
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(results)
 	tb := &stats.Table{
 		Title: "E7 — broadcast completion steps (mean over seeds; lower is better)",
 		Header: []string{"graph", "n", "D", "α̂",
@@ -66,103 +111,82 @@ func RunE7(cfg Config) error {
 			"paper/bgi speedup"},
 	}
 	for _, w := range entries {
-		var paperMain, paperTotal, cd21Main, bgi, trunc []float64
-		for r := 0; r < reps; r++ {
-			seed := cfg.Seed + uint64(100*r+1)
-			res, err := core.Broadcast(w.g, 0, core.Params{}, seed)
-			if err != nil {
-				return err
-			}
-			if res.CompleteStep < 0 {
-				res.CompleteStep = res.MainSteps // budget exhausted; report budget
-			}
-			paperMain = append(paperMain, float64(res.CompleteStep))
-			paperTotal = append(paperTotal, float64(res.TotalSteps))
-			res2, err := core.Broadcast(w.g, 0, core.Params{CenterMode: core.AllCenters}, seed)
-			if err != nil {
-				return err
-			}
-			if res2.CompleteStep < 0 {
-				res2.CompleteStep = res2.MainSteps
-			}
-			cd21Main = append(cd21Main, float64(res2.CompleteStep))
-			bres, err := baseline.DecayBroadcast(w.g, 0, 0, seed)
-			if err != nil {
-				return err
-			}
-			if bres.CompleteStep < 0 {
-				bres.CompleteStep = bres.Steps
-			}
-			bgi = append(bgi, float64(bres.CompleteStep))
-			tres, err := baseline.TruncatedDecayBroadcast(w.g, 0, 0, seed)
-			if err != nil {
-				return err
-			}
-			if tres.CompleteStep < 0 {
-				tres.CompleteStep = tres.Steps
-			}
-			trunc = append(trunc, float64(tres.CompleteStep))
-		}
-		speedup := stats.Mean(bgi) / math.Max(1, stats.Mean(paperMain))
+		ss := groups[w.name]
+		paperMain := stats.Mean(Metric(ss, "paperMain"))
+		bgi := stats.Mean(Metric(ss, "bgi"))
 		tb.AddRowf(w.name, w.g.N(), w.diam, w.alpha,
-			stats.Mean(paperMain), stats.Mean(paperTotal), stats.Mean(cd21Main),
-			stats.Mean(bgi), stats.Mean(trunc), speedup)
+			paperMain, stats.Mean(Metric(ss, "paperTotal")), stats.Mean(Metric(ss, "cd21Main")),
+			bgi, stats.Mean(Metric(ss, "trunc")), bgi/math.Max(1, paperMain))
 	}
-	emit(cfg, tb)
-	return nil
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
 }
 
 // RunE8 — Corollary 9: on growth-bounded graphs the leading term is O(D):
 // fixing n and stretching D, the paper's main-loop completion time grows
 // linearly in D with slope independent of log n, while BGI's slope carries
-// the log n factor. We fit completion vs D for rectangle grids of constant
-// area.
-func RunE8(cfg Config) error {
+// the log n factor. We fit mean completion vs D for rectangle grids of
+// constant area.
+func RunE8(cfg Config) (*Report, error) {
 	rng := xrand.New(cfg.Seed ^ 0xe8)
 	shapes := [][2]int{{16, 16}, {8, 32}, {4, 64}}
+	reps := 2
 	if cfg.Scale == Full {
 		shapes = append(shapes, [2]int{2, 128})
+		reps = 4
 	}
-	tb := &stats.Table{
-		Title:  "E8 — completion vs D at fixed n=256 (rectangle grids)",
-		Header: []string{"shape", "D", "paper main", "paper main/D", "bgi", "bgi/D"},
-	}
-	var ds, paperSteps, bgiSteps []float64
-	for _, sh := range shapes {
+	diams := make([]int, len(shapes))
+	grid := NewGrid("E8")
+	for si, sh := range shapes {
 		g := gen.Grid(sh[0], sh[1])
 		w, err := newWorkload("grid", g, rng)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		res, err := core.Broadcast(g, 0, core.Params{}, cfg.Seed+3)
-		if err != nil {
-			return err
-		}
-		main := res.CompleteStep
-		if main < 0 {
-			main = res.MainSteps
-		}
-		bres, err := baseline.DecayBroadcast(g, 0, 0, cfg.Seed+3)
-		if err != nil {
-			return err
-		}
-		bmain := bres.CompleteStep
-		if bmain < 0 {
-			bmain = bres.Steps
-		}
-		tb.AddRowf(formatShape(sh), w.diam, main, float64(main)/float64(w.diam),
-			bmain, float64(bmain)/float64(w.diam))
-		ds = append(ds, float64(w.diam))
-		paperSteps = append(paperSteps, float64(main))
-		bgiSteps = append(bgiSteps, float64(bmain))
+		diams[si] = w.diam
+		grid.AddReps(formatShape(sh), reps, func(seed uint64) (Sample, error) {
+			res, err := core.Broadcast(g, 0, core.Params{}, seed)
+			if err != nil {
+				return Sample{}, err
+			}
+			bres, err := baseline.DecayBroadcast(g, 0, 0, seed)
+			if err != nil {
+				return Sample{}, err
+			}
+			return Sample{Values: V(
+				"paper", completedOr(res.CompleteStep, res.MainSteps),
+				"bgi", completedOr(bres.CompleteStep, bres.Steps),
+			)}, nil
+		})
+	}
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(results)
+	tb := &stats.Table{
+		Title:  "E8 — completion vs D at fixed n=256 (rectangle grids, mean over seed replicas)",
+		Header: []string{"shape", "D", "paper main", "paper main/D", "bgi", "bgi/D"},
+	}
+	var ds, paperSteps, bgiSteps []float64
+	for si, sh := range shapes {
+		ss := groups[formatShape(sh)]
+		d := diams[si]
+		paper := stats.Mean(Metric(ss, "paper"))
+		bgi := stats.Mean(Metric(ss, "bgi"))
+		tb.AddRowf(formatShape(sh), d, paper, paper/float64(d), bgi, bgi/float64(d))
+		ds = append(ds, float64(d))
+		paperSteps = append(paperSteps, paper)
+		bgiSteps = append(bgiSteps, bgi)
 	}
 	fitPaper, err := stats.LinearFit(ds, paperSteps)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fitBGI, err := stats.LinearFit(ds, bgiSteps)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sum := &stats.Table{
 		Title:  "E8 — per-hop cost (slope of completion vs D); paper predicts O(1) vs Θ(log n)",
@@ -170,9 +194,10 @@ func RunE8(cfg Config) error {
 	}
 	sum.AddRowf("paper (mis centers)", fitPaper.Slope, fitPaper.R2)
 	sum.AddRowf("bgi decay", fitBGI.Slope, fitBGI.R2)
-	emit(cfg, tb)
-	emit(cfg, sum)
-	return nil
+	rep := &Report{}
+	rep.Add(tb)
+	rep.Add(sum)
+	return rep, nil
 }
 
 func formatShape(sh [2]int) string {
@@ -181,114 +206,133 @@ func formatShape(sh [2]int) string {
 
 // RunE9 — Theorem 8: leader election completes in broadcast time and elects
 // a single agreed leader whp, on both the paper's algorithm and the Decay
-// baseline.
-func RunE9(cfg Config) error {
+// baseline. One trial = one seed running both algorithms (paired).
+func RunE9(cfg Config) (*Report, error) {
 	rng := xrand.New(cfg.Seed ^ 0xe9)
 	reps := 3
 	if cfg.Scale == Full {
 		reps = 10
 	}
 	var entries []workload
-	grid, err := newWorkload("grid", gen.Grid(10, 10), rng)
+	grid9, err := newWorkload("grid", gen.Grid(10, 10), rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	entries = append(entries, grid)
+	entries = append(entries, grid9)
 	udg, _, err := gen.ConnectedUDG(150, 8, 60, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	wu, err := newWorkload("udg", udg, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	entries = append(entries, wu)
 	gnp, err := gen.GNPConnected(120, 0.06, 60, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	wg, err := newWorkload("gnp", gnp, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	entries = append(entries, wg)
 
+	grid := NewGrid("E9")
+	for _, w := range entries {
+		g := w.g
+		grid.AddReps(w.name, reps, func(seed uint64) (Sample, error) {
+			er, err := core.LeaderElection(g, core.Params{}, seed)
+			if err != nil {
+				return Sample{}, err
+			}
+			dr, err := baseline.DecayLeaderElection(g, 0, seed)
+			if err != nil {
+				return Sample{}, err
+			}
+			return Sample{Values: V(
+				"pComplete", er.CompleteStep >= 0,
+				"pSteps", max(er.CompleteStep, 0),
+				"pCands", er.Candidates,
+				"dComplete", dr.CompleteStep >= 0,
+				"dSteps", max(dr.CompleteStep, 0),
+				"dCands", dr.Candidates,
+			)}, nil
+		})
+	}
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(results)
 	tb := &stats.Table{
 		Title:  "E9 — leader election (paper vs decay reduction)",
 		Header: []string{"graph", "algo", "runs", "all complete", "mean candidates", "mean steps"},
 	}
 	for _, w := range entries {
-		var steps, cands []float64
-		complete := 0
-		for r := 0; r < reps; r++ {
-			er, err := core.LeaderElection(w.g, core.Params{}, cfg.Seed+uint64(50+r))
-			if err != nil {
-				return err
-			}
-			if er.CompleteStep >= 0 {
-				complete++
-				steps = append(steps, float64(er.CompleteStep))
-			}
-			cands = append(cands, float64(er.Candidates))
-		}
-		tb.AddRowf(w.name, "paper", reps, complete, stats.Mean(cands), stats.Mean(steps))
-		steps, cands = nil, nil
-		complete = 0
-		for r := 0; r < reps; r++ {
-			er, err := baseline.DecayLeaderElection(w.g, 0, cfg.Seed+uint64(50+r))
-			if err != nil {
-				return err
-			}
-			if er.CompleteStep >= 0 {
-				complete++
-				steps = append(steps, float64(er.CompleteStep))
-			}
-			cands = append(cands, float64(er.Candidates))
-		}
-		tb.AddRowf(w.name, "decay", reps, complete, stats.Mean(cands), stats.Mean(steps))
+		ss := groups[w.name]
+		tb.AddRowf(w.name, "paper", len(ss), int(SumMetric(ss, "pComplete")),
+			stats.Mean(Metric(ss, "pCands")), stats.Mean(MetricWhere(ss, "pSteps", "pComplete")))
+		tb.AddRowf(w.name, "decay", len(ss), int(SumMetric(ss, "dComplete")),
+			stats.Mean(Metric(ss, "dCands")), stats.Mean(MetricWhere(ss, "dSteps", "dComplete")))
 	}
-	emit(cfg, tb)
-	return nil
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
 }
 
 // RunE11 — §1.3: geometric-derived classes are growth-bounded — the largest
 // independent set inside a d-ball grows polynomially in d (exponent ≈ 2 for
 // 2-D classes) — and consequently α = poly(D), the property the paper's
-// speedups rely on.
-func RunE11(cfg Config) error {
+// speedups rely on. One trial = one workload's growth-profile measurement.
+func RunE11(cfg Config) (*Report, error) {
 	rng := xrand.New(cfg.Seed ^ 0xe11)
 	ws, err := geometricWorkloads(cfg, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	general := []workload{}
 	gnp, err := gen.GNPConnected(128, 0.06, 60, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	wg, err := newWorkload("gnp (general)", gnp, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	general = append(general, wg)
+	ws = append(ws, wg)
 	star, err := newWorkload("star (general)", gen.Star(128), rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	general = append(general, star)
+	ws = append(ws, star)
 
+	const maxD = 4
+	grid := NewGrid("E11")
+	for _, w := range ws {
+		g := w.g
+		grid.Add(w.name, func(seed uint64) (Sample, error) {
+			profile := g.GrowthProfile(maxD, 10, xrand.New(seed))
+			return Sample{Values: V(
+				"b1", profile[1], "b2", profile[2], "b4", profile[4],
+				"exp", graph.GrowthExponent(profile),
+			)}, nil
+		})
+	}
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
 	tb := &stats.Table{
 		Title:  "E11 — growth profiles α(B_d) and the α vs D relation",
 		Header: []string{"graph", "n", "D", "α̂", "α(B_1)", "α(B_2)", "α(B_4)", "growth exponent", "α ≤ D²·c?"},
 	}
-	maxD := 4
-	for _, w := range append(ws, general...) {
-		profile := w.g.GrowthProfile(maxD, 10, rng)
-		e := graph.GrowthExponent(profile)
+	for wi, w := range ws {
+		s := results[wi]
 		polyD := float64(w.alpha) <= 8*float64(w.diam*w.diam)
 		tb.AddRowf(w.name, w.g.N(), w.diam, w.alpha,
-			profile[1], profile[2], profile[4], e, polyD)
+			int(s.Values["b1"]), int(s.Values["b2"]), int(s.Values["b4"]), s.Values["exp"], polyD)
 	}
-	emit(cfg, tb)
-	return nil
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
 }

@@ -53,8 +53,9 @@ func clusterWorkloads(cfg Config, rng *xrand.RNG) ([]workload, error) {
 // expected distance from a node to its cluster center is O(log_D α/β) =
 // O(b·2^j). We measure E[dist] per j for MIS centers and for all-node
 // centers (CD21's Theorem 2.2 regime, bound log_D n·2^j), on both geometric
-// and general graphs.
-func RunE5(cfg Config) error {
+// and general graphs. One trial = one sampled node at one scale j,
+// measuring both center sets on the same trial randomness.
+func RunE5(cfg Config) (*Report, error) {
 	rng := xrand.New(cfg.Seed ^ 0xe5)
 	trials := 300
 	samples := 6
@@ -64,8 +65,50 @@ func RunE5(cfg Config) error {
 	}
 	ws, err := clusterWorkloads(cfg, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	type jRange struct {
+		b          int
+		jmin, jmax int
+		misSize    int
+	}
+	ranges := make([]jRange, len(ws))
+	grid := NewGrid("E5")
+	for wi, w := range ws {
+		misSet := w.g.GreedyMinDegreeMIS()
+		all := make([]int, w.g.N())
+		for i := range all {
+			all[i] = i
+		}
+		b, err := mpx.B(w.diam, max(2, w.alpha))
+		if err != nil {
+			return nil, err
+		}
+		jmin, jmax := mpx.JRange(w.diam)
+		ranges[wi] = jRange{b: b, jmin: jmin, jmax: jmax, misSize: len(misSet)}
+		g := w.g
+		for j := jmin; j <= jmax; j++ {
+			beta := math.Pow(2, -float64(j))
+			grid.AddReps(fmt.Sprintf("%s/j=%d", w.name, j), samples, func(seed uint64) (Sample, error) {
+				trng := xrand.New(seed)
+				v := trng.Intn(g.N())
+				m, err := mpx.MeanCenterDistance(g, misSet, v, beta, trials, trng)
+				if err != nil {
+					return Sample{}, err
+				}
+				a, err := mpx.MeanCenterDistance(g, all, v, beta, trials, trng)
+				if err != nil {
+					return Sample{}, err
+				}
+				return Sample{Values: V("distMIS", m, "distAll", a)}, nil
+			})
+		}
+	}
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(results)
 	tb := &stats.Table{
 		Title:  "E5 — expected node→center distance per scale j (mean over sampled nodes)",
 		Header: []string{"graph", "D", "α̂", "|MIS|", "j", "β", "E[dist] MIS-ctr", "bound b·2^j", "within 5×bound", "E[dist] all-ctr", "ratio all/MIS"},
@@ -74,36 +117,15 @@ func RunE5(cfg Config) error {
 		Title:  "E5 — share of scales j within the Theorem 2 bound (theory: ≥ 0.77)",
 		Header: []string{"graph", "centers", "good j / total", "share"},
 	}
-	for _, w := range ws {
-		misSet := w.g.GreedyMinDegreeMIS()
-		all := make([]int, w.g.N())
-		for i := range all {
-			all[i] = i
-		}
-		b, err := mpx.B(w.diam, maxi(2, w.alpha))
-		if err != nil {
-			return err
-		}
-		jmin, jmax := mpx.JRange(w.diam)
+	for wi, w := range ws {
+		r := ranges[wi]
 		goodMIS, total := 0, 0
-		for j := jmin; j <= jmax; j++ {
+		for j := r.jmin; j <= r.jmax; j++ {
+			ss := groups[fmt.Sprintf("%s/j=%d", w.name, j)]
 			beta := math.Pow(2, -float64(j))
-			var distMIS, distAll []float64
-			for s := 0; s < samples; s++ {
-				v := rng.Intn(w.g.N())
-				m, err := mpx.MeanCenterDistance(w.g, misSet, v, beta, trials, rng)
-				if err != nil {
-					return err
-				}
-				a, err := mpx.MeanCenterDistance(w.g, all, v, beta, trials, rng)
-				if err != nil {
-					return err
-				}
-				distMIS = append(distMIS, m)
-				distAll = append(distAll, a)
-			}
-			mMIS, mAll := stats.Mean(distMIS), stats.Mean(distAll)
-			bound := mpx.TheoremTwoBound(b, j, 1)
+			mMIS := stats.Mean(Metric(ss, "distMIS"))
+			mAll := stats.Mean(Metric(ss, "distAll"))
+			bound := mpx.TheoremTwoBound(r.b, j, 1)
 			within := mMIS <= 5*bound
 			if within {
 				goodMIS++
@@ -113,13 +135,14 @@ func RunE5(cfg Config) error {
 			if mMIS > 0 {
 				ratio = mAll / mMIS
 			}
-			tb.AddRowf(w.name, w.diam, w.alpha, len(misSet), j, beta, mMIS, bound, within, mAll, ratio)
+			tb.AddRowf(w.name, w.diam, w.alpha, r.misSize, j, beta, mMIS, bound, within, mAll, ratio)
 		}
 		goodShare.AddRowf(w.name, "mis", fmt.Sprintf("%d/%d", goodMIS, total), float64(goodMIS)/float64(total))
 	}
-	emit(cfg, tb)
-	emit(cfg, goodShare)
-	return runE5Blob(cfg, rng)
+	rep := &Report{}
+	rep.Add(tb)
+	rep.Add(goodShare)
+	return runE5Blob(cfg, rep)
 }
 
 // runE5Blob isolates the mechanism behind Theorem 2 with an adversarial
@@ -130,7 +153,7 @@ func RunE5(cfg Config) error {
 // E[dist] jumps to ≈ L (the log_D n regime of CD21's Theorem 2.2). With MIS
 // centers the blob collapses to a single candidate (it is a clique: α-mass
 // 1) and E[dist] stays at the Theorem 2 level O(b·2^j), independent of M.
-func runE5Blob(cfg Config, rng *xrand.RNG) error {
+func runE5Blob(cfg Config, rep *Report) (*Report, error) {
 	const tail = 48
 	const j = 3 // β = 1/8
 	beta := math.Pow(2, -float64(j))
@@ -140,40 +163,55 @@ func runE5Blob(cfg Config, rng *xrand.RNG) error {
 		blobs = append(blobs, 1024)
 		trials = 3000
 	}
-	tb := &stats.Table{
-		Title:  "E5b — blob lollipop (tail 48, β=1/8, measured from tail tip): E[dist] vs blob size",
-		Header: []string{"blob M", "n", "E[dist] MIS-ctr", "E[dist] all-ctr", "ratio all/MIS"},
-	}
-	for _, m := range blobs {
+	grid := NewGrid("E5b")
+	ns := make([]int, len(blobs))
+	for mi, m := range blobs {
 		g := gen.Lollipop(m, tail)
+		ns[mi] = g.N()
 		v := g.N() - 1 // tail tip
 		misSet := g.GreedyMinDegreeMIS()
 		all := make([]int, g.N())
 		for i := range all {
 			all[i] = i
 		}
-		dMIS, err := mpx.MeanCenterDistance(g, misSet, v, beta, trials, rng)
-		if err != nil {
-			return err
-		}
-		dAll, err := mpx.MeanCenterDistance(g, all, v, beta, trials, rng)
-		if err != nil {
-			return err
-		}
+		grid.Add(fmt.Sprintf("M=%d", m), func(seed uint64) (Sample, error) {
+			trng := xrand.New(seed)
+			dMIS, err := mpx.MeanCenterDistance(g, misSet, v, beta, trials, trng)
+			if err != nil {
+				return Sample{}, err
+			}
+			dAll, err := mpx.MeanCenterDistance(g, all, v, beta, trials, trng)
+			if err != nil {
+				return Sample{}, err
+			}
+			return Sample{Values: V("dMIS", dMIS, "dAll", dAll)}, nil
+		})
+	}
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tb := &stats.Table{
+		Title:  "E5b — blob lollipop (tail 48, β=1/8, measured from tail tip): E[dist] vs blob size",
+		Header: []string{"blob M", "n", "E[dist] MIS-ctr", "E[dist] all-ctr", "ratio all/MIS"},
+	}
+	for mi, m := range blobs {
+		s := results[mi]
+		dMIS, dAll := s.Values["dMIS"], s.Values["dAll"]
 		ratio := math.Inf(1)
 		if dMIS > 0 {
 			ratio = dAll / dMIS
 		}
-		tb.AddRowf(m, g.N(), dMIS, dAll, ratio)
+		tb.AddRowf(m, ns[mi], dMIS, dAll, ratio)
 	}
-	emit(cfg, tb)
-	return nil
+	rep.Add(tb)
+	return rep, nil
 }
 
 // RunE6 — Lemma 5: at most 0.02·log₂D scales j are “bad” (the s_j growth
 // condition fails). We compute the profiles m_i from real MIS sets and count
-// bad scales per sampled node.
-func RunE6(cfg Config) error {
+// bad scales per sampled node; one trial = one sampled node.
+func RunE6(cfg Config) (*Report, error) {
 	rng := xrand.New(cfg.Seed ^ 0xe6)
 	samples := 8
 	if cfg.Scale == Full {
@@ -181,45 +219,61 @@ func RunE6(cfg Config) error {
 	}
 	ws, err := clusterWorkloads(cfg, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	type jRange struct {
+		b          int
+		jmin, jmax int
+	}
+	ranges := make([]jRange, len(ws))
+	grid := NewGrid("E6")
+	for wi, w := range ws {
+		misSet := w.g.GreedyMinDegreeMIS()
+		b, err := mpx.B(w.diam, max(2, w.alpha))
+		if err != nil {
+			return nil, err
+		}
+		jmin, jmax := mpx.JRange(w.diam)
+		ranges[wi] = jRange{b: b, jmin: jmin, jmax: jmax}
+		g := w.g
+		grid.AddReps(w.name, samples, func(seed uint64) (Sample, error) {
+			v := xrand.New(seed).Intn(g.N())
+			prof, err := mpx.DistanceProfile(g, misSet, v)
+			if err != nil {
+				return Sample{}, err
+			}
+			return Sample{Values: V("bad", prof.CountBadJs(jmin, jmax, b))}, nil
+		})
+	}
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(results)
 	tb := &stats.Table{
 		Title:  "E6 — bad scales per node (Lemma 5 bound: 0.02·log₂D)",
 		Header: []string{"graph", "D", "α̂", "b", "j range", "max bad j", "bound", "ok"},
 	}
-	for _, w := range ws {
-		misSet := w.g.GreedyMinDegreeMIS()
-		b, err := mpx.B(w.diam, maxi(2, w.alpha))
-		if err != nil {
-			return err
-		}
-		jmin, jmax := mpx.JRange(w.diam)
-		maxBad := 0
-		for s := 0; s < samples; s++ {
-			v := rng.Intn(w.g.N())
-			prof, err := mpx.DistanceProfile(w.g, misSet, v)
-			if err != nil {
-				return err
-			}
-			if bad := prof.CountBadJs(jmin, jmax, b); bad > maxBad {
-				maxBad = bad
-			}
-		}
+	for wi, w := range ws {
+		r := ranges[wi]
+		maxBad := int(stats.Max(Metric(groups[w.name], "bad")))
 		bound := 0.02 * math.Log2(float64(w.diam))
 		// The asymptotic bound rounds to ≥1 allowed bad scale at our sizes.
 		ok := float64(maxBad) <= math.Max(1, math.Ceil(bound))
-		tb.AddRowf(w.name, w.diam, w.alpha, b,
-			fmt.Sprintf("[%d,%d]", jmin, jmax), maxBad, bound, ok)
+		tb.AddRowf(w.name, w.diam, w.alpha, r.b,
+			fmt.Sprintf("[%d,%d]", r.jmin, r.jmax), maxBad, bound, ok)
 	}
-	emit(cfg, tb)
-	return nil
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
 }
 
 // RunE12 — ablation (§2.2): on identical graphs and seeds, compare
-// Partition(β) against Partition(β, MIS): cluster counts, radii and mean
-// center distances. The MIS restriction is what converts the log_D n
-// dependence into log_D α.
-func RunE12(cfg Config) error {
+// Partition(β) against Partition(β, MIS): cluster counts, radii and center
+// distances. The MIS restriction is what converts the log_D n dependence
+// into log_D α. One trial = one Partition run; distance statistics are
+// computed per trial and averaged across replicas.
+func RunE12(cfg Config) (*Report, error) {
 	rng := xrand.New(cfg.Seed ^ 0xe12)
 	reps := 5
 	if cfg.Scale == Full {
@@ -227,50 +281,62 @@ func RunE12(cfg Config) error {
 	}
 	ws, err := clusterWorkloads(cfg, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	tb := &stats.Table{
-		Title:  "E12 — Partition(β) vs Partition(β, MIS) on identical graphs",
-		Header: []string{"graph", "β", "centers", "clusters", "max radius", "mean dist", "p95 dist"},
-	}
-	for _, w := range ws {
+	betas := make([]float64, len(ws))
+	grid := NewGrid("E12")
+	for wi, w := range ws {
 		jmin, _ := mpx.JRange(w.diam)
 		beta := math.Pow(2, -float64(jmin+1))
+		betas[wi] = beta
 		misSet := w.g.GreedyMinDegreeMIS()
 		all := make([]int, w.g.N())
 		for i := range all {
 			all[i] = i
 		}
+		g := w.g
 		for _, mode := range []struct {
 			name    string
 			centers []int
 		}{{"mis", misSet}, {"all", all}} {
-			var clusters, radii, dists []float64
-			for r := 0; r < reps; r++ {
-				a, err := mpx.Partition(w.g, mode.centers, beta, rng)
+			grid.AddReps(w.name+"/"+mode.name, reps, func(seed uint64) (Sample, error) {
+				a, err := mpx.Partition(g, mode.centers, beta, xrand.New(seed))
 				if err != nil {
-					return err
+					return Sample{}, err
 				}
-				clusters = append(clusters, float64(a.NumClusters()))
-				radii = append(radii, float64(a.MaxRadius()))
+				var dists []float64
 				for u := range a.Center {
 					if a.Hops[u] >= 0 {
 						dists = append(dists, float64(a.Hops[u]))
 					}
 				}
-			}
-			tb.AddRowf(w.name, beta, mode.name,
-				stats.Mean(clusters), stats.Max(radii),
-				stats.Mean(dists), stats.Quantile(dists, 0.95))
+				return Sample{Values: V(
+					"clusters", a.NumClusters(),
+					"maxRadius", a.MaxRadius(),
+					"meanDist", stats.Mean(dists),
+					"p95Dist", stats.Quantile(dists, 0.95),
+				)}, nil
+			})
 		}
 	}
-	emit(cfg, tb)
-	return nil
-}
-
-func maxi(a, b int) int {
-	if a > b {
-		return a
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return b
+	groups := ByGroup(results)
+	tb := &stats.Table{
+		Title:  "E12 — Partition(β) vs Partition(β, MIS) on identical graphs",
+		Header: []string{"graph", "β", "centers", "clusters", "max radius", "mean dist", "p95 dist"},
+	}
+	for wi, w := range ws {
+		for _, mode := range []string{"mis", "all"} {
+			ss := groups[w.name+"/"+mode]
+			tb.AddRowf(w.name, betas[wi], mode,
+				stats.Mean(Metric(ss, "clusters")), stats.Max(Metric(ss, "maxRadius")),
+				stats.Mean(Metric(ss, "meanDist")), stats.Mean(Metric(ss, "p95Dist")))
+		}
+	}
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
 }

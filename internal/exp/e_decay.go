@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"repro/internal/decay"
 	"repro/internal/gen"
 	"repro/internal/radio"
@@ -11,8 +13,9 @@ import (
 // inform every node with a neighbor in S whp. We sweep the sender-set size
 // on a star (the center must hear) and the iteration count, measuring
 // delivery frequency; one iteration already succeeds with Ω(1) probability
-// and amplification drives failure to ~0.
-func RunE4(cfg Config) error {
+// and amplification drives failure to ~0. One trial = one amplified Decay
+// block at one (|S|, iterations) cell.
+func RunE4(cfg Config) (*Report, error) {
 	trials := 40
 	if cfg.Scale == Full {
 		trials = 300
@@ -20,28 +23,36 @@ func RunE4(cfg Config) error {
 	const leaves = 63
 	senderCounts := []int{1, 4, 16, 63}
 	iterations := []int{1, 2, 4, 8, 16}
+	grid := NewGrid("E4")
+	for _, k := range senderCounts {
+		for _, iters := range iterations {
+			grid.AddReps(fmt.Sprintf("%d/%d", k, iters), trials, func(seed uint64) (Sample, error) {
+				heard, err := decayCenterHeard(leaves+1, k, iters, seed)
+				if err != nil {
+					return Sample{}, err
+				}
+				return Sample{Values: V("heard", heard)}, nil
+			})
+		}
+	}
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(results)
 	tb := &stats.Table{
 		Title:  "E4 — Decay delivery frequency at a star center (n=64)",
 		Header: []string{"|S|", "iterations", "trials", "frac delivered"},
 	}
-	g := gen.Star(leaves + 1)
 	for _, k := range senderCounts {
 		for _, iters := range iterations {
-			hits := 0
-			for trial := 0; trial < trials; trial++ {
-				heard, err := decayCenterHeard(g.N(), k, iters, cfg.Seed+uint64(trial*7919+k*131+iters))
-				if err != nil {
-					return err
-				}
-				if heard {
-					hits++
-				}
-			}
-			tb.AddRowf(k, iters, trials, float64(hits)/float64(trials))
+			ss := groups[fmt.Sprintf("%d/%d", k, iters)]
+			tb.AddRowf(k, iters, len(ss), stats.Mean(Metric(ss, "heard")))
 		}
 	}
-	emit(cfg, tb)
-	return nil
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
 }
 
 // decayCenterHeard runs one amplified Decay block on an n-node star with the

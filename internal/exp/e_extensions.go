@@ -25,56 +25,56 @@ import (
 // 1-hop neighbors). The measured completion-time ratio quantifies the net
 // effect; the important qualitative check is that Radio MIS executed under
 // SINR physics still produces a valid MIS of the decode-range connectivity
-// graph.
-func RunE13(cfg Config) error {
-	rng := xrand.New(cfg.Seed ^ 0xe13)
+// graph. One trial = one deployment measured under both models.
+func RunE13(cfg Config) (*Report, error) {
 	trials := 5
 	nPoints := 120
 	if cfg.Scale == Full {
 		trials = 15
 		nPoints = 250
 	}
-	tb := &stats.Table{
-		Title:  "E13 — graph model vs SINR physics (same protocol, same points)",
-		Header: []string{"n", "trials", "graph-model decay steps", "sinr decay steps", "sinr/graph", "sinr MIS valid"},
-	}
 	params := sinr.Params{} // decode range exactly 1 → connectivity graph = UDG(1)
-	var gSteps, sSteps []float64
-	misValid := 0
-	for trial := 0; trial < trials; trial++ {
-		pts, g := connectedDeployment(nPoints, rng)
-		seed := cfg.Seed + uint64(300+trial)
+	grid := NewGrid("E13")
+	grid.AddReps("sinr", trials, func(seed uint64) (Sample, error) {
+		trng := xrand.New(seed)
+		pts, g := connectedDeployment(nPoints, trng)
 
 		// Decay broadcast under the graph model.
 		gres, err := baseline.DecayBroadcast(g, 0, 0, seed)
 		if err != nil {
-			return err
+			return Sample{}, err
 		}
-		step := gres.CompleteStep
-		if step < 0 {
-			step = gres.Steps
-		}
-		gSteps = append(gSteps, float64(step))
+		gStep := completedOr(gres.CompleteStep, gres.Steps)
 
 		// The same protocol under SINR physics.
 		sStep, err := decayBroadcastSINR(pts, g.N(), params, seed)
 		if err != nil {
-			return err
+			return Sample{}, err
 		}
-		sSteps = append(sSteps, float64(sStep))
 
 		// Radio MIS under SINR, validated against the connectivity graph.
-		if ok, err := misUnderSINR(pts, params, seed); err != nil {
-			return err
-		} else if ok {
-			misValid++
+		ok, err := misUnderSINR(pts, params, seed)
+		if err != nil {
+			return Sample{}, err
 		}
+		return Sample{Values: V("gSteps", gStep, "sSteps", sStep, "misValid", ok)}, nil
+	})
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
 	}
+	tb := &stats.Table{
+		Title:  "E13 — graph model vs SINR physics (same protocol, same points)",
+		Header: []string{"n", "trials", "graph-model decay steps", "sinr decay steps", "sinr/graph", "sinr MIS valid"},
+	}
+	gSteps := Metric(results, "gSteps")
+	sSteps := Metric(results, "sSteps")
 	ratio := stats.Mean(sSteps) / math.Max(1, stats.Mean(gSteps))
-	tb.AddRowf(nPoints, trials, stats.Mean(gSteps), stats.Mean(sSteps), ratio,
-		fmt.Sprintf("%d/%d", misValid, trials))
-	emit(cfg, tb)
-	return nil
+	tb.AddRowf(nPoints, len(results), stats.Mean(gSteps), stats.Mean(sSteps), ratio,
+		fmt.Sprintf("%d/%d", int(SumMetric(results, "misValid")), len(results)))
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
 }
 
 // connectedDeployment draws points until the unit-range UDG is connected.
@@ -183,9 +183,9 @@ func misUnderSINR(pts []gen.Point, params sinr.Params, seed uint64) (bool, error
 
 // RunE14 — Theorem 6's source-count term: Compete(S) costs
 // O(D·log_D α + |S|·D^0.125 + polylog n). We sweep |S| at fixed topology and
-// check completion grows only mildly with the source count.
-func RunE14(cfg Config) error {
-	rng := xrand.New(cfg.Seed ^ 0xe14)
+// check completion grows only mildly with the source count. One trial = one
+// random source set of size k.
+func RunE14(cfg Config) (*Report, error) {
 	g := gen.Grid(12, 12)
 	if cfg.Scale == Full {
 		g = gen.Grid(20, 20)
@@ -195,37 +195,39 @@ func RunE14(cfg Config) error {
 	if cfg.Scale == Full {
 		reps = 6
 	}
+	grid := NewGrid("E14")
+	for _, k := range counts {
+		grid.AddReps(fmt.Sprintf("k=%d", k), reps, func(seed uint64) (Sample, error) {
+			trng := xrand.New(seed)
+			sources := map[int]int64{}
+			perm := trng.Perm(g.N())
+			for i := 0; i < k; i++ {
+				sources[perm[i]] = int64(1000 + i)
+			}
+			res, err := core.Compete(g, sources, core.Params{FinesPerScale: 2}, seed)
+			if err != nil {
+				return Sample{}, err
+			}
+			return Sample{Values: V("step", completedOr(res.CompleteStep, res.MainSteps))}, nil
+		})
+	}
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(results)
 	tb := &stats.Table{
 		Title:  "E14 — Compete(S) completion vs source count (Theorem 6's |S|·D^0.125 term)",
 		Header: []string{"|S|", "runs", "mean complete", "max complete"},
 	}
-	var first float64
 	for _, k := range counts {
-		var steps []float64
-		for r := 0; r < reps; r++ {
-			sources := map[int]int64{}
-			perm := rng.Perm(g.N())
-			for i := 0; i < k; i++ {
-				sources[perm[i]] = int64(1000 + i)
-			}
-			res, err := core.Compete(g, sources, core.Params{FinesPerScale: 2}, cfg.Seed+uint64(17*r+k))
-			if err != nil {
-				return err
-			}
-			step := res.CompleteStep
-			if step < 0 {
-				step = res.MainSteps
-			}
-			steps = append(steps, float64(step))
-		}
-		m := stats.Mean(steps)
-		if first == 0 {
-			first = m
-		}
-		tb.AddRowf(k, reps, m, stats.Max(steps))
+		ss := groups[fmt.Sprintf("k=%d", k)]
+		steps := Metric(ss, "step")
+		tb.AddRowf(k, len(ss), stats.Mean(steps), stats.Max(steps))
 	}
-	emit(cfg, tb)
-	return nil
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
 }
 
 // RunE16 — the single-hop wake-up reduction behind the Ω(log² n) MIS lower
@@ -235,7 +237,7 @@ func RunE14(cfg Config) error {
 // a step with exactly one transmitter. We measure the step of the first
 // clear transmission as k sweeps the unknown range, the quantity the
 // Farach-Colton–Fernandes–Mosteiro bound constrains to Ω(log² n) for some k.
-func RunE16(cfg Config) error {
+func RunE16(cfg Config) (*Report, error) {
 	bigN := 256
 	if cfg.Scale == Full {
 		bigN = 1024
@@ -244,39 +246,47 @@ func RunE16(cfg Config) error {
 	if cfg.Scale == Full {
 		reps = 10
 	}
-	tb := &stats.Table{
-		Title:  "E16 — wake-up reduction: first clear transmission on a k-clique run with estimate n",
-		Header: []string{"k", "n estimate", "runs", "mean first-clear step", "max", "log²n", "all valid"},
-	}
-	log2n := math.Log2(float64(bigN))
-	for _, k := range []int{1, 2, 8, 32, 128} {
-		var firsts []float64
-		valid := 0
-		for r := 0; r < reps; r++ {
+	ks := []int{1, 2, 8, 32, 128}
+	grid := NewGrid("E16")
+	for _, k := range ks {
+		grid.AddReps(fmt.Sprintf("k=%d", k), reps, func(seed uint64) (Sample, error) {
 			g := gen.Clique(k)
 			first := -1
-			out, err := mis.RunDetailed(g, mis.Params{}, cfg.Seed+uint64(700+r), bigN,
+			out, err := mis.RunDetailed(g, mis.Params{}, seed, bigN,
 				func(st radio.StepStats) {
 					if first < 0 && st.Transmits == 1 {
 						first = st.Step
 					}
 				})
 			if err != nil {
-				return err
+				return Sample{}, err
 			}
-			if out.Completed && mis.Verify(g, out.MIS) == nil && len(out.MIS) == 1 {
-				valid++
-			}
+			valid := out.Completed && mis.Verify(g, out.MIS) == nil && len(out.MIS) == 1
 			if first < 0 {
 				first = out.Steps // never cleared (should not happen for valid runs)
 			}
-			firsts = append(firsts, float64(first))
-		}
-		tb.AddRowf(k, bigN, reps, stats.Mean(firsts), stats.Max(firsts), log2n*log2n,
-			fmt.Sprintf("%d/%d", valid, reps))
+			return Sample{Values: V("first", first, "valid", valid)}, nil
+		})
 	}
-	emit(cfg, tb)
-	return nil
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(results)
+	tb := &stats.Table{
+		Title:  "E16 — wake-up reduction: first clear transmission on a k-clique run with estimate n",
+		Header: []string{"k", "n estimate", "runs", "mean first-clear step", "max", "log²n", "all valid"},
+	}
+	log2n := math.Log2(float64(bigN))
+	for _, k := range ks {
+		ss := groups[fmt.Sprintf("k=%d", k)]
+		firsts := Metric(ss, "first")
+		tb.AddRowf(k, bigN, len(ss), stats.Mean(firsts), stats.Max(firsts), log2n*log2n,
+			fmt.Sprintf("%d/%d", int(SumMetric(ss, "valid")), len(ss)))
+	}
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
 }
 
 // RunE15 — model ablation: the synchronous wake-up assumption (§1.1).
@@ -284,8 +294,9 @@ func RunE16(cfg Config) error {
 // round length, independence violations appear (a late waker cannot hear
 // an already-announced MIS neighbor). This is why the paper's model, unlike
 // Moscibroda–Wattenhofer's UDG-specific algorithm [26], assumes synchronous
-// wake-up.
-func RunE15(cfg Config) error {
+// wake-up. One trial = one staggered run; the wake schedule is drawn from
+// the trial seed.
+func RunE15(cfg Config) (*Report, error) {
 	rng := xrand.New(cfg.Seed ^ 0xe15)
 	trials := 10
 	if cfg.Scale == Full {
@@ -294,34 +305,47 @@ func RunE15(cfg Config) error {
 	g := gen.GNP(96, 0.08, rng)
 	roundLen, _ := mis.EstimateLayout(g.N(), mis.Params{})
 	staggers := []int{0, roundLen / 4, roundLen, 4 * roundLen}
+	grid := NewGrid("E15")
+	for _, s := range staggers {
+		grid.AddReps(fmt.Sprintf("s=%d", s), trials, func(seed uint64) (Sample, error) {
+			trng := xrand.New(seed)
+			wake := make([]int, g.N())
+			if s > 0 {
+				for v := range wake {
+					wake[v] = trng.Intn(s + 1)
+				}
+			}
+			out, err := mis.RunAsync(g, mis.Params{}, trng.Uint64(), wake)
+			if err != nil {
+				return Sample{}, err
+			}
+			valid, depend, other := false, false, false
+			switch {
+			case out.Completed && mis.Verify(g, out.MIS) == nil:
+				valid = true
+			case !g.IsIndependentSet(out.MIS):
+				depend = true // the dangerous failure: two adjacent MIS nodes
+			default:
+				other = true // undecided nodes or domination gaps
+			}
+			return Sample{Values: V("valid", valid, "depend", depend, "other", other)}, nil
+		})
+	}
+	results, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(results)
 	tb := &stats.Table{
 		Title:  "E15 — Radio MIS under staggered wake-up (violations of Theorem 14's guarantee)",
 		Header: []string{"max stagger (steps)", "stagger/roundLen", "trials", "valid", "not independent", "not maximal/incomplete"},
 	}
 	for _, s := range staggers {
-		valid, depend, other := 0, 0, 0
-		for trial := 0; trial < trials; trial++ {
-			wake := make([]int, g.N())
-			if s > 0 {
-				for v := range wake {
-					wake[v] = rng.Intn(s + 1)
-				}
-			}
-			out, err := mis.RunAsync(g, mis.Params{}, cfg.Seed+uint64(901+trial), wake)
-			if err != nil {
-				return err
-			}
-			switch {
-			case out.Completed && mis.Verify(g, out.MIS) == nil:
-				valid++
-			case !g.IsIndependentSet(out.MIS):
-				depend++ // the dangerous failure: two adjacent MIS nodes
-			default:
-				other++ // undecided nodes or domination gaps
-			}
-		}
-		tb.AddRowf(s, float64(s)/float64(roundLen), trials, valid, depend, other)
+		ss := groups[fmt.Sprintf("s=%d", s)]
+		tb.AddRowf(s, float64(s)/float64(roundLen), len(ss),
+			int(SumMetric(ss, "valid")), int(SumMetric(ss, "depend")), int(SumMetric(ss, "other")))
 	}
-	emit(cfg, tb)
-	return nil
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
 }

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -12,14 +13,16 @@ import (
 )
 
 // RunE1 — Theorem 14: Radio MIS finishes in O(log³ n) time-steps. We sweep n
-// per graph class, record the real step counts, and fit the exponent of
-// steps vs log₂ n (prediction: ≈ 3, since each of the Θ(log n) rounds costs
-// Θ(log² n) steps).
-func RunE1(cfg Config) error {
+// per graph class with several seed replicas per size, record the real step
+// counts, and fit the exponent of mean steps vs log₂ n (prediction: ≈ 3,
+// since each of the Θ(log n) rounds costs Θ(log² n) steps).
+func RunE1(cfg Config) (*Report, error) {
 	rng := xrand.New(cfg.Seed)
 	sizes := []int{32, 64, 128, 256}
+	reps := 2
 	if cfg.Scale == Full {
 		sizes = append(sizes, 512, 1024)
+		reps = 5
 	}
 	classes := []struct {
 		name  string
@@ -30,45 +33,63 @@ func RunE1(cfg Config) error {
 		{"grid", func(n int) *graph.Graph { s := int(math.Sqrt(float64(n))); return gen.Grid(s, s) }},
 		{"path", gen.Path},
 	}
-	tb := &stats.Table{
-		Title:  "E1 — Radio MIS steps vs n (per class)",
-		Header: []string{"class", "n", "steps", "steps/log³n", "completed"},
-	}
-	summary := &stats.Table{
-		Title:  "E1 — fitted exponent of steps vs log₂ n (theory: 3)",
-		Header: []string{"class", "exponent", "verdict"},
-	}
+	grid := NewGrid("E1")
 	for _, cl := range classes {
-		var logNs, steps []float64
 		for _, n := range sizes {
 			g := cl.build(n)
-			out, err := mis.Run(g, mis.Params{}, cfg.Seed+uint64(n))
-			if err != nil {
-				return err
-			}
-			l := math.Log2(float64(n))
-			tb.AddRowf(cl.name, n, out.Steps, float64(out.Steps)/(l*l*l), out.Completed)
-			logNs = append(logNs, l)
-			steps = append(steps, float64(out.Steps))
+			grid.AddReps(cl.name+"/"+strconv.Itoa(n), reps, func(seed uint64) (Sample, error) {
+				out, err := mis.Run(g, mis.Params{}, seed)
+				if err != nil {
+					return Sample{}, err
+				}
+				return Sample{Values: V("steps", out.Steps, "completed", out.Completed)}, nil
+			})
 		}
-		e, err := stats.PowerLawExponent(logNs, steps)
+	}
+	samples, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(samples)
+	tb := &stats.Table{
+		Title:  "E1 — Radio MIS steps vs n (mean over seed replicas, per class)",
+		Header: []string{"class", "n", "reps", "mean steps", "95% CI", "steps/log³n", "completed"},
+	}
+	summary := &stats.Table{
+		Title:  "E1 — fitted exponent of mean steps vs log₂ n (theory: 3)",
+		Header: []string{"class", "exponent", "verdict"},
+	}
+	rep := &Report{}
+	for _, cl := range classes {
+		var logNs, meanSteps []float64
+		for _, n := range sizes {
+			ss := groups[cl.name+"/"+strconv.Itoa(n)]
+			sum := stats.Summarize(Metric(ss, "steps"))
+			l := math.Log2(float64(n))
+			tb.AddRowf(cl.name, n, sum.N, sum.Mean, ci95String(sum),
+				sum.Mean/(l*l*l),
+				fmt.Sprintf("%d/%d", int(SumMetric(ss, "completed")), sum.N))
+			logNs = append(logNs, l)
+			meanSteps = append(meanSteps, sum.Mean)
+		}
+		e, err := stats.PowerLawExponent(logNs, meanSteps)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		verdict := "≈ log³ n ✓"
 		if e < 2.2 || e > 3.8 {
-			verdict = fmt.Sprintf("outside [2.2,3.8]")
+			verdict = "outside [2.2,3.8]"
 		}
 		summary.AddRowf(cl.name, e, verdict)
 	}
-	emit(cfg, tb)
-	emit(cfg, summary)
-	return nil
+	rep.Add(tb)
+	rep.Add(summary)
+	return rep, nil
 }
 
 // RunE2 — Theorem 14 correctness: the output is an independent, maximal set
 // with high probability, across every graph class of §1.3 and many seeds.
-func RunE2(cfg Config) error {
+func RunE2(cfg Config) (*Report, error) {
 	rng := xrand.New(cfg.Seed ^ 0xe2)
 	seeds := 5
 	if cfg.Scale == Full {
@@ -76,7 +97,7 @@ func RunE2(cfg Config) error {
 	}
 	gws, err := geometricWorkloads(cfg, rng)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	type entry struct {
 		name string
@@ -96,30 +117,39 @@ func RunE2(cfg Config) error {
 	for _, w := range gws {
 		entries = append(entries, entry{w.name, w.g})
 	}
+	grid := NewGrid("E2")
+	for _, e := range entries {
+		g := e.g
+		grid.AddReps(e.name, seeds, func(seed uint64) (Sample, error) {
+			out, err := mis.Run(g, mis.Params{}, seed)
+			if err != nil {
+				return Sample{}, err
+			}
+			return Sample{Values: V(
+				"valid", mis.Verify(g, out.MIS) == nil,
+				"completed", out.Completed,
+				"size", len(out.MIS),
+			)}, nil
+		})
+	}
+	samples, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(samples)
 	tb := &stats.Table{
 		Title:  "E2 — Radio MIS correctness (independence + maximality)",
 		Header: []string{"class", "n", "trials", "valid", "completed", "mean |MIS|"},
 	}
 	for _, e := range entries {
-		valid, completed := 0, 0
-		var sizes []float64
-		for s := 0; s < seeds; s++ {
-			out, err := mis.Run(e.g, mis.Params{}, cfg.Seed+uint64(1000+s))
-			if err != nil {
-				return err
-			}
-			if out.Completed {
-				completed++
-			}
-			if mis.Verify(e.g, out.MIS) == nil {
-				valid++
-			}
-			sizes = append(sizes, float64(len(out.MIS)))
-		}
-		tb.AddRowf(e.name, e.g.N(), seeds, valid, completed, stats.Mean(sizes))
+		ss := groups[e.name]
+		tb.AddRowf(e.name, e.g.N(), len(ss),
+			int(SumMetric(ss, "valid")), int(SumMetric(ss, "completed")),
+			stats.Mean(Metric(ss, "size")))
 	}
-	emit(cfg, tb)
-	return nil
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
 }
 
 // disconnectedSample builds a deliberately disconnected graph: MIS is a
@@ -136,7 +166,7 @@ func disconnectedSample() *graph.Graph {
 // and Low whp when d(v) ≤ 0.01 (either answer allowed in between). We build
 // star neighborhoods with exact target effective degrees and measure the
 // High frequency at the center.
-func RunE3(cfg Config) error {
+func RunE3(cfg Config) (*Report, error) {
 	trials := 30
 	if cfg.Scale == Full {
 		trials = 200
@@ -155,28 +185,40 @@ func RunE3(cfg Config) error {
 		{8, "High"},
 		{32, "High"},
 	}
-	tb := &stats.Table{
-		Title:  "E3 — EstimateEffectiveDegree verdict frequency at the center of a star",
-		Header: []string{"d(v)", "leaves", "p/leaf", "trials", "frac High", "lemma expects", "ok"},
+	grid := NewGrid("E3")
+	type setup struct {
+		leaves int
+		pLeaf  float64
 	}
-	for _, tg := range targets {
+	setups := make([]setup, len(targets))
+	for ti, tg := range targets {
 		leaves, pLeaf := starFor(tg.d)
+		setups[ti] = setup{leaves: leaves, pLeaf: pLeaf}
 		g := gen.Star(leaves + 1)
 		p := make([]float64, leaves+1)
 		for v := 1; v <= leaves; v++ {
 			p[v] = pLeaf
 		}
-		highs := 0
-		for s := 0; s < trials; s++ {
-			est, _, err := mis.RunDegreeEstimate(g, p, params, cfg.Seed+uint64(31*s)+uint64(tg.d*1000))
+		grid.AddReps(fmt.Sprintf("d=%g", tg.d), trials, func(seed uint64) (Sample, error) {
+			est, _, err := mis.RunDegreeEstimate(g, p, params, seed)
 			if err != nil {
-				return err
+				return Sample{}, err
 			}
-			if est[0].High {
-				highs++
-			}
-		}
-		frac := float64(highs) / float64(trials)
+			return Sample{Values: V("high", est[0].High)}, nil
+		})
+	}
+	samples, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(samples)
+	tb := &stats.Table{
+		Title:  "E3 — EstimateEffectiveDegree verdict frequency at the center of a star",
+		Header: []string{"d(v)", "leaves", "p/leaf", "trials", "frac High", "lemma expects", "ok"},
+	}
+	for ti, tg := range targets {
+		ss := groups[fmt.Sprintf("d=%g", tg.d)]
+		frac := stats.Mean(Metric(ss, "high"))
 		ok := true
 		switch tg.expect {
 		case "High":
@@ -184,10 +226,11 @@ func RunE3(cfg Config) error {
 		case "Low":
 			ok = frac <= 0.1
 		}
-		tb.AddRowf(tg.d, leaves, pLeaf, trials, frac, tg.expect, ok)
+		tb.AddRowf(tg.d, setups[ti].leaves, setups[ti].pLeaf, len(ss), frac, tg.expect, ok)
 	}
-	emit(cfg, tb)
-	return nil
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
 }
 
 // starFor picks a leaf count and per-leaf desire level realizing effective
@@ -208,9 +251,13 @@ func starFor(d float64) (leaves int, pLeaf float64) {
 // (type 1: d_t(v) < 1 with p_t(v)=1/2; type 2: d_t(v) ≥ 1/200 with ≥ d/10
 // contributed by low-degree neighbors), and nodes are removed quickly. We
 // instrument the real Radio MIS run and report golden-round tallies and
-// removal-round quantiles.
-func RunE10(cfg Config) error {
+// removal-round quantiles, averaged over seed replicas.
+func RunE10(cfg Config) (*Report, error) {
 	rng := xrand.New(cfg.Seed ^ 0xe10)
+	reps := 1
+	if cfg.Scale == Full {
+		reps = 3
+	}
 	entries := []struct {
 		name string
 		g    *graph.Graph
@@ -219,73 +266,101 @@ func RunE10(cfg Config) error {
 		{"grid", gen.Grid(12, 12)},
 		{"clique", gen.Clique(96)},
 	}
+	grid := NewGrid("E10")
+	for _, e := range entries {
+		g := e.g
+		grid.AddReps(e.name, reps, func(seed uint64) (Sample, error) {
+			return runE10Trial(g, seed)
+		})
+	}
+	samples, err := grid.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups := ByGroup(samples)
 	tb := &stats.Table{
 		Title:  "E10 — golden rounds and removal times (Radio MIS, instrumented)",
 		Header: []string{"class", "n", "rounds budget", "max removal round", "mean golden/node", "p95 golden", "removed by golden?"},
 	}
 	for _, e := range entries {
+		ss := groups[e.name]
 		n := e.g.N()
-		golden := make([]float64, n)
-		removedAt := make([]int, n)
-		for v := range removedAt {
-			removedAt[v] = -1
-		}
-		// prev starts as the true initial state: everyone alive at p = 1/2.
-		prev := make([]mis.NodeState, n)
-		for v := range prev {
-			prev[v] = mis.NodeState{P: 0.5, Alive: true}
-		}
-		params := mis.Params{Observer: func(round int, states []mis.NodeState) {
-			// Golden rounds are defined on the state entering the round; we
-			// receive states at round end, so classify using the previous
-			// snapshot (round ≥ 1) against who was alive entering it.
-			if len(prev) == len(states) {
-				for v := range states {
-					if !prev[v].Alive {
-						continue
-					}
-					d := mis.EffectiveDegree(e.g, prev, v)
-					if d < 1 && prev[v].P == 0.5 {
-						golden[v]++ // type 1
-					} else if d >= 1.0/200 {
-						var lowContrib float64
-						for _, u := range e.g.Neighbors(v) {
-							if prev[u].Alive && mis.EffectiveDegree(e.g, prev, int(u)) < 1 {
-								lowContrib += prev[u].P
-							}
+		tb.AddRowf(e.name, n,
+			stats.Mean(Metric(ss, "rounds")), stats.Max(Metric(ss, "maxRemoval")),
+			stats.Mean(Metric(ss, "meanGolden")), stats.Mean(Metric(ss, "p95Golden")),
+			fmt.Sprintf("%.4g/%d", stats.Mean(Metric(ss, "removedEarly")), n))
+	}
+	rep := &Report{}
+	rep.Add(tb)
+	return rep, nil
+}
+
+// runE10Trial runs one instrumented Radio MIS trial and aggregates its
+// per-node golden-round tallies into scalar metrics.
+func runE10Trial(g *graph.Graph, seed uint64) (Sample, error) {
+	n := g.N()
+	golden := make([]float64, n)
+	removedAt := make([]int, n)
+	for v := range removedAt {
+		removedAt[v] = -1
+	}
+	// prev starts as the true initial state: everyone alive at p = 1/2.
+	prev := make([]mis.NodeState, n)
+	for v := range prev {
+		prev[v] = mis.NodeState{P: 0.5, Alive: true}
+	}
+	params := mis.Params{Observer: func(round int, states []mis.NodeState) {
+		// Golden rounds are defined on the state entering the round; we
+		// receive states at round end, so classify using the previous
+		// snapshot (round ≥ 1) against who was alive entering it.
+		if len(prev) == len(states) {
+			for v := range states {
+				if !prev[v].Alive {
+					continue
+				}
+				d := mis.EffectiveDegree(g, prev, v)
+				if d < 1 && prev[v].P == 0.5 {
+					golden[v]++ // type 1
+				} else if d >= 1.0/200 {
+					var lowContrib float64
+					for _, u := range g.Neighbors(v) {
+						if prev[u].Alive && mis.EffectiveDegree(g, prev, int(u)) < 1 {
+							lowContrib += prev[u].P
 						}
-						if lowContrib >= d/10 {
-							golden[v]++ // type 2
-						}
 					}
-					if !states[v].Alive && removedAt[v] == -1 {
-						removedAt[v] = round
+					if lowContrib >= d/10 {
+						golden[v]++ // type 2
 					}
 				}
-			}
-			prev = append(prev[:0], states...)
-		}}
-		out, err := mis.Run(e.g, params, cfg.Seed+7)
-		if err != nil {
-			return err
-		}
-		if err := mis.Verify(e.g, out.MIS); err != nil {
-			return err
-		}
-		maxRemoval := 0
-		removedEarly := 0
-		for v := 0; v < n; v++ {
-			if removedAt[v] > maxRemoval {
-				maxRemoval = removedAt[v]
-			}
-			if removedAt[v] >= 0 {
-				removedEarly++
+				if !states[v].Alive && removedAt[v] == -1 {
+					removedAt[v] = round
+				}
 			}
 		}
-		tb.AddRowf(e.name, n, out.Rounds, maxRemoval,
-			stats.Mean(golden), stats.Quantile(golden, 0.95),
-			fmt.Sprintf("%d/%d", removedEarly, n))
+		prev = append(prev[:0], states...)
+	}}
+	out, err := mis.Run(g, params, seed)
+	if err != nil {
+		return Sample{}, err
 	}
-	emit(cfg, tb)
-	return nil
+	if err := mis.Verify(g, out.MIS); err != nil {
+		return Sample{}, err
+	}
+	maxRemoval := 0
+	removedEarly := 0
+	for v := 0; v < n; v++ {
+		if removedAt[v] > maxRemoval {
+			maxRemoval = removedAt[v]
+		}
+		if removedAt[v] >= 0 {
+			removedEarly++
+		}
+	}
+	return Sample{Values: V(
+		"rounds", out.Rounds,
+		"maxRemoval", maxRemoval,
+		"meanGolden", stats.Mean(golden),
+		"p95Golden", stats.Quantile(golden, 0.95),
+		"removedEarly", removedEarly,
+	)}, nil
 }

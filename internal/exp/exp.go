@@ -1,14 +1,19 @@
 // Package exp is the experiment harness that regenerates the paper's
-// quantitative claims as tables (E1–E16, see DESIGN.md §4 and
-// EXPERIMENTS.md). Each experiment produces one or more stats.Tables; the
+// quantitative claims (E1–E16, see DESIGN.md §4 and EXPERIMENTS.md). Each
+// experiment declares a grid of independent trials (scenario × seed
+// replica) that the runner in runner.go executes concurrently, then
+// aggregates the typed samples into stats.Tables. A run renders both as
+// GitHub-flavored Markdown and as a structured JSON record; the
 // cmd/radionet-bench CLI and the root bench_test.go drive the registry.
 package exp
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
-	"io"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -26,18 +31,25 @@ const (
 	Full
 )
 
+// String renders the scale as the CLI spells it.
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
 // Config parameterizes an experiment run.
 type Config struct {
 	Scale Scale
 	Seed  uint64
-	Out   io.Writer
-}
-
-func (c Config) out() io.Writer {
-	if c.Out == nil {
-		return io.Discard
-	}
-	return c.Out
+	// Parallel is the trial-runner worker count; zero selects GOMAXPROCS.
+	// Output is bit-identical for every value (see runner.go).
+	Parallel int
 }
 
 // Experiment is one reproducible claim-check.
@@ -45,7 +57,48 @@ type Experiment struct {
 	ID    string
 	Title string
 	Claim string
-	Run   func(Config) error
+	Run   func(Config) (*Report, error)
+}
+
+// Report is the structured output of one experiment run: an ordered list
+// of rendered tables.
+type Report struct {
+	Tables []*stats.Table
+}
+
+// Add appends a table to the report.
+func (r *Report) Add(t *stats.Table) { r.Tables = append(r.Tables, t) }
+
+// Markdown renders every table in order.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		b.WriteString(t.Markdown())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ExperimentResult is the machine-readable record of one experiment run.
+type ExperimentResult struct {
+	ID     string         `json:"id"`
+	Title  string         `json:"title"`
+	Claim  string         `json:"claim"`
+	Tables []*stats.Table `json:"tables"`
+}
+
+// Results is the machine-readable record of a suite run
+// (`radionet-bench -json`). It carries no timestamps or host details on
+// purpose: a Results for a fixed (scale, seed, experiment set) must be
+// byte-reproducible.
+type Results struct {
+	Scale       string             `json:"scale"`
+	Seed        uint64             `json:"seed"`
+	Experiments []ExperimentResult `json:"experiments"`
+	// Failed, when non-empty, names the experiment whose error aborted the
+	// suite: the record is partial, holding only the experiments that
+	// completed before it. Absent on a successful run.
+	Failed string `json:"failed,omitempty"`
 }
 
 // Registry returns all experiments in ID order.
@@ -82,20 +135,76 @@ func Lookup(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
 }
 
-// RunAll executes every experiment against cfg, stopping on first error.
-func RunAll(cfg Config) error {
-	for _, e := range Registry() {
-		fmt.Fprintf(cfg.out(), "## %s — %s\n\nClaim: %s\n\n", e.ID, e.Title, e.Claim)
-		if err := e.Run(cfg); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
+// Resolve maps experiment IDs to experiments (every registered experiment
+// when ids is empty).
+func Resolve(ids []string) ([]Experiment, error) {
+	if len(ids) == 0 {
+		return Registry(), nil
 	}
-	return nil
+	var exps []Experiment
+	for _, id := range ids {
+		e, err := Lookup(strings.TrimSpace(id))
+		if err != nil {
+			return nil, err
+		}
+		exps = append(exps, e)
+	}
+	return exps, nil
 }
 
-// emit writes a rendered table.
-func emit(cfg Config, t *stats.Table) {
-	fmt.Fprintln(cfg.out(), t.Markdown())
+// RunSuite executes the experiments with the given IDs (every registered
+// experiment when ids is empty) and returns the structured results,
+// stopping on the first error. Drivers that want output streamed as each
+// experiment finishes (the CLI) run Resolve + Experiment.Run themselves.
+func RunSuite(cfg Config, ids []string) (*Results, error) {
+	exps, err := Resolve(ids)
+	if err != nil {
+		return nil, err
+	}
+	res := &Results{Scale: cfg.Scale.String(), Seed: cfg.Seed}
+	for _, e := range exps {
+		rep, err := e.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		res.Experiments = append(res.Experiments, ExperimentResult{
+			ID: e.ID, Title: e.Title, Claim: e.Claim, Tables: rep.Tables,
+		})
+	}
+	return res, nil
+}
+
+// Markdown renders one experiment's section: header plus tables.
+func (er ExperimentResult) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\nClaim: %s\n\n", er.ID, er.Title, er.Claim)
+	for _, t := range er.Tables {
+		b.WriteString(t.Markdown())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Markdown renders the whole suite run as GitHub-flavored Markdown.
+func (r *Results) Markdown() string {
+	var b strings.Builder
+	for _, er := range r.Experiments {
+		b.WriteString(er.Markdown())
+	}
+	return b.String()
+}
+
+// JSON marshals the results indented, with a trailing newline. Map-free
+// struct encoding keeps the bytes deterministic for a fixed run.
+func (r *Results) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // workload bundles a named graph (with its true D and an α lower bound).

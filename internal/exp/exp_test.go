@@ -1,13 +1,12 @@
 package exp
 
 import (
-	"bytes"
 	"strings"
 	"testing"
 )
 
-func quickCfg(buf *bytes.Buffer) Config {
-	return Config{Scale: Quick, Seed: 1, Out: buf}
+func quickCfg() Config {
+	return Config{Scale: Quick, Seed: 1}
 }
 
 func TestRegistryComplete(t *testing.T) {
@@ -39,19 +38,19 @@ func TestLookup(t *testing.T) {
 
 // Each experiment must run at Quick scale and produce a table mentioning its
 // headline quantity. These run the full pipeline end-to-end, so they double
-// as integration tests of mis/mpx/core/baseline.
+// as integration tests of mis/mpx/core/baseline and of the trial runner.
 
 func runOne(t *testing.T, id string, mustContain ...string) {
 	t.Helper()
-	var buf bytes.Buffer
 	e, err := Lookup(id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Run(quickCfg(&buf)); err != nil {
+	rep, err := e.Run(quickCfg())
+	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
-	out := buf.String()
+	out := rep.Markdown()
 	if len(out) < 50 {
 		t.Fatalf("%s produced no output", id)
 	}
@@ -97,4 +96,38 @@ func TestE8(t *testing.T) {
 		t.Skip("short mode")
 	}
 	runOne(t, "E8", "slope")
+}
+
+func TestRunSuiteUnknownID(t *testing.T) {
+	if _, err := RunSuite(quickCfg(), []string{"E99"}); err == nil {
+		t.Fatal("want unknown-id error")
+	}
+}
+
+func TestRunSuiteSubset(t *testing.T) {
+	res, err := RunSuite(quickCfg(), []string{"E3", " E4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Experiments) != 2 || res.Experiments[0].ID != "E3" || res.Experiments[1].ID != "E4" {
+		t.Fatalf("unexpected suite contents: %+v", res.Experiments)
+	}
+	if res.Scale != "quick" || res.Seed != 1 {
+		t.Fatalf("metadata wrong: %+v", res)
+	}
+	md := res.Markdown()
+	for _, want := range []string{"## E3", "## E4", "frac High", "frac delivered"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("suite markdown missing %q", want)
+		}
+	}
+	raw, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id": "E3"`, `"rows"`, `"scale": "quick"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("suite JSON missing %q", want)
+		}
+	}
 }

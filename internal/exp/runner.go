@@ -1,0 +1,221 @@
+package exp
+
+// This file is the trial-runner subsystem (DESIGN.md §4): experiments
+// declare a grid of independent trials — one per (scenario, seed replica) —
+// as closures returning typed Sample records, and the runner fans the grid
+// out over a small worker pool. Determinism under parallelism is the load-
+// bearing property: every trial's randomness comes exclusively from a seed
+// derived from (Config.Seed, grid ID, trial index), results land in a slice
+// indexed by trial position, and aggregation walks that slice in declaration
+// order — so the rendered tables (and the JSON mirror) are byte-identical
+// for any Config.Parallel, any GOMAXPROCS, and any completion order.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Sample is the typed record one trial produces. Values holds named scalar
+// measurements; booleans are encoded as 0/1 so every metric aggregates
+// through the same stats helpers.
+type Sample struct {
+	// Group is the scenario key the trial was declared under (set by the
+	// runner from the Grid declaration; trials need not fill it).
+	Group string `json:"group"`
+	// Values maps metric name → measurement.
+	Values map[string]float64 `json:"values"`
+}
+
+// V is a convenience constructor for a Sample's Values map.
+func V(pairs ...any) map[string]float64 {
+	if len(pairs)%2 != 0 {
+		panic("exp: V needs name/value pairs")
+	}
+	m := make(map[string]float64, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("exp: V name %v is not a string", pairs[i]))
+		}
+		switch x := pairs[i+1].(type) {
+		case float64:
+			m[name] = x
+		case int:
+			m[name] = float64(x)
+		case int64:
+			m[name] = float64(x)
+		case bool:
+			if x {
+				m[name] = 1
+			} else {
+				m[name] = 0
+			}
+		default:
+			panic(fmt.Sprintf("exp: V value %v has unsupported type %T", x, x))
+		}
+	}
+	return m
+}
+
+// TrialFunc is one independent unit of work. All randomness must derive
+// from seed (and captured immutable data); the closure must not touch
+// shared mutable state, because trials run concurrently.
+type TrialFunc func(seed uint64) (Sample, error)
+
+type trialDecl struct {
+	group string
+	fn    TrialFunc
+}
+
+// Grid is an ordered collection of independent trials. Declaration order is
+// the aggregation order regardless of execution interleaving.
+type Grid struct {
+	id     string
+	trials []trialDecl
+}
+
+// NewGrid returns an empty grid. id salts the per-trial seeds so distinct
+// grids (experiments) never share randomness even at equal trial indices.
+func NewGrid(id string) *Grid { return &Grid{id: id} }
+
+// Add declares one trial under the given scenario group.
+func (g *Grid) Add(group string, fn TrialFunc) {
+	g.trials = append(g.trials, trialDecl{group: group, fn: fn})
+}
+
+// AddReps declares reps seed-replica trials of the same scenario; each
+// replica still receives its own derived seed.
+func (g *Grid) AddReps(group string, reps int, fn TrialFunc) {
+	for r := 0; r < reps; r++ {
+		g.Add(group, fn)
+	}
+}
+
+// Len returns the number of declared trials.
+func (g *Grid) Len() int { return len(g.trials) }
+
+// TrialSeed derives the seed for trial index i of grid id from the base
+// experiment seed: the id is FNV-1a-hashed into the base and the trial
+// index selects a SplitMix64 stream, so seeds are stable functions of
+// (base, id, i) alone.
+func TrialSeed(base uint64, id string, i int) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for j := 0; j < len(id); j++ {
+		h ^= uint64(id[j])
+		h *= fnvPrime
+	}
+	return xrand.New(base ^ h).Split(uint64(i)).Uint64()
+}
+
+// Run executes the grid on cfg.Parallel workers (GOMAXPROCS when zero) and
+// returns one Sample per trial in declaration order. The first error in
+// declaration order is returned, wrapped with its trial's identity; after
+// any failure, unclaimed trials are cancelled rather than run to
+// completion. The reported error is still deterministic across worker
+// counts: indices are claimed in increasing order, so the first failing
+// trial is always claimed (and its error recorded) before cancellation can
+// skip anything declared ahead of it.
+func (g *Grid) Run(cfg Config) ([]Sample, error) {
+	n := len(g.trials)
+	if n == 0 {
+		return nil, nil
+	}
+	workers := cfg.parallel()
+	if workers > n {
+		workers = n
+	}
+	out := make([]Sample, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				t := g.trials[i]
+				s, err := t.fn(TrialSeed(cfg.Seed, g.id, i))
+				s.Group = t.group
+				out[i], errs[i] = s, err
+				if err != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s trial %d (%s): %w", g.id, i, g.trials[i].group, err)
+		}
+	}
+	return out, nil
+}
+
+// parallel resolves the worker count.
+func (c Config) parallel() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ByGroup splits samples by scenario group, preserving declaration order
+// within each group. Callers iterate their own declared scenario
+// structures for row ordering, so no group-order slice is returned.
+func ByGroup(samples []Sample) map[string][]Sample {
+	groups := make(map[string][]Sample)
+	for _, s := range samples {
+		groups[s.Group] = append(groups[s.Group], s)
+	}
+	return groups
+}
+
+// Metric extracts the named value from each sample, in order.
+func Metric(samples []Sample, name string) []float64 {
+	xs := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = s.Values[name]
+	}
+	return xs
+}
+
+// MetricWhere extracts the named value from the samples where the `flag`
+// metric is non-zero (e.g. steps of completed runs only).
+func MetricWhere(samples []Sample, name, flag string) []float64 {
+	var xs []float64
+	for _, s := range samples {
+		if s.Values[flag] != 0 {
+			xs = append(xs, s.Values[name])
+		}
+	}
+	return xs
+}
+
+// ci95String renders a Summary's confidence interval for a table cell.
+func ci95String(s stats.Summary) string {
+	return fmt.Sprintf("[%.4g, %.4g]", s.CI95Lo, s.CI95Hi)
+}
+
+// SumMetric totals the named value (counts: booleans encode as 0/1).
+func SumMetric(samples []Sample, name string) float64 {
+	var t float64
+	for _, s := range samples {
+		t += s.Values[name]
+	}
+	return t
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestGridOrderAndSeeds: results come back in declaration order with seeds
+// that depend only on (base seed, grid id, trial index), for any worker
+// count.
+func TestGridOrderAndSeeds(t *testing.T) {
+	const n = 37
+	runAt := func(parallel int) []Sample {
+		g := NewGrid("unit")
+		for i := 0; i < n; i++ {
+			g.Add(fmt.Sprintf("g%d", i%3), func(seed uint64) (Sample, error) {
+				return Sample{Values: V("seed", float64(seed), "idx", i)}, nil
+			})
+		}
+		out, err := g.Run(Config{Seed: 7, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := runAt(1)
+	for _, p := range []int{2, 4, 8, 16} {
+		got := runAt(p)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallel=%d results differ from sequential", p)
+		}
+	}
+	for i, s := range want {
+		if s.Group != fmt.Sprintf("g%d", i%3) {
+			t.Fatalf("trial %d group %q", i, s.Group)
+		}
+		if s.Values["idx"] != float64(i) {
+			t.Fatalf("trial %d executed as %v: declaration order lost", i, s.Values["idx"])
+		}
+		if s.Values["seed"] != float64(TrialSeed(7, "unit", i)) {
+			t.Fatalf("trial %d got wrong seed", i)
+		}
+	}
+}
+
+func TestTrialSeedProperties(t *testing.T) {
+	if TrialSeed(1, "E1", 0) == TrialSeed(1, "E2", 0) {
+		t.Fatal("different grid IDs share a seed")
+	}
+	if TrialSeed(1, "E1", 0) == TrialSeed(1, "E1", 1) {
+		t.Fatal("different trial indices share a seed")
+	}
+	if TrialSeed(1, "E1", 3) != TrialSeed(1, "E1", 3) {
+		t.Fatal("TrialSeed is not a pure function")
+	}
+	if TrialSeed(1, "E1", 0) == TrialSeed(2, "E1", 0) {
+		t.Fatal("base seed is ignored")
+	}
+}
+
+// TestGridErrorIsFirstByDeclaration: with many failing trials racing, the
+// reported error is deterministically the first failing trial in
+// declaration order.
+func TestGridErrorIsFirstByDeclaration(t *testing.T) {
+	g := NewGrid("errs")
+	for i := 0; i < 20; i++ {
+		g.Add("x", func(seed uint64) (Sample, error) {
+			if i >= 5 {
+				return Sample{}, fmt.Errorf("boom %d", i)
+			}
+			return Sample{Values: V("ok", true)}, nil
+		})
+	}
+	for _, p := range []int{1, 8} {
+		_, err := g.Run(Config{Seed: 1, Parallel: p})
+		if err == nil || err.Error() != "errs trial 5 (x): boom 5" {
+			t.Fatalf("parallel=%d err = %v", p, err)
+		}
+	}
+}
+
+// TestGridActuallyParallel: with Parallel=4 the runner overlaps trials.
+func TestGridActuallyParallel(t *testing.T) {
+	const workers = 4
+	var mu sync.Mutex
+	running, peak := 0, 0
+	barrier := make(chan struct{})
+	g := NewGrid("par")
+	for i := 0; i < workers; i++ {
+		g.Add("x", func(seed uint64) (Sample, error) {
+			mu.Lock()
+			running++
+			if running > peak {
+				peak = running
+			}
+			if running == workers {
+				close(barrier) // all workers in flight at once
+			}
+			mu.Unlock()
+			<-barrier
+			mu.Lock()
+			running--
+			mu.Unlock()
+			return Sample{Values: V("ok", true)}, nil
+		})
+	}
+	if _, err := g.Run(Config{Seed: 1, Parallel: workers}); err != nil {
+		t.Fatal(err)
+	}
+	if peak != workers {
+		t.Fatalf("peak concurrency %d, want %d", peak, workers)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	samples := []Sample{
+		{Group: "a", Values: V("x", 1, "flag", true)},
+		{Group: "b", Values: V("x", 2, "flag", false)},
+		{Group: "a", Values: V("x", 3, "flag", true)},
+	}
+	groups := ByGroup(samples)
+	if len(groups["a"]) != 2 || len(groups["b"]) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if got := Metric(samples, "x"); !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Fatalf("Metric = %v", got)
+	}
+	if got := MetricWhere(samples, "x", "flag"); !reflect.DeepEqual(got, []float64{1, 3}) {
+		t.Fatalf("MetricWhere = %v", got)
+	}
+	if got := SumMetric(samples, "x"); got != 6 {
+		t.Fatalf("SumMetric = %v", got)
+	}
+	if v := V("a", 1, "b", 2.5, "c", true, "d", false, "e", int64(9)); v["a"] != 1 || v["b"] != 2.5 || v["c"] != 1 || v["d"] != 0 || v["e"] != 9 {
+		t.Fatalf("V = %v", v)
+	}
+}
+
+func TestEmptyGrid(t *testing.T) {
+	out, err := NewGrid("empty").Run(Config{Seed: 1})
+	if err != nil || out != nil {
+		t.Fatalf("empty grid: %v %v", out, err)
+	}
+}

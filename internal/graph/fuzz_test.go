@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzBuilderVsAddEdge fuzzes the DESIGN.md §3 equivalence claim: a
+// Builder-built graph is list-for-list identical to replaying the same
+// edge stream through AddEdge. The input encodes an instance as bytes:
+// data[0] picks the vertex count, the remaining bytes decode pairwise into
+// endpoints over a window [-1, n+1] — one below and one above the valid
+// range — so duplicate edges, self-loops, and out-of-range endpoints (all
+// of which both paths must ignore identically) occur constantly in random
+// streams. The seed corpus under testdata/fuzz/FuzzBuilderVsAddEdge runs
+// as ordinary test cases in `go test`; CI additionally runs a short
+// `-fuzz` smoke.
+func FuzzBuilderVsAddEdge(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0]) % 33 // keep instances small; 0 is a valid (empty) graph
+		stream := data[1:]
+		span := n + 3
+		b := NewBuilder(n)
+		replay := New(n)
+		for i := 0; i+1 < len(stream); i += 2 {
+			u := int(stream[i])%span - 1
+			v := int(stream[i+1])%span - 1
+			b.Add(u, v)
+			replay.AddEdge(u, v)
+		}
+		built := b.Build()
+		if built.N() != replay.N() {
+			t.Fatalf("N: built %d, replay %d", built.N(), replay.N())
+		}
+		if built.M() != replay.M() {
+			t.Fatalf("M: built %d, replay %d", built.M(), replay.M())
+		}
+		for v := 0; v < n; v++ {
+			bn, rn := built.Neighbors(v), replay.Neighbors(v)
+			if len(bn) != len(rn) {
+				t.Fatalf("vertex %d: built degree %d, replay degree %d", v, len(bn), len(rn))
+			}
+			for i := range bn {
+				if bn[i] != rn[i] {
+					t.Fatalf("vertex %d neighbor %d: built %d, replay %d (insertion order not preserved)",
+						v, i, bn[i], rn[i])
+				}
+			}
+		}
+	})
+}

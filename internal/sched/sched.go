@@ -139,7 +139,7 @@ func ComputeSchedule(g *graph.Graph, f *Forest) *Schedule {
 		s.DownSlotsAt[d] = greedyColor(layer, downConf, s.DownSlot, func(v int32) bool {
 			return len(f.Children[v]) > 0
 		})
-		s.DownSlots = maxInt(s.DownSlots, s.DownSlotsAt[d])
+		s.DownSlots = max(s.DownSlots, s.DownSlotsAt[d])
 		// --- Upcast coloring for depth-d transmitters with a parent.
 		if d == 0 {
 			continue
@@ -148,7 +148,7 @@ func ComputeSchedule(g *graph.Graph, f *Forest) *Schedule {
 		s.UpSlotsAt[d] = greedyColor(layer, upConf, s.UpSlot, func(v int32) bool {
 			return f.Parent[v] >= 0
 		})
-		s.UpSlots = maxInt(s.UpSlots, s.UpSlotsAt[d])
+		s.UpSlots = max(s.UpSlots, s.UpSlotsAt[d])
 	}
 	if s.DownSlots == 0 {
 		s.DownSlots = 1
@@ -214,13 +214,6 @@ func greedyColor(layer []int32, conf map[int32][]int32, out []int, eligible func
 		}
 	}
 	return used
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // VerifyDowncast checks the collision-freedom guarantee: for every depth d

@@ -96,6 +96,37 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// Summary bundles the aggregate statistics the experiment runner reports
+// for a metric over seed replicas.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	// CI95Lo/CI95Hi bound the mean's normal-approximation 95% confidence
+	// interval, mean ± 1.96·s/√n (degenerate to the mean for n < 2).
+	CI95Lo float64
+	CI95Hi float64
+}
+
+// Summarize computes a Summary over xs (zero Summary for empty input).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs)}
+	s.CI95Lo, s.CI95Hi = CI95(xs)
+	return s
+}
+
+// CI95 returns the normal-approximation 95% confidence interval for the
+// mean, mean ± 1.96·s/√n. Unlike BootstrapCI it consumes no randomness, so
+// aggregated experiment output stays deterministic.
+func CI95(xs []float64) (lo, hi float64) {
+	m := Mean(xs)
+	if len(xs) < 2 {
+		return m, m
+	}
+	half := 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return m - half, m + half
+}
+
 // Fit is a least-squares line y = Slope·x + Intercept with goodness R².
 type Fit struct {
 	Slope     float64
@@ -181,11 +212,13 @@ func BootstrapCI(xs []float64, level float64, resamples int, rng *xrand.RNG) (lo
 	return Quantile(means, alpha), Quantile(means, 1-alpha)
 }
 
-// Table renders aligned rows for experiment output, as Markdown or TSV.
+// Table renders aligned rows for experiment output, as Markdown or TSV;
+// the exported fields double as the structured-JSON form of a table
+// (`radionet-bench -json`).
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a row of stringified cells.

@@ -57,6 +57,29 @@ func TestMinMax(t *testing.T) {
 	}
 }
 
+func TestSummarizeAndCI95(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 || s.CI95Lo != 0 || s.CI95Hi != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s = Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.CI95Lo != 3 || s.CI95Hi != 3 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s = Summarize(xs)
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	wantHalf := 1.96 * StdDev(xs) / math.Sqrt(8)
+	if math.Abs(s.CI95Hi-s.Mean-wantHalf) > 1e-12 || math.Abs(s.Mean-s.CI95Lo-wantHalf) > 1e-12 {
+		t.Fatalf("CI = [%v, %v], want mean ± %v", s.CI95Lo, s.CI95Hi, wantHalf)
+	}
+	if s.CI95Lo >= s.Mean || s.CI95Hi <= s.Mean {
+		t.Fatalf("CI does not bracket the mean: %+v", s)
+	}
+}
+
 func TestLinearFitExact(t *testing.T) {
 	x := []float64{1, 2, 3, 4}
 	y := []float64{3, 5, 7, 9} // y = 2x + 1

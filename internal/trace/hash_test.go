@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/radio"
+)
+
+// nopProtocol is a trivial protocol for driving the hasher by hand.
+type nopProtocol struct{ tx bool }
+
+func (p *nopProtocol) Act(step int) radio.Action {
+	if p.tx {
+		return radio.Transmit(int64(1))
+	}
+	return radio.Listen()
+}
+func (p *nopProtocol) Deliver(step int, msg radio.Message) {}
+func (p *nopProtocol) Done() bool                          { return false }
+
+func factoryFor(tx map[int]bool) radio.Factory {
+	return func(info radio.NodeInfo) radio.Protocol { return &nopProtocol{tx: tx[info.Index]} }
+}
+
+// drive feeds a fixed event script to nodes created in the given order and
+// returns the digest.
+func drive(order []int, tx map[int]bool, deliver radio.Message) uint64 {
+	h := NewHasher()
+	f := h.Wrap(factoryFor(tx))
+	nodes := map[int]radio.Protocol{}
+	for _, id := range order {
+		nodes[id] = f(radio.NodeInfo{Index: id})
+	}
+	for step := 0; step < 3; step++ {
+		for _, id := range order {
+			nodes[id].Act(step)
+		}
+		for _, id := range order {
+			nodes[id].Deliver(step, deliver)
+		}
+	}
+	return h.Sum()
+}
+
+func TestHasherOrderIndependent(t *testing.T) {
+	tx := map[int]bool{0: true, 2: true}
+	a := drive([]int{0, 1, 2}, tx, nil)
+	b := drive([]int{2, 0, 1}, tx, nil)
+	if a != b {
+		t.Fatalf("digest depends on cross-node interleaving: %#x vs %#x", a, b)
+	}
+}
+
+func TestHasherSensitive(t *testing.T) {
+	tx := map[int]bool{0: true}
+	base := drive([]int{0, 1}, tx, nil)
+	if got := drive([]int{0, 1}, map[int]bool{1: true}, nil); got == base {
+		t.Fatal("digest blind to which node transmits")
+	}
+	if got := drive([]int{0, 1}, tx, radio.Message(int64(5))); got == base {
+		t.Fatal("digest blind to deliveries")
+	}
+	if got := drive([]int{0, 1}, tx, radio.Collision); got == base {
+		t.Fatal("digest blind to collision markers")
+	}
+}
+
+// TestHasherTransparent: wrapping must not change protocol behavior.
+func TestHasherTransparent(t *testing.T) {
+	h := NewHasher()
+	p := h.Wrap(factoryFor(map[int]bool{0: true}))(radio.NodeInfo{Index: 0})
+	if a := p.Act(0); !a.Transmit {
+		t.Fatal("wrapped Act altered the action")
+	}
+	if p.Done() {
+		t.Fatal("wrapped Done altered the result")
+	}
+}
