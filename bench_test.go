@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every experiment table
-// (E1–E16, DESIGN.md §4) under `go test -bench`, and additionally
+// (E1–E20, DESIGN.md §4–§5) under `go test -bench`, and additionally
 // micro-benchmark the simulator and algorithm primitives.
 //
 // Experiment benches run at Quick scale per iteration; use
@@ -55,6 +55,10 @@ func BenchmarkE13SINRCrossModel(b *testing.B)  { benchExperiment(b, "E13") }
 func BenchmarkE14MultiSource(b *testing.B)     { benchExperiment(b, "E14") }
 func BenchmarkE15WakeAblation(b *testing.B)    { benchExperiment(b, "E15") }
 func BenchmarkE16WakeupReduction(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkE17ChurnBroadcast(b *testing.B)  { benchExperiment(b, "E17") }
+func BenchmarkE18FaultMIS(b *testing.B)        { benchExperiment(b, "E18") }
+func BenchmarkE19PartitionHeal(b *testing.B)   { benchExperiment(b, "E19") }
+func BenchmarkE20MobileElection(b *testing.B)  { benchExperiment(b, "E20") }
 
 // --- Micro-benchmarks of the primitives ---
 

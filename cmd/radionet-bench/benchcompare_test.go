@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(pairs ...any) EngineBenchReport {
+	var r EngineBenchReport
+	for i := 0; i < len(pairs); i += 2 {
+		r.Benchmarks = append(r.Benchmarks, EngineBenchResult{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return r
+}
+
+func withAllocs(r EngineBenchReport, allocs ...int64) EngineBenchReport {
+	for i := range r.Benchmarks {
+		r.Benchmarks[i].AllocsPerOp = allocs[i]
+	}
+	return r
+}
+
+func TestCompareEngineBench(t *testing.T) {
+	baseline := report("a", 1000.0, "b", 5000.0)
+	var log bytes.Buffer
+
+	// Within tolerance (including mild regression and a speedup) passes.
+	if err := compareEngineBench(report("a", 1200.0, "b", 4000.0), baseline, 0.25, &log); err != nil {
+		t.Fatalf("within-tolerance compare failed: %v", err)
+	}
+	// A >25% regression fails and names the offender.
+	err := compareEngineBench(report("a", 1300.0, "b", 5000.0), baseline, 0.25, &log)
+	if err == nil || !strings.Contains(err.Error(), "a:") {
+		t.Fatalf("want regression error naming bench a, got %v", err)
+	}
+	// The allocs/op gate is hardware-independent: a zero-alloc step loop
+	// that starts allocating fails even when ns/op stays put, while the
+	// proportional slack absorbs GOMAXPROCS-dependent pool setup allocs.
+	allocBase := withAllocs(report("seq", 1000.0, "pool", 5000.0), 0, 550)
+	if err := compareEngineBench(withAllocs(report("seq", 1000.0, "pool", 5000.0), 2, 590), allocBase, 0.25, &log); err != nil {
+		t.Fatalf("within-slack allocs failed: %v", err)
+	}
+	err = compareEngineBench(withAllocs(report("seq", 1000.0, "pool", 5000.0), 64, 550), allocBase, 0.25, &log)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("want allocs regression error, got %v", err)
+	}
+
+	// Benchmarks missing from the baseline never fail.
+	if err := compareEngineBench(report("brand-new", 1e9), baseline, 0.25, &log); err != nil {
+		t.Fatalf("new benchmark must not fail the gate: %v", err)
+	}
+	if !strings.Contains(log.String(), "no baseline") {
+		t.Fatal("new benchmark should be noted in the log")
+	}
+}
+
+func TestLoadEngineBenchErrors(t *testing.T) {
+	if _, err := loadEngineBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadEngineBench(empty); err == nil {
+		t.Fatal("want error for benchmark-free report")
+	}
+}
+
+// TestCommittedBaselineLoads guards the repo's committed report: the CI
+// bench-regression job is only as good as the baseline it diffs against.
+func TestCommittedBaselineLoads(t *testing.T) {
+	rep, err := loadEngineBench(filepath.Join("..", "..", "BENCH_engine.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, b := range rep.Benchmarks {
+		if b.NsPerOp <= 0 {
+			t.Fatalf("committed baseline has non-positive ns/op for %s", b.Name)
+		}
+		names[b.Name] = true
+	}
+	for _, spec := range engineBenchSpecs {
+		if !names[spec.name] {
+			t.Errorf("committed BENCH_engine.json is missing %s — regenerate it with -engine-bench", spec.name)
+		}
+	}
+}
+
+func TestBenchBaselineRequiresEngineBench(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bench-baseline", "x.json"}, &buf); err == nil {
+		t.Fatal("want error when -bench-baseline is given without -engine-bench")
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
+	"strings"
 	"testing"
 
+	"repro/internal/dyn"
 	"repro/internal/gen"
 	"repro/internal/radio"
 	"repro/internal/xrand"
@@ -77,6 +80,31 @@ func benchSequentialSteps(rows, cols, liveCount int) func(b *testing.B) {
 	}
 }
 
+// benchDynSteps measures one sequential engine step per op on an rows×cols
+// grid running under a churn schedule (epoch swap every epochLen steps), so
+// the dynamic-topology overhead — one comparison per step plus the amortized
+// per-epoch CSR swap — is tracked alongside the static engines.
+func benchDynSteps(rows, cols, epochLen int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := gen.Grid(rows, cols)
+		// Size the schedule to cover all b.N steps, so every measured step
+		// runs on the dynamic path regardless of how far the framework
+		// scales the iteration count (construction is outside the timer).
+		sched, err := dyn.Churn(g, b.N/epochLen+1, epochLen, 0.2, xrand.New(9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		factory := func(info radio.NodeInfo) radio.Protocol {
+			return &benchNode{rng: info.RNG, budget: b.N}
+		}
+		b.ResetTimer()
+		opts := radio.Options{MaxSteps: b.N, Seed: 1, Topology: sched}
+		if _, err := radio.Run(g, factory, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchPoolRun measures one 64-step worker-pool run per op, engine
 // construction included.
 func benchPoolRun(rows, cols int) func(b *testing.B) {
@@ -103,6 +131,7 @@ var engineBenchSpecs = []struct {
 }{
 	{"seq_dense_n1024", 1024, 1, benchSequentialSteps(32, 32, 0)},
 	{"seq_sparse_n4096_live64", 4096, 1, benchSequentialSteps(64, 64, 64)},
+	{"seq_dyn_churn_n1024", 1024, 1, benchDynSteps(32, 32, 64)},
 	{"pool_n256_64steps", 256, 64, benchPoolRun(16, 16)},
 	{"pool_n1024_64steps", 1024, 64, benchPoolRun(32, 32)},
 }
@@ -118,9 +147,9 @@ var seedBaseline = []EngineBenchResult{
 	{Name: "pool_n1024_64steps", Nodes: 1024, StepsPerOp: 64, NsPerOp: 76403940, AllocsPerOp: 7958, BytesPerOp: 1094148, NodeStepsPerSec: 1024 * 64 / 76403940e-9},
 }
 
-// runEngineBench executes the engine micro-benches and writes the JSON
-// report to out.
-func runEngineBench(out io.Writer) error {
+// measureEngineBench executes the engine micro-benches and returns the
+// report.
+func measureEngineBench() (EngineBenchReport, error) {
 	report := EngineBenchReport{
 		GeneratedBy:  "radionet-bench -engine-bench",
 		GoVersion:    runtime.Version(),
@@ -131,7 +160,7 @@ func runEngineBench(out io.Writer) error {
 	for _, spec := range engineBenchSpecs {
 		r := testing.Benchmark(spec.fn)
 		if r.N == 0 {
-			return fmt.Errorf("engine bench %s did not run", spec.name)
+			return report, fmt.Errorf("engine bench %s did not run", spec.name)
 		}
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
 		report.Benchmarks = append(report.Benchmarks, EngineBenchResult{
@@ -144,7 +173,78 @@ func runEngineBench(out io.Writer) error {
 			NodeStepsPerSec: float64(spec.nodes*spec.stepsPerOp) / (ns * 1e-9),
 		})
 	}
+	return report, nil
+}
+
+// writeEngineBench writes the JSON report to out.
+func writeEngineBench(report EngineBenchReport, out io.Writer) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// allocSlack returns the allocs/op headroom for one benchmark in
+// compareEngineBench: an absolute floor of 2 (amortized one-time setup can
+// round into 1–2 allocs/op when the iteration count differs between
+// machines) plus an eighth of the baseline (the worker-pool benches'
+// construction allocs scale with GOMAXPROCS, which differs between the
+// baseline host and the CI runner). A genuine per-step allocation adds at
+// least stepsPerOp allocs to every op and sails past both.
+func allocSlack(baseline int64) int64 {
+	return max(2, baseline/8)
+}
+
+// compareEngineBench checks fresh results against a previously recorded
+// report (the CI bench-regression gate) on two axes: ns/op beyond the
+// fractional tolerance (wide, because baseline and runner may be different
+// hardware) and allocs/op beyond a small slack (hardware-independent —
+// this is the check that catches a step loop that started allocating).
+// Benchmarks absent from the baseline are reported as new but
+// never fail, so adding a bench doesn't require regenerating the baseline
+// in the same change. Speedups only produce a note — refreshing the
+// committed baseline is a deliberate act, not a gate.
+func compareEngineBench(fresh, baseline EngineBenchReport, tolerance float64, log io.Writer) error {
+	base := make(map[string]EngineBenchResult, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	var regressed []string
+	for _, f := range fresh.Benchmarks {
+		b, ok := base[f.Name]
+		if !ok {
+			fmt.Fprintf(log, "bench-compare: %-24s new benchmark, no baseline\n", f.Name)
+			continue
+		}
+		ratio := f.NsPerOp / b.NsPerOp
+		fmt.Fprintf(log, "bench-compare: %-24s %12.0f ns/op vs baseline %12.0f (%+.1f%%), %d vs %d allocs/op\n",
+			f.Name, f.NsPerOp, b.NsPerOp, (ratio-1)*100, f.AllocsPerOp, b.AllocsPerOp)
+		if ratio > 1+tolerance {
+			regressed = append(regressed, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+				f.Name, f.NsPerOp, b.NsPerOp, (ratio-1)*100, tolerance*100))
+		}
+		if slack := allocSlack(b.AllocsPerOp); f.AllocsPerOp > b.AllocsPerOp+slack {
+			regressed = append(regressed, fmt.Sprintf("%s: %d allocs/op vs baseline %d (slack %d)",
+				f.Name, f.AllocsPerOp, b.AllocsPerOp, slack))
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("engine bench regression:\n  %s", strings.Join(regressed, "\n  "))
+	}
+	return nil
+}
+
+// loadEngineBench reads a previously written report.
+func loadEngineBench(path string) (EngineBenchReport, error) {
+	var report EngineBenchReport
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return report, err
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		return report, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(report.Benchmarks) == 0 {
+		return report, fmt.Errorf("%s holds no benchmarks", path)
+	}
+	return report, nil
 }

@@ -1,10 +1,15 @@
-// Command radionet-bench regenerates the paper's experiment tables (E1–E16,
-// see DESIGN.md §4 and EXPERIMENTS.md).
+// Command radionet-bench regenerates the experiment tables (E1–E16 from the
+// paper plus the dynamic-topology suite E17–E20, see DESIGN.md §4–§5 and
+// EXPERIMENTS.md).
 //
 // Usage:
 //
 //	radionet-bench [-scale quick|full] [-seed N] [-parallel P] [-run E5,E7] [-json results.json] [-list]
-//	radionet-bench -engine-bench BENCH_engine.json
+//	radionet-bench -engine-bench BENCH_engine.json [-bench-baseline old.json] [-bench-tolerance 0.25]
+//
+// With -bench-baseline, the freshly measured engine benchmarks are compared
+// against the named report and the command fails when any benchmark's ns/op
+// regressed beyond the tolerance — the CI bench-regression gate.
 //
 // With no -run flag every experiment runs in order. Each experiment is a
 // grid of independent trials that the runner fans out over -parallel worker
@@ -45,15 +50,21 @@ func run(args []string, out io.Writer) error {
 	jsonPath := fs.String("json", "", "also write structured results as JSON to this file")
 	list := fs.Bool("list", false, "list experiments and exit")
 	engineBench := fs.String("engine-bench", "", "run engine micro-benches and write the JSON report to this file")
+	benchBaseline := fs.String("bench-baseline", "", "with -engine-bench: compare against this previously written report and fail on regression")
+	benchTolerance := fs.Float64("bench-tolerance", 0.25, "with -bench-baseline: allowed fractional ns/op slowdown before failing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *engineBench != "" {
+		report, err := measureEngineBench()
+		if err != nil {
+			return err
+		}
 		f, err := os.Create(*engineBench)
 		if err != nil {
 			return err
 		}
-		if err := runEngineBench(f); err != nil {
+		if err := writeEngineBench(report, f); err != nil {
 			f.Close()
 			return err
 		}
@@ -61,7 +72,20 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "engine benchmarks written to %s\n", *engineBench)
+		if *benchBaseline != "" {
+			baseline, err := loadEngineBench(*benchBaseline)
+			if err != nil {
+				return err
+			}
+			if err := compareEngineBench(report, baseline, *benchTolerance, out); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "bench-compare: within %.0f%% of %s\n", *benchTolerance*100, *benchBaseline)
+		}
 		return nil
+	}
+	if *benchBaseline != "" {
+		return fmt.Errorf("-bench-baseline requires -engine-bench")
 	}
 	if *list {
 		for _, e := range exp.Registry() {

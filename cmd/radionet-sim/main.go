@@ -4,9 +4,15 @@
 // Usage:
 //
 //	radionet-sim -graph grid -n 256 -algo broadcast [-seed 7]
+//	radionet-sim -graph churn:grid -n 256 -algo flood [-epochs 12] [-epoch-len 32] [-rate 0.2]
 //
-// Graphs: path, cycle, clique, star, grid, tree, gnp, udg, cliquechain, lollipop.
-// Algorithms: mis, broadcast, broadcast-all, decay-broadcast, election, decay-election.
+// Graphs: path, cycle, clique, star, grid, tree, gnp, udg, cliquechain,
+// lollipop — plus the dynamic specs churn:<class>, fault:<class> and
+// mobile:udg, whose epoch schedules are built by gen.ScheduleByName and run
+// through the engine's Options.Topology hook.
+// Algorithms: mis, broadcast, broadcast-all, decay-broadcast, election,
+// decay-election, flood (the only one that follows a dynamic topology;
+// on a dynamic spec the others run on the epoch-0 skeleton).
 package main
 
 import (
@@ -14,11 +20,14 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/gen"
 	"repro/internal/mis"
+	"repro/internal/radio"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
@@ -38,8 +47,18 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	source := fs.Int("source", 0, "broadcast source node")
 	traceCSV := fs.String("trace", "", "write a per-step CSV trace to this file (mis only)")
+	epochs := fs.Int("epochs", 12, "dynamic specs: mutated epochs after the pristine epoch 0")
+	epochLen := fs.Int("epoch-len", 32, "dynamic specs: steps per epoch")
+	rate := fs.Float64("rate", 0, "dynamic specs: churn/fault probability or mobility speed (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *algo == "flood" {
+		return runFlood(*graphName, *n, *epochs, *epochLen, *rate, *seed, *source)
+	}
+	if strings.Contains(*graphName, ":") {
+		fmt.Printf("note: algo %s ignores the dynamic schedule of %s and runs on its epoch-0 skeleton (use -algo flood)\n",
+			*algo, *graphName)
 	}
 	g, err := gen.ByName(*graphName, *n, *seed)
 	if err != nil {
@@ -118,6 +137,42 @@ func run(args []string) error {
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 	return nil
+}
+
+// runFlood floods a rumor from source over the (possibly dynamic) topology
+// named by spec and prints per-epoch coverage. The protocol and runner are
+// exp.RunFlood — the same flood E17–E20 measure — so the CLI demo and the
+// experiment suite cannot drift apart.
+func runFlood(spec string, n, epochs, epochLen int, rate float64, seed uint64, source int) error {
+	sched, err := gen.ScheduleByName(spec, n, epochs, epochLen, rate, seed)
+	if err != nil {
+		return err
+	}
+	n = sched.N()
+	budget := max(sched.LastStart()+epochLen, 4*epochLen)
+	fmt.Printf("graph=%s n=%d epochs=%d budget=%d\n", spec, n, sched.Epochs(), budget)
+	g := sched.CSR(0).Graph()
+	out, err := exp.RunFlood(g, sched, map[int]int64{source % n: 1}, budget, -1, seed,
+		func(step, informed int) {
+			if (step+1)%epochLen == 0 {
+				fmt.Printf("step %4d: informed %d/%d (m=%d)\n", step+1, informed, n, currentM(sched, step))
+			}
+		})
+	if err != nil {
+		return err
+	}
+	if out.Complete >= 0 {
+		fmt.Printf("flood: complete=%d informed=%d/%d\n", out.Complete, out.InformedEnd, n)
+	} else {
+		fmt.Printf("flood: incomplete after %d steps, informed=%d/%d\n", budget, out.InformedEnd, n)
+	}
+	return nil
+}
+
+// currentM reports the edge count of the epoch in force at step.
+func currentM(topo radio.Topology, step int) int {
+	csr, _ := topo.EpochAt(step)
+	return csr.M()
 }
 
 // writeTrace dumps the recording as CSV.

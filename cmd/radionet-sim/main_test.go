@@ -16,6 +16,11 @@ func TestRunAlgorithms(t *testing.T) {
 		{"-graph", "grid", "-n", "36", "-algo", "decay-election"},
 		{"-graph", "udg", "-n", "60", "-algo", "mis", "-seed", "5"},
 		{"-graph", "cliquechain", "-n", "30", "-algo", "broadcast"},
+		{"-graph", "grid", "-n", "36", "-algo", "flood"},
+		{"-graph", "churn:grid", "-n", "36", "-algo", "flood", "-rate", "0.2", "-epochs", "6", "-epoch-len", "16"},
+		{"-graph", "fault:gnp", "-n", "36", "-algo", "flood", "-rate", "0.2", "-epochs", "6", "-epoch-len", "16"},
+		{"-graph", "mobile:udg", "-n", "40", "-algo", "flood", "-rate", "0.5", "-epochs", "6", "-epoch-len", "16"},
+		{"-graph", "churn:grid", "-n", "36", "-algo", "mis"}, // epoch-0 skeleton note path
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -47,5 +52,11 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogusflag"}); err == nil {
 		t.Fatal("want flag error")
+	}
+	if err := run([]string{"-graph", "warp:grid", "-algo", "flood"}); err == nil {
+		t.Fatal("want unknown-dynamic-kind error")
+	}
+	if err := run([]string{"-graph", "mobile:grid", "-algo", "flood"}); err == nil {
+		t.Fatal("want mobile-class error")
 	}
 }

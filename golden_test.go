@@ -14,10 +14,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/decay"
+	"repro/internal/dyn"
 	"repro/internal/gen"
 	"repro/internal/mis"
 	"repro/internal/radio"
 	"repro/internal/trace"
+	"repro/internal/xrand"
 )
 
 // Frozen digests. These values are a contract: do not update them unless a
@@ -29,6 +31,12 @@ const (
 	goldenDecay     = uint64(0x986345ecd19d493b) // amplified Decay, 16-star, seed 7
 	goldenBroadcast = uint64(0x7f9896d30390ce58) // core.Broadcast, 6x6 grid, seed 11
 	goldenElection  = uint64(0xa70fbb5c63a096f0) // core.LeaderElection, 5x5 grid, seed 13
+	// goldenDynDecay freezes the dynamic-topology semantics end to end: the
+	// churn schedule construction (dyn.Churn on a 6x6 grid, schedule seed 3),
+	// the engines' epoch swap, and delivery over mutated epochs. Any change
+	// to the mutation-seed derivation, the delta application order, or the
+	// epoch-boundary placement flips this digest.
+	goldenDynDecay = uint64(0xc77a9386768f557e) // amplified Decay, churned 6x6 grid, seed 21
 )
 
 func hashMIS(t *testing.T, concurrent bool) uint64 {
@@ -56,6 +64,24 @@ func hashDecay(t *testing.T, concurrent bool) uint64 {
 		return decay.NewNode(info, 4, info.Index > 0, info.Index)
 	}
 	if _, err := radio.Run(g, h.Wrap(factory), radio.Options{MaxSteps: 1 << 16, Seed: 7, Concurrent: concurrent}); err != nil {
+		t.Fatal(err)
+	}
+	return h.Sum()
+}
+
+func hashDynDecay(t *testing.T, concurrent bool) uint64 {
+	t.Helper()
+	g := gen.Grid(6, 6)
+	sched, err := dyn.Churn(g, 8, 12, 0.25, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := trace.NewHasher()
+	factory := func(info radio.NodeInfo) radio.Protocol {
+		return decay.NewNode(info, 6, info.Index == 0, info.Index)
+	}
+	opts := radio.Options{MaxSteps: 1 << 10, Seed: 21, Topology: sched, Concurrent: concurrent}
+	if _, err := radio.Run(g, h.Wrap(factory), opts); err != nil {
 		t.Fatal(err)
 	}
 	return h.Sum()
@@ -99,6 +125,8 @@ func TestGoldenTranscripts(t *testing.T) {
 		{"mis/concurrent-engine", goldenMIS, func() uint64 { return hashMIS(t, true) }},
 		{"decay", goldenDecay, func() uint64 { return hashDecay(t, false) }},
 		{"decay/concurrent-engine", goldenDecay, func() uint64 { return hashDecay(t, true) }},
+		{"dyn-decay", goldenDynDecay, func() uint64 { return hashDynDecay(t, false) }},
+		{"dyn-decay/concurrent-engine", goldenDynDecay, func() uint64 { return hashDynDecay(t, true) }},
 		{"broadcast", goldenBroadcast, func() uint64 { return hashBroadcast(t) }},
 		{"election", goldenElection, func() uint64 { return hashElection(t) }},
 	}

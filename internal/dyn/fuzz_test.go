@@ -1,0 +1,84 @@
+package dyn
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// FuzzScheduleApplyRevert fuzzes the property the whole dynamic-topology
+// subsystem rests on: replaying a schedule's epoch deltas through
+// graph.ApplyDelta reproduces each epoch's CSR exactly, and reverting the
+// undo stack in reverse order round-trips back to the original CSR —
+// adjacency order included, since the frozen CSR (and so the simulation
+// transcript) depends on it.
+//
+// Input encoding, following graph.FuzzBuilderVsAddEdge: data[0] picks the
+// vertex count, data[1] the generator mix, data[2:10] a schedule seed, and
+// the remaining bytes decode pairwise into an edge stream over a window
+// [-1, n+1] so self-loops, duplicates, and out-of-range endpoints occur
+// constantly. The seed corpus under testdata/fuzz runs as ordinary test
+// cases in `go test`; CI additionally runs a short `-fuzz` smoke.
+func FuzzScheduleApplyRevert(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 10 {
+			return
+		}
+		n := 1 + int(data[0])%32
+		mode := data[1]
+		seed := uint64(0)
+		for _, b := range data[2:10] {
+			seed = seed<<8 | uint64(b)
+		}
+		stream := data[10:]
+		base := graph.New(n)
+		span := n + 3
+		for i := 0; i+1 < len(stream); i += 2 {
+			base.AddEdge(int(stream[i])%span-1, int(stream[i+1])%span-1)
+		}
+		rng := xrand.New(seed)
+		var s *Schedule
+		var err error
+		switch mode % 3 {
+		case 0:
+			s, err = Churn(base, 1+int(mode)%5, 3, 0.35, rng)
+		case 1:
+			s, err = EdgeFaults(base, 1+int(mode)%5, 3, 0.35, rng)
+		default:
+			side := make([]bool, n)
+			for v := n / 2; v < n; v++ {
+				side[v] = true
+			}
+			s, err = PartitionHeal(base, side, 3, 7)
+		}
+		if err != nil {
+			t.Fatalf("generator failed on valid input: %v", err)
+		}
+
+		// Replay the deltas over a fresh clone, checking each epoch CSR.
+		work := base.Clone()
+		orig := work.Freeze()
+		if !orig.Equal(s.CSR(0)) {
+			t.Fatal("epoch 0 CSR differs from the base graph's")
+		}
+		var undos []*graph.Undo
+		for i := 1; i < s.Epochs(); i++ {
+			d := s.Delta(i)
+			undos = append(undos, work.ApplyDelta(d.Remove, d.Add))
+			if err := work.Validate(); err != nil {
+				t.Fatalf("epoch %d: delta broke graph invariants: %v", i, err)
+			}
+			if !work.Freeze().Equal(s.CSR(i)) {
+				t.Fatalf("epoch %d: replayed delta CSR differs from the schedule's", i)
+			}
+		}
+		// Revert the stack: must round-trip to the original CSR exactly.
+		for i := len(undos) - 1; i >= 0; i-- {
+			work.Revert(undos[i])
+		}
+		if !work.Freeze().Equal(orig) {
+			t.Fatal("apply+revert did not round-trip to the original CSR")
+		}
+	})
+}

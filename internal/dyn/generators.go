@@ -1,0 +1,140 @@
+package dyn
+
+// Randomized schedule generators. Each one is a pure function of
+// (base graph, shape parameters, rng state): the same inputs always produce
+// the same epoch deltas, which is what lets dynamic experiments keep the
+// suite's determinism contract. All of them model dynamics over a fixed
+// node set — churn and faults toggle base edges, they never invent new ones
+// (mobility, which genuinely rewires, lives in gen.MobileUDG on top of
+// FromGraphs).
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Churn builds an epochs+1-epoch schedule of node churn on base: epoch 0 is
+// the pristine base, and each subsequent epoch (every epochLen steps) draws
+// a fresh down-set — each node is down independently with probability
+// downFrac — and removes every base edge with a down endpoint. A down node
+// keeps running its protocol; it is simply unreachable, like a radio that
+// drove out of range. Nodes recover as soon as a later epoch's draw leaves
+// them up.
+func Churn(base *graph.Graph, epochs, epochLen int, downFrac float64, rng *xrand.RNG) (*Schedule, error) {
+	if err := checkShape(epochs, epochLen); err != nil {
+		return nil, err
+	}
+	n := base.N()
+	prevDown := make([]bool, n)
+	down := make([]bool, n)
+	var specs []EpochSpec
+	for e := 1; e <= epochs; e++ {
+		for v := 0; v < n; v++ {
+			down[v] = rng.Bernoulli(downFrac)
+		}
+		d := toggleDelta(base, func(u, v int) bool { return !prevDown[u] && !prevDown[v] },
+			func(u, v int) bool { return !down[u] && !down[v] })
+		if !d.empty() {
+			specs = append(specs, EpochSpec{Start: e * epochLen, Delta: d})
+		}
+		copy(prevDown, down)
+	}
+	return New(base, specs)
+}
+
+// EdgeFaults builds an epochs+1-epoch schedule of transient link failures:
+// epoch 0 is the pristine base, and each subsequent epoch fails every base
+// edge independently with probability failProb (fresh draws per epoch, so
+// faults clear and strike anew — a fading-channel model rather than
+// permanent damage).
+func EdgeFaults(base *graph.Graph, epochs, epochLen int, failProb float64, rng *xrand.RNG) (*Schedule, error) {
+	if err := checkShape(epochs, epochLen); err != nil {
+		return nil, err
+	}
+	prevFailed := map[graph.Edge]bool{}
+	var specs []EpochSpec
+	for e := 1; e <= epochs; e++ {
+		failed := map[graph.Edge]bool{}
+		var d Delta
+		forEachEdge(base, func(u, v int32) {
+			key := graph.Edge{U: u, V: v}
+			f := rng.Bernoulli(failProb)
+			if f {
+				failed[key] = true
+			}
+			switch {
+			case f && !prevFailed[key]:
+				d.Remove = append(d.Remove, key)
+			case !f && prevFailed[key]:
+				d.Add = append(d.Add, key)
+			}
+		})
+		if !d.empty() {
+			specs = append(specs, EpochSpec{Start: e * epochLen, Delta: d})
+		}
+		prevFailed = failed
+	}
+	return New(base, specs)
+}
+
+// PartitionHeal builds a three-phase schedule: the base topology on
+// [0, cutStart), then every edge crossing the side marking removed on
+// [cutStart, healStart), then the base topology again from healStart on.
+// Experiment E19 uses it to measure re-convergence after a partition heals.
+func PartitionHeal(base *graph.Graph, side []bool, cutStart, healStart int) (*Schedule, error) {
+	n := base.N()
+	if len(side) != n {
+		return nil, fmt.Errorf("dyn: side marking has %d entries for %d nodes", len(side), n)
+	}
+	if cutStart < 1 || healStart <= cutStart {
+		return nil, fmt.Errorf("dyn: need 1 <= cutStart (%d) < healStart (%d)", cutStart, healStart)
+	}
+	var crossing []graph.Edge
+	forEachEdge(base, func(u, v int32) {
+		if side[u] != side[v] {
+			crossing = append(crossing, graph.Edge{U: u, V: v})
+		}
+	})
+	return New(base, []EpochSpec{
+		{Start: cutStart, Delta: Delta{Remove: crossing}},
+		{Start: healStart, Delta: Delta{Add: crossing}},
+	})
+}
+
+// toggleDelta emits the delta for base edges whose presence predicate
+// flipped between two epochs, scanning base's adjacency in deterministic
+// (lower endpoint, list position) order.
+func toggleDelta(base *graph.Graph, was, is func(u, v int) bool) Delta {
+	var d Delta
+	forEachEdge(base, func(u, v int32) {
+		w, n := was(int(u), int(v)), is(int(u), int(v))
+		switch {
+		case w && !n:
+			d.Remove = append(d.Remove, graph.Edge{U: u, V: v})
+		case !w && n:
+			d.Add = append(d.Add, graph.Edge{U: u, V: v})
+		}
+	})
+	return d
+}
+
+// forEachEdge visits every undirected edge of g once, as (lower, higher)
+// endpoints in adjacency order.
+func forEachEdge(g *graph.Graph, visit func(u, v int32)) {
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				visit(int32(u), v)
+			}
+		}
+	}
+}
+
+func checkShape(epochs, epochLen int) error {
+	if epochs < 0 || epochLen <= 0 {
+		return fmt.Errorf("dyn: need epochs >= 0 and epochLen > 0, got %d and %d", epochs, epochLen)
+	}
+	return nil
+}

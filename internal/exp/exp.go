@@ -1,5 +1,6 @@
 // Package exp is the experiment harness that regenerates the paper's
-// quantitative claims (E1–E16, see DESIGN.md §4 and EXPERIMENTS.md). Each
+// quantitative claims (E1–E16) and stresses them under dynamic topologies
+// (E17–E20, DESIGN.md §4–§5 and EXPERIMENTS.md). Each
 // experiment declares a grid of independent trials (scenario × seed
 // replica) that the runner in runner.go executes concurrently, then
 // aggregates the typed samples into stats.Tables. A run renders both as
@@ -120,6 +121,10 @@ func Registry() []Experiment {
 		{ID: "E14", Title: "Multi-source Compete", Claim: "Theorem 6: |S|·D^0.125 additive source term", Run: RunE14},
 		{ID: "E15", Title: "Wake-up model ablation", Claim: "§1.1: synchronous wake-up is required by Algorithm 7", Run: RunE15},
 		{ID: "E16", Title: "Wake-up reduction", Claim: "§1.5.1 fn.3: MIS on a k-clique with estimate n forces a clear transmission", Run: RunE16},
+		{ID: "E17", Title: "Broadcast under churn", Claim: "extension: Decay flooding degrades gracefully as nodes churn out and back", Run: RunE17},
+		{ID: "E18", Title: "MIS under edge faults", Claim: "extension: Radio MIS output goes stale when links fail and heal mid-run", Run: RunE18},
+		{ID: "E19", Title: "Partition heal re-convergence", Claim: "extension: a partition contains the flood; healing re-converges at flood speed", Run: RunE19},
+		{ID: "E20", Title: "Election under mobility", Claim: "extension: waypoint motion both breaks links and ferries agreement across partitions", Run: RunE20},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

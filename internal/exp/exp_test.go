@@ -11,8 +11,8 @@ func quickCfg() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Registry()
-	if len(exps) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -73,6 +73,10 @@ func TestE11(t *testing.T) { runOne(t, "E11", "growth exponent") }
 func TestE12(t *testing.T) { runOne(t, "E12", "mis", "all") }
 
 func TestE14(t *testing.T) { runOne(t, "E14", "|S|") }
+func TestE17(t *testing.T) { runOne(t, "E17", "churn", "informed frac") }
+func TestE18(t *testing.T) { runOne(t, "E18", "fault rate", "valid on final") }
+func TestE19(t *testing.T) { runOne(t, "E19", "heal", "frac at heal") }
+func TestE20(t *testing.T) { runOne(t, "E20", "speed", "agree frac") }
 func TestE16(t *testing.T) { runOne(t, "E16", "first-clear") }
 func TestE15(t *testing.T) { runOne(t, "E15", "stagger", "valid") }
 

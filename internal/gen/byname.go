@@ -3,22 +3,49 @@ package gen
 import (
 	"fmt"
 	"math"
+	"strings"
 
+	"repro/internal/dyn"
 	"repro/internal/graph"
 	"repro/internal/xrand"
 )
 
-// ClassNames lists the graph classes ByName understands.
+// ClassNames lists the static graph classes ByName understands.
 var ClassNames = []string{
 	"path", "cycle", "clique", "star", "grid", "tree", "gnp", "udg",
 	"quasiudg", "grn", "cliquechain", "lollipop", "hypercube", "regular",
 }
 
+// DynClassNames lists the dynamic-topology specs ScheduleByName understands:
+// "churn:<class>" and "fault:<class>" wrap any static class in node-churn or
+// edge-fault epochs, and "mobile:udg" is random-waypoint mobility.
+var DynClassNames = []string{"churn:<class>", "fault:<class>", "mobile:udg"}
+
 // ByName builds a graph of roughly n nodes from a named class, used by the
 // CLIs and examples. Randomized classes derive their randomness from seed.
+// Dynamic specs ("churn:grid", "fault:gnp", "mobile:udg") are accepted too
+// and yield the epoch-0 skeleton — the underlying static class — so static
+// consumers keep working; ScheduleByName builds the full epoch schedule.
 func ByName(name string, n int, seed uint64) (*graph.Graph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("gen: need n ≥ 1, got %d", n)
+	}
+	if kind, class, ok := splitDynSpec(name); ok {
+		if err := validateDynKind(kind); err != nil {
+			return nil, err
+		}
+		if kind == "mobile" {
+			// The mobile classes have their own placement convention, so
+			// the skeleton must come from the schedule itself: a zero-epoch
+			// build shares the initial point draw with every full build of
+			// the same seed (motion parameters don't touch it).
+			sched, err := ScheduleByName(name, n, 0, 1, 0, seed)
+			if err != nil {
+				return nil, err
+			}
+			return sched.CSR(0).Graph(), nil
+		}
+		return ByName(class, n, seed)
 	}
 	rng := xrand.New(seed ^ 0x517cc1b727220a95)
 	switch name {
@@ -94,5 +121,65 @@ func ByName(name string, n int, seed uint64) (*graph.Graph, error) {
 		return Lollipop(head, n-head), nil
 	default:
 		return nil, fmt.Errorf("gen: unknown graph class %q (known: %v)", name, ClassNames)
+	}
+}
+
+// ScheduleByName builds a dynamic-topology schedule from a "<kind>:<class>"
+// spec: "churn:<class>" takes nodes down per epoch with probability rate,
+// "fault:<class>" fails edges per epoch with probability rate, and
+// "mobile:udg" moves nodes rate radio-ranges per epoch under random-waypoint
+// mobility. epochs counts the mutated epochs after the pristine epoch 0 and
+// epochLen is each epoch's length in time-steps; rate <= 0 selects the
+// default 0.15. Like ByName, the result is a pure function of the
+// arguments. A bare static class name is accepted and yields a single-epoch
+// (static) schedule, so callers can treat every spec uniformly.
+func ScheduleByName(spec string, n, epochs, epochLen int, rate float64, seed uint64) (*dyn.Schedule, error) {
+	if rate <= 0 {
+		rate = 0.15
+	}
+	rng := xrand.New(seed ^ 0xd1a2b3c4d5e6f708)
+	kind, class, ok := splitDynSpec(spec)
+	if !ok {
+		base, err := ByName(spec, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		return dyn.New(base, nil)
+	}
+	if err := validateDynKind(kind); err != nil {
+		return nil, err
+	}
+	if kind == "mobile" {
+		if class != "udg" {
+			return nil, fmt.Errorf("gen: mobility spec %q: only mobile:udg is supported", spec)
+		}
+		return MobileUDG(n, epochs, epochLen, rate, rng)
+	}
+	base, err := ByName(class, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "churn":
+		return dyn.Churn(base, epochs, epochLen, rate, rng)
+	default: // "fault"
+		return dyn.EdgeFaults(base, epochs, epochLen, rate, rng)
+	}
+}
+
+// splitDynSpec splits "<kind>:<class>" dynamic specs; ok is false for bare
+// static class names.
+func splitDynSpec(name string) (kind, class string, ok bool) {
+	kind, class, ok = strings.Cut(name, ":")
+	return kind, class, ok
+}
+
+// validateDynKind rejects unknown dynamic-spec kinds.
+func validateDynKind(kind string) error {
+	switch kind {
+	case "churn", "fault", "mobile":
+		return nil
+	default:
+		return fmt.Errorf("gen: unknown dynamic kind %q (known: %v)", kind, DynClassNames)
 	}
 }

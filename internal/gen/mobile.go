@@ -1,0 +1,72 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dyn"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// MobileUDG builds a random-waypoint mobility schedule: n radios with unit
+// range are dropped uniformly in a square sized for average degree ~8, and
+// between epochs every node moves distance speed (in units of the radio
+// range) toward its private waypoint, drawing a fresh uniform waypoint when
+// it arrives. Epoch i's topology is the unit-disk graph of the positions at
+// time i; dyn.FromGraphs collapses motion too slow to rewire anything into
+// longer epochs. The initial placement is retried until connected (the
+// usual generator convention); later epochs may disconnect and reconnect
+// freely — that is the phenomenon mobility experiments measure.
+//
+// The whole trajectory is a pure function of (n, epochs, speed, rng state),
+// keeping the dyn determinism contract.
+func MobileUDG(n, epochs, epochLen int, speed float64, rng *xrand.RNG) (*dyn.Schedule, error) {
+	if n < 1 || epochs < 0 || epochLen <= 0 {
+		return nil, fmt.Errorf("gen: MobileUDG needs n >= 1, epochs >= 0, epochLen > 0 (got %d, %d, %d)", n, epochs, epochLen)
+	}
+	if speed < 0 {
+		return nil, fmt.Errorf("gen: MobileUDG needs speed >= 0, got %g", speed)
+	}
+	side := math.Sqrt(float64(n) * math.Pi / 8)
+	var pts []Point
+	var g0 *graph.Graph
+	for t := 0; ; t++ {
+		pts = UniformPoints(n, 2, side, rng)
+		g0 = UDG(pts, 1)
+		if g0.Connected() {
+			break
+		}
+		if t >= 60 {
+			return nil, fmt.Errorf("gen: no connected initial UDG(n=%d) found", n)
+		}
+	}
+	waypoints := UniformPoints(n, 2, side, rng)
+	graphs := []*graph.Graph{g0}
+	for e := 1; e <= epochs; e++ {
+		for i := range pts {
+			pts[i], waypoints[i] = advance(pts[i], waypoints[i], speed, side, rng)
+		}
+		graphs = append(graphs, UDG(pts, 1))
+	}
+	return dyn.FromGraphs(epochLen, graphs)
+}
+
+// advance moves p distance speed toward its waypoint, redrawing the
+// waypoint whenever it is reached within this move.
+func advance(p, wp Point, speed, side float64, rng *xrand.RNG) (Point, Point) {
+	for speed > 0 {
+		d := p.Dist(wp)
+		if d > speed {
+			frac := speed / d
+			for k := range p {
+				p[k] += (wp[k] - p[k]) * frac
+			}
+			break
+		}
+		p = wp
+		speed -= d
+		wp = UniformPoints(1, 2, side, rng)[0]
+	}
+	return p, wp
+}

@@ -1,0 +1,125 @@
+package graph
+
+// This file supports dynamic topologies (internal/dyn): batched edge deltas
+// applied to a live graph with an exact undo record. A topology epoch is one
+// ApplyDelta call; the CSR view is re-frozen once per epoch by the caller
+// (the dyn.Schedule constructor), never per simulation step, so the engines'
+// zero-alloc step loop is untouched between epoch boundaries.
+
+// Edge is an undirected edge {U, V} of a delta. Orientation is irrelevant;
+// self-loops and out-of-range endpoints are ignored exactly as AddEdge
+// ignores them.
+type Edge struct {
+	U, V int32
+}
+
+// Undo records the pre-delta adjacency lists of every vertex an ApplyDelta
+// call touched, so Revert can restore the graph exactly — including
+// neighbor-list order, which the frozen CSR (and therefore byte-level run
+// reproducibility) depends on.
+type Undo struct {
+	verts []int32
+	lists [][]int32
+}
+
+// ApplyDelta removes then adds the given undirected edges as one batch and
+// returns an Undo that restores the prior graph exactly. Removing an absent
+// edge and adding a present one are no-ops, as are self-loops and
+// out-of-range endpoints. The cached CSR is invalidated once for the whole
+// batch; cost is O(Σ degree of the touched vertices), independent of n.
+func (g *Graph) ApplyDelta(remove, add []Edge) *Undo {
+	g.invalidate()
+	u := &Undo{}
+	saved := make(map[int32]bool, 2*(len(remove)+len(add)))
+	save := func(v int32) {
+		if saved[v] {
+			return
+		}
+		saved[v] = true
+		u.verts = append(u.verts, v)
+		u.lists = append(u.lists, append([]int32(nil), g.adj[v]...))
+	}
+	for _, e := range remove {
+		if !g.edgeInRange(e) {
+			continue
+		}
+		save(e.U)
+		save(e.V)
+		g.removeArc(e.U, e.V)
+		g.removeArc(e.V, e.U)
+	}
+	for _, e := range add {
+		if !g.edgeInRange(e) || g.HasEdge(int(e.U), int(e.V)) {
+			continue
+		}
+		save(e.U)
+		save(e.V)
+		g.adj[e.U] = append(g.adj[e.U], e.V)
+		g.adj[e.V] = append(g.adj[e.V], e.U)
+	}
+	return u
+}
+
+// Revert restores the adjacency lists saved by the matching ApplyDelta.
+// Undos must be reverted in reverse application order when several deltas
+// are stacked.
+func (g *Graph) Revert(u *Undo) {
+	g.invalidate()
+	for i, v := range u.verts {
+		g.adj[v] = u.lists[i]
+	}
+}
+
+// edgeInRange reports whether e names a valid non-loop edge slot.
+func (g *Graph) edgeInRange(e Edge) bool {
+	return e.U != e.V && e.U >= 0 && e.V >= 0 && int(e.U) < g.n && int(e.V) < g.n
+}
+
+// removeArc deletes w from v's neighbor list, preserving the order of the
+// remaining entries. The list is rebuilt into a fresh slice rather than
+// filtered in place: Builder-built graphs carve their lists out of one
+// shared flat array that a previously returned CSR may still reference.
+func (g *Graph) removeArc(v, w int32) {
+	old := g.adj[v]
+	for i, x := range old {
+		if x == w {
+			nl := make([]int32, 0, len(old)-1)
+			nl = append(nl, old[:i]...)
+			nl = append(nl, old[i+1:]...)
+			g.adj[v] = nl
+			return
+		}
+	}
+}
+
+// Graph materializes the CSR snapshot back into a mutable Graph whose
+// adjacency lists preserve the CSR's neighbor order. Dynamic-topology
+// experiments use it to validate protocol output against the epoch in force
+// when the run ended.
+func (c *CSR) Graph() *Graph {
+	n := c.N()
+	g := New(n)
+	for v := 0; v < n; v++ {
+		g.adj[v] = append([]int32(nil), c.Neighbors(v)...)
+	}
+	return g
+}
+
+// Equal reports whether two CSR snapshots are identical: same vertex count
+// and the same neighbor lists in the same order.
+func (c *CSR) Equal(o *CSR) bool {
+	if c.N() != o.N() || len(c.edges) != len(o.edges) {
+		return false
+	}
+	for i, off := range c.offsets {
+		if off != o.offsets[i] {
+			return false
+		}
+	}
+	for i, e := range c.edges {
+		if e != o.edges[i] {
+			return false
+		}
+	}
+	return true
+}

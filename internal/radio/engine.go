@@ -1,11 +1,18 @@
 package radio
 
-import "repro/internal/graph"
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
 
 // engine is the step-loop state shared by the sequential and worker-pool
 // engines: the frozen CSR topology, the protocol instances, and reusable
 // scratch buffers sized once at construction so the per-step loop allocates
-// nothing.
+// nothing. Under a dynamic topology (Options.Topology) csr is the snapshot
+// of the current epoch and epochSync swaps it at epoch boundaries; the
+// scratch buffers are indexed by node and the node count is fixed for the
+// whole run, so they survive every epoch unchanged.
 //
 // Sparse-delivery invariants (DESIGN.md §3): between steps every scratch
 // entry is at its zero value — transmitting[v]=false, payload[v]=nil,
@@ -15,9 +22,11 @@ import "repro/internal/graph"
 // exactly those entries, so a step with k transmitters of total degree d
 // costs O(k + d) delivery work regardless of n.
 type engine struct {
-	csr   *graph.CSR
-	nodes []Protocol
-	opts  Options
+	csr       *graph.CSR
+	topo      Topology // nil for static runs
+	nextEpoch int      // step of the next topology change; -1 = static from here
+	nodes     []Protocol
+	opts      Options
 
 	transmitting []bool    // transmitting[v]: v transmits this step
 	payload      []Message // payload[v]: message v transmits
@@ -30,8 +39,9 @@ type engine struct {
 
 func newEngine(g *graph.Graph, nodes []Protocol, opts Options) *engine {
 	n := len(nodes)
-	return &engine{
-		csr:          g.Freeze(),
+	e := &engine{
+		topo:         opts.Topology,
+		nextEpoch:    -1,
 		nodes:        nodes,
 		opts:         opts,
 		transmitting: make([]bool, n),
@@ -41,6 +51,73 @@ func newEngine(g *graph.Graph, nodes []Protocol, opts Options) *engine {
 		from:         make([]int32, n),
 		txList:       make([]int32, 0, n),
 		touched:      make([]int32, 0, n),
+	}
+	if e.topo != nil {
+		e.csr, e.nextEpoch = e.topo.EpochAt(0)
+	} else {
+		e.csr = g.Freeze()
+	}
+	return e
+}
+
+// epochSync installs the topology in force at step when step crosses the
+// next epoch boundary. Between boundaries it is a single comparison, so the
+// per-step delivery cost stays amortized O(#tx + Σdeg); the Topology query
+// (and any allocation inside the implementation) happens once per epoch.
+// Both engines call it at the top of the step, before the act phase, so the
+// epoch's first step already delivers over the new topology.
+func (e *engine) epochSync(step int) {
+	if e.nextEpoch < 0 || step < e.nextEpoch {
+		return
+	}
+	csr, next := e.topo.EpochAt(step)
+	if csr.N() != len(e.nodes) {
+		// The Options.Topology contract fixes the node count for the whole
+		// run; a shrinking or growing epoch would corrupt the scratch
+		// arrays, so fail loudly rather than deliver garbage.
+		panic(fmt.Sprintf("radio: Topology epoch at step %d has %d nodes, run has %d", step, csr.N(), len(e.nodes)))
+	}
+	e.csr, e.nextEpoch = csr, next
+}
+
+// actScan runs one step's act phase over a compacting active list: dormant
+// nodes are kept but skipped, nodes observed awake with Done() true retire
+// permanently, and every remaining node is polled, with transmitters
+// recorded into the scratch arrays and appended to tx. It returns the
+// compacted active list, the extended transmitter list, and the number of
+// transmit actions. Shared by the sequential engine (whole node range) and
+// each worker-pool shard (its own range) so the two engines cannot drift.
+func (e *engine) actScan(active []int32, step int, tx []int32) (activeOut, txOut []int32, transmits int) {
+	w := 0
+	for _, v := range active {
+		if !awake(&e.opts, int(v), step) {
+			active[w] = v // dormant: stays active, keeps the run alive
+			w++
+			continue
+		}
+		if e.nodes[v].Done() {
+			continue // retired for the remainder of the run
+		}
+		active[w] = v
+		w++
+		a := e.nodes[v].Act(step)
+		if a.Transmit {
+			e.transmitting[v] = true
+			e.payload[v] = a.Msg
+			tx = append(tx, v)
+			transmits++
+		}
+	}
+	return active[:w], tx, transmits
+}
+
+// deliverScan hands each live node on the list its received message (or
+// silence). Shared by both engines, like actScan.
+func (e *engine) deliverScan(active []int32, step int) {
+	for _, v := range active {
+		if awake(&e.opts, int(v), step) {
+			e.nodes[v].Deliver(step, e.hear[v])
+		}
 	}
 }
 

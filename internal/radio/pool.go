@@ -97,6 +97,11 @@ func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 	var res Result
 	for step := 0; step < opts.MaxSteps; step++ {
 		st := StepStats{Step: step}
+		// Epoch boundary: the coordinator swaps the CSR between barriers,
+		// where no worker touches shared engine state. Workers never read
+		// the topology (act/deliver phases poll protocols only), so no
+		// extra synchronization is needed beyond the existing barriers.
+		p.e.epochSync(step)
 		p.barrier(step, phaseAct)
 		remaining := 0
 		for _, s := range p.shards {
@@ -148,41 +153,15 @@ func (p *pool) barrier(step, ph int) {
 	p.phase.Wait()
 }
 
-// actPhase mirrors the sequential act phase for one shard: retire nodes
-// observed awake and done, poll the rest, record transmitters. Workers only
-// write scratch entries indexed by nodes they own.
+// actPhase runs the shared act scan (engine.actScan) over one shard's node
+// range: retire nodes observed awake and done, poll the rest, record
+// transmitters. Workers only write scratch entries indexed by nodes they
+// own.
 func (p *pool) actPhase(s *shard, step int) {
-	e := p.e
-	s.transmits = 0
-	w := 0
-	for _, v := range s.active {
-		if !awake(&e.opts, int(v), step) {
-			s.active[w] = v // dormant: stays active, keeps the run alive
-			w++
-			continue
-		}
-		if e.nodes[v].Done() {
-			continue // retired for the remainder of the run
-		}
-		s.active[w] = v
-		w++
-		a := e.nodes[v].Act(step)
-		if a.Transmit {
-			e.transmitting[v] = true
-			e.payload[v] = a.Msg
-			s.txList = append(s.txList, v)
-			s.transmits++
-		}
-	}
-	s.active = s.active[:w]
+	s.active, s.txList, s.transmits = p.e.actScan(s.active, step, s.txList)
 }
 
 // deliverPhase hands each live node in the shard its received message.
 func (p *pool) deliverPhase(s *shard, step int) {
-	e := p.e
-	for _, v := range s.active {
-		if awake(&e.opts, int(v), step) {
-			e.nodes[v].Deliver(step, e.hear[v])
-		}
-	}
+	p.e.deliverScan(s.active, step)
 }

@@ -127,10 +127,38 @@ type Options struct {
 	// model (§1.1). Experiment E15 uses this to show which guarantees
 	// depend on the synchronous-wake-up assumption.
 	WakeAt []int
+	// Topology, when non-nil, makes the run dynamic: the engines consult it
+	// at epoch boundaries (and only there — between boundaries the step
+	// loop stays zero-alloc) and deliver over the epoch's frozen topology
+	// instead of g's. Every epoch must keep the node count equal to g.N();
+	// dynamics are modeled as edges appearing and disappearing over a fixed
+	// node set (a churned-out node is one with no incident edges — it keeps
+	// acting, but transmits into the void and hears nothing). Protocols are
+	// never told about epoch changes: the ad-hoc model's information hiding
+	// extends to topology dynamics. The parameter estimates handed to nodes
+	// (N, D, Alpha) are still derived from g, the epoch-0 graph, unless
+	// overridden. internal/dyn builds deterministic schedules implementing
+	// this interface; see DESIGN.md §5 for the epoch semantics and the
+	// determinism contract.
+	Topology Topology
 	// CollisionDetection, when true, delivers the Collision marker to
 	// listeners with ≥2 transmitting neighbors instead of silence — the
 	// stronger model of §1.5.2. Off (the paper's model) by default.
 	CollisionDetection bool
+}
+
+// Topology is the dynamic-topology hook (ISSUE: epochs of churn, mobility
+// and edge faults). Implementations must be pure: EpochAt(step) depends on
+// step alone, is safe for concurrent callers, and returns the same snapshot
+// every time it is asked about the same step — the engines rely on this for
+// run-to-run reproducibility and for the sequential/worker-pool transcript
+// equivalence. dyn.Schedule is the canonical implementation.
+type Topology interface {
+	// EpochAt returns the frozen topology in force at step and the first
+	// step strictly after it at which the topology changes again
+	// (nextChange < 0 when the topology is static from step on). The
+	// engines call it once per epoch boundary, never per step.
+	EpochAt(step int) (csr *graph.CSR, nextChange int)
 }
 
 // Result summarizes a run.
@@ -159,6 +187,15 @@ func Run(g *graph.Graph, factory Factory, opts Options) (Result, error) {
 	}
 	if opts.WakeAt != nil && len(opts.WakeAt) != g.N() {
 		return Result{}, fmt.Errorf("radio: WakeAt has %d entries for %d nodes", len(opts.WakeAt), g.N())
+	}
+	if opts.Topology != nil {
+		csr, _ := opts.Topology.EpochAt(0)
+		if csr == nil {
+			return Result{}, fmt.Errorf("radio: Topology has no epoch at step 0")
+		}
+		if csr.N() != g.N() {
+			return Result{}, fmt.Errorf("radio: Topology epoch 0 has %d nodes for %d protocol nodes", csr.N(), g.N())
+		}
 	}
 	if opts.Concurrent {
 		return runPool(g, nodes, opts)

@@ -14,29 +14,11 @@ func runSequential(g *graph.Graph, nodes []Protocol, opts Options) (Result, erro
 	var res Result
 	for step := 0; step < opts.MaxSteps; step++ {
 		st := StepStats{Step: step}
+		// Epoch boundary: swap in the topology in force at this step.
+		e.epochSync(step)
 		// Act phase: retire done nodes, poll the rest.
-		w := 0
-		for _, v := range active {
-			if !awake(&e.opts, int(v), step) {
-				active[w] = v // dormant: stays active, keeps the run alive
-				w++
-				continue
-			}
-			if e.nodes[v].Done() {
-				continue // retired for the remainder of the run
-			}
-			active[w] = v
-			w++
-			a := e.nodes[v].Act(step)
-			if a.Transmit {
-				e.transmitting[v] = true
-				e.payload[v] = a.Msg
-				e.txList = append(e.txList, v)
-				st.Transmits++
-			}
-		}
-		active = active[:w]
-		if w == 0 {
+		active, e.txList, st.Transmits = e.actScan(active, step, e.txList)
+		if len(active) == 0 {
 			res.AllDone = true
 			break
 		}
@@ -44,11 +26,7 @@ func runSequential(g *graph.Graph, nodes []Protocol, opts Options) (Result, erro
 		e.countTransmitters(e.txList)
 		e.resolveDeliveries(&st)
 		// Deliver phase: every live node receives its message (or silence).
-		for _, v := range active {
-			if awake(&e.opts, int(v), step) {
-				e.nodes[v].Deliver(step, e.hear[v])
-			}
-		}
+		e.deliverScan(active, step)
 		e.clearTx(e.txList)
 		e.txList = e.txList[:0]
 		e.clearTouched()
