@@ -1,0 +1,244 @@
+// Command radionet-loadgen hammers a radionet-serve instance with a
+// configurable scenario mix and reports throughput, p50/p95/p99 latency,
+// and cache hit rate — the serving-layer counterpart of `radionet-bench
+// -engine-bench` (DESIGN.md §6).
+//
+// Usage:
+//
+//	radionet-loadgen [-addr http://host:port] [-requests 100] [-concurrency 4]
+//	                 [-seeds 3] [-mix mis@grid/49,broadcast@path/32] [-out BENCH_serve.json]
+//
+// Each mix entry is algo@graph/n; requests cycle through the mix with
+// -seeds distinct seeds per scenario, so after mix×seeds unique requests
+// the attainable steady-state cache hit rate is 1. With no -addr the tool
+// boots an in-process server on a loopback port — the self-contained smoke
+// mode CI runs. With -out, the run's record is appended to a JSON tracking
+// file (BENCH_engine.json-style trajectory; timings are host-dependent, so
+// the file is a trail, not a gate).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "radionet-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// runRecord is the tracking-file entry for one load-generation run.
+type runRecord struct {
+	Mix           string  `json:"mix"`
+	Requests      int     `json:"requests"`
+	Concurrency   int     `json:"concurrency"`
+	Seeds         int     `json:"seeds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	Hits          int     `json:"hits"`
+	Coalesced     int     `json:"coalesced"`
+	Misses        int     `json:"misses"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("radionet-loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "", "server base URL (empty: boot an in-process server)")
+	requests := fs.Int("requests", 100, "total requests to issue")
+	concurrency := fs.Int("concurrency", 4, "concurrent client connections")
+	seeds := fs.Int("seeds", 3, "distinct seeds per scenario (mix×seeds unique specs → steady-state hit rate 1)")
+	mixFlag := fs.String("mix", "mis@grid/49,broadcast@path/32,flood@churn:grid/36",
+		"comma-separated algo@graph/n scenario mix")
+	outPath := fs.String("out", "", "append this run's record to a JSON tracking file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *requests < 1 || *concurrency < 1 || *seeds < 1 {
+		return fmt.Errorf("requests, concurrency, and seeds must be ≥ 1")
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+
+	base := strings.TrimSuffix(*addr, "/")
+	if base == "" {
+		svc := serve.New(serve.Config{})
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: serve.NewHandler(svc)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(out, "loadgen: in-process server on %s\n", base)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	latencies := make([]float64, *requests)
+	statuses := make([]string, *requests)
+	errs := make([]error, *requests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				sp := mix[i%len(mix)]
+				sp.Seed = 1 + uint64((i/len(mix))%*seeds)
+				body, err := json.Marshal(sp)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/simulate", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				data, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs[i] = fmt.Errorf("request %d (%s): status %d: %.200s", i, sp, resp.StatusCode, data)
+					continue
+				}
+				statuses[i] = resp.Header.Get("X-Cache")
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	hits, coalesced, misses := 0, 0, 0
+	for _, st := range statuses {
+		switch st {
+		case "HIT":
+			hits++
+		case "COALESCED":
+			coalesced++
+		default:
+			misses++
+		}
+	}
+	rec := runRecord{
+		Mix:           *mixFlag,
+		Requests:      *requests,
+		Concurrency:   *concurrency,
+		Seeds:         *seeds,
+		ThroughputRPS: float64(*requests) / elapsed.Seconds(),
+		P50Ms:         stats.Percentile(latencies, 50),
+		P95Ms:         stats.Percentile(latencies, 95),
+		P99Ms:         stats.Percentile(latencies, 99),
+		CacheHitRate:  float64(hits+coalesced) / float64(*requests),
+		Hits:          hits,
+		Coalesced:     coalesced,
+		Misses:        misses,
+	}
+	fmt.Fprintf(out, "loadgen: %d requests in %.2fs — %.1f req/s (concurrency %d, mix %d scenarios × %d seeds)\n",
+		rec.Requests, elapsed.Seconds(), rec.ThroughputRPS, rec.Concurrency, len(mix), rec.Seeds)
+	fmt.Fprintf(out, "latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n", rec.P50Ms, rec.P95Ms, rec.P99Ms)
+	fmt.Fprintf(out, "cache: hit rate %.3f (%d hit + %d coalesced + %d miss)\n",
+		rec.CacheHitRate, rec.Hits, rec.Coalesced, rec.Misses)
+	if resp, err := client.Get(base + "/v1/stats"); err == nil {
+		var st serve.Stats
+		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+			fmt.Fprintf(out, "server: %d executions, %d cache entries, %d/%d queue\n",
+				st.Executions, st.CacheEntries, st.QueueLen, st.QueueCap)
+		}
+		resp.Body.Close()
+	}
+	if *outPath != "" {
+		if err := appendRecord(*outPath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "record appended to %s\n", *outPath)
+	}
+	return nil
+}
+
+// parseMix parses "algo@graph/n" entries. graph may itself contain ':'
+// (dynamic specs), so the separators are '@' (first) and '/' (last).
+func parseMix(s string) ([]serve.Spec, error) {
+	var mix []serve.Spec
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		algo, rest, ok := strings.Cut(item, "@")
+		slash := strings.LastIndex(rest, "/")
+		if !ok || slash < 0 {
+			return nil, fmt.Errorf("mix entry %q: want algo@graph/n", item)
+		}
+		n, err := strconv.Atoi(rest[slash+1:])
+		if err != nil {
+			return nil, fmt.Errorf("mix entry %q: bad n: %v", item, err)
+		}
+		sp := serve.Spec{Algo: algo, Graph: rest[:slash], N: n}
+		if _, err := sp.Canonicalize(); err != nil {
+			return nil, fmt.Errorf("mix entry %q: %v", item, err)
+		}
+		mix = append(mix, sp)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty scenario mix")
+	}
+	return mix, nil
+}
+
+// appendRecord appends rec to the JSON array at path (creating it if
+// missing), BENCH_engine.json-style: the file is the perf trajectory
+// across runs.
+func appendRecord(path string, rec runRecord) error {
+	var records []runRecord
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("%s: existing tracking file is not a record array: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	records = append(records, rec)
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("mis@grid/49, flood@churn:grid/36")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 {
+		t.Fatalf("len %d", len(mix))
+	}
+	if mix[1].Graph != "churn:grid" || mix[1].N != 36 || mix[1].Algo != "flood" {
+		t.Fatalf("dynamic entry parsed as %+v", mix[1])
+	}
+	for _, bad := range []string{"", "mis-grid-49", "mis@grid", "mis@grid/xx", "nosuch@grid/10", "mis@nosuch/10"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// Smoke: in-process server, small mixed workload, report with latency
+// percentiles and cache hit rate, tracking record appended twice.
+func TestLoadgenInProcessSmoke(t *testing.T) {
+	outFile := t.TempDir() + "/track.json"
+	args := []string{
+		"-requests", "12", "-concurrency", "3", "-seeds", "2",
+		"-mix", "mis@grid/25,broadcast@path/16",
+		"-out", outFile,
+	}
+	var buf strings.Builder
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"req/s", "p50", "p95", "p99", "hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// 12 requests over 2 scenarios × 2 seeds = 4 unique specs ⇒ at least
+	// 8 of 12 must be served without a fresh execution.
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []runRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("tracking file: %v\n%s", err, data)
+	}
+	if len(records) != 2 {
+		t.Fatalf("tracking file has %d records, want 2", len(records))
+	}
+	for _, r := range records {
+		if r.Requests != 12 || r.ThroughputRPS <= 0 {
+			t.Fatalf("bad record %+v", r)
+		}
+		if r.Hits+r.Coalesced < 8 {
+			t.Fatalf("hit+coalesced = %d, want ≥ 8 of 12 (4 unique specs)", r.Hits+r.Coalesced)
+		}
+	}
+}
+
+func TestLoadgenFlagErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("want flag error")
+	}
+	if err := run([]string{"-requests", "0"}, &buf); err == nil {
+		t.Fatal("want range error")
+	}
+	if err := run([]string{"-mix", "garbage"}, &buf); err == nil {
+		t.Fatal("want mix error")
+	}
+}

@@ -1,0 +1,108 @@
+// Command radionet-serve is the long-lived simulation service: an HTTP
+// front end over the deterministic engines (DESIGN.md §6). Identical
+// scenario requests are served from a content-addressed result cache —
+// determinism makes cached responses byte-identical to recomputation — and
+// concurrent duplicates coalesce onto one execution.
+//
+// Usage:
+//
+//	radionet-serve [-addr 127.0.0.1:8080] [-workers N] [-queue 64] [-cache 256] [-parallel 1]
+//
+// Endpoints (see DESIGN.md §6 / README.md for the JSON schema, which is
+// shared with `radionet-bench -json`):
+//
+//	POST /v1/simulate       sync simulation (X-Cache: HIT|MISS|COALESCED)
+//	POST /v1/jobs           async submission → 202 + job record
+//	GET  /v1/jobs/{id}      job state + trial progress
+//	GET  /v1/results/{hash} content-addressed result fetch
+//	GET  /v1/stats          cache/queue/execution counters
+//	GET  /healthz           liveness
+//
+// The listen address is printed on stdout once bound (use -addr
+// 127.0.0.1:0 for an ephemeral port; CI's smoke job parses the line).
+// SIGINT/SIGTERM shut the server down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "radionet-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run binds, serves, and drains on ctx cancellation. out receives the
+// "listening on" line; tests and the CI smoke script parse it.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("radionet-serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	workers := fs.Int("workers", 0, "concurrent simulation executions (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "async job queue depth (backpressure bound)")
+	cacheEntries := fs.Int("cache", 256, "result cache capacity in entries")
+	parallel := fs.Int("parallel", 1, "per-job trial-runner workers (results are identical for every value)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		Parallel:     *parallel,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "radionet-serve: listening on http://%s\n", ln.Addr())
+	srv := &http.Server{
+		Handler: serve.NewHandler(svc),
+		// Bound idle/slow connections the same way every server-side store
+		// is bounded: without these, a client that never completes its
+		// request (headers or dribbled body) pins a goroutine and fd
+		// forever. Specs are tiny and read at handler start, so a short
+		// read window never touches legitimate requests or bounds handler
+		// compute time.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan struct{})
+	var shutErr error
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutErr = srv.Shutdown(shutCtx)
+		svc.Close()
+	}()
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-done
+	if shutErr != nil {
+		// The deadline expired with requests still in flight: exiting now
+		// severs them, so do not claim (and let CI's grep believe) a clean
+		// shutdown.
+		return fmt.Errorf("shutdown: %w", shutErr)
+	}
+	fmt.Fprintln(out, "radionet-serve: shut down cleanly")
+	return nil
+}

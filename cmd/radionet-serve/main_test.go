@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe writer the server goroutine logs into.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
+
+func TestServeEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-cache", "8"}, &out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; output: %q", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body := `{"graph":"grid","n":16,"algo":"mis","seed":1}`
+	r1, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := io.ReadAll(r1.Body)
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusOK || r1.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("simulate: status %d X-Cache %q: %s", r1.StatusCode, r1.Header.Get("X-Cache"), b1)
+	}
+	r2, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if r2.Header.Get("X-Cache") != "HIT" || string(b1) != string(b2) {
+		t.Fatalf("repeat: X-Cache %q, identical %v", r2.Header.Get("X-Cache"), string(b1) == string(b2))
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "shut down cleanly") {
+		t.Fatalf("missing clean-shutdown line: %q", out.String())
+	}
+}
+
+func TestServeFlagErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("want flag error")
+	}
+	if err := run(context.Background(), []string{"-addr", "notanaddr"}, io.Discard); err == nil {
+		t.Fatal("want listen error")
+	}
+}

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -33,13 +34,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "radionet-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("radionet-sim", flag.ContinueOnError)
 	graphName := fs.String("graph", "grid", "graph class")
 	n := fs.Int("n", 256, "approximate node count")
@@ -57,7 +58,7 @@ func run(args []string) error {
 		return runFlood(*graphName, *n, *epochs, *epochLen, *rate, *seed, *source)
 	}
 	if strings.Contains(*graphName, ":") {
-		fmt.Printf("note: algo %s ignores the dynamic schedule of %s and runs on its epoch-0 skeleton (use -algo flood)\n",
+		fmt.Fprintf(stderr, "warning: algo %s ignores the dynamic schedule of %s and runs on its epoch-0 skeleton (use -algo flood)\n",
 			*algo, *graphName)
 	}
 	g, err := gen.ByName(*graphName, *n, *seed)

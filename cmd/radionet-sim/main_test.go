@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -20,18 +22,52 @@ func TestRunAlgorithms(t *testing.T) {
 		{"-graph", "churn:grid", "-n", "36", "-algo", "flood", "-rate", "0.2", "-epochs", "6", "-epoch-len", "16"},
 		{"-graph", "fault:gnp", "-n", "36", "-algo", "flood", "-rate", "0.2", "-epochs", "6", "-epoch-len", "16"},
 		{"-graph", "mobile:udg", "-n", "40", "-algo", "flood", "-rate", "0.5", "-epochs", "6", "-epoch-len", "16"},
-		{"-graph", "churn:grid", "-n", "36", "-algo", "mis"}, // epoch-0 skeleton note path
+		{"-graph", "churn:grid", "-n", "36", "-algo", "mis"}, // epoch-0 skeleton warning path
 	}
 	for _, args := range cases {
-		if err := run(args); err != nil {
+		if err := run(args, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
 		}
 	}
 }
 
+// A non-flood algorithm on a dynamic spec silently runs on the epoch-0
+// skeleton; the CLI must say so on stderr (and only then).
+func TestDynamicSpecSkeletonWarning(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "churn:grid", "-n", "36", "-algo", "mis"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	warn := buf.String()
+	if !strings.Contains(warn, "warning:") || !strings.Contains(warn, "epoch-0 skeleton") {
+		t.Fatalf("missing skeleton warning on stderr: %q", warn)
+	}
+	if !strings.Contains(warn, "churn:grid") || !strings.Contains(warn, "-algo flood") {
+		t.Fatalf("warning lacks spec and remedy: %q", warn)
+	}
+
+	// flood follows the schedule: no warning.
+	buf.Reset()
+	if err := run([]string{"-graph", "churn:grid", "-n", "36", "-algo", "flood", "-epochs", "3", "-epoch-len", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "warning:") {
+		t.Fatalf("flood on a dynamic spec must not warn: %q", buf.String())
+	}
+
+	// static graphs: no warning either.
+	buf.Reset()
+	if err := run([]string{"-graph", "grid", "-n", "36", "-algo", "mis"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "warning:") {
+		t.Fatalf("static graph must not warn: %q", buf.String())
+	}
+}
+
 func TestRunWithTrace(t *testing.T) {
 	path := t.TempDir() + "/trace.csv"
-	if err := run([]string{"-graph", "path", "-n", "16", "-algo", "mis", "-trace", path}); err != nil {
+	if err := run([]string{"-graph", "path", "-n", "16", "-algo", "mis", "-trace", path}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -44,19 +80,19 @@ func TestRunWithTrace(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-graph", "nosuch"}); err == nil {
+	if err := run([]string{"-graph", "nosuch"}, io.Discard); err == nil {
 		t.Fatal("want unknown-graph error")
 	}
-	if err := run([]string{"-algo", "nosuch"}); err == nil {
+	if err := run([]string{"-algo", "nosuch"}, io.Discard); err == nil {
 		t.Fatal("want unknown-algo error")
 	}
-	if err := run([]string{"-bogusflag"}); err == nil {
+	if err := run([]string{"-bogusflag"}, io.Discard); err == nil {
 		t.Fatal("want flag error")
 	}
-	if err := run([]string{"-graph", "warp:grid", "-algo", "flood"}); err == nil {
+	if err := run([]string{"-graph", "warp:grid", "-algo", "flood"}, io.Discard); err == nil {
 		t.Fatal("want unknown-dynamic-kind error")
 	}
-	if err := run([]string{"-graph", "mobile:grid", "-algo", "flood"}); err == nil {
+	if err := run([]string{"-graph", "mobile:grid", "-algo", "flood"}, io.Discard); err == nil {
 		t.Fatal("want mobile-class error")
 	}
 }

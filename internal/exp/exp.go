@@ -51,6 +51,13 @@ type Config struct {
 	// Parallel is the trial-runner worker count; zero selects GOMAXPROCS.
 	// Output is bit-identical for every value (see runner.go).
 	Parallel int
+	// OnTrialDone, when non-nil, observes grid progress: it is called once
+	// per completed trial with the number of trials finished so far and the
+	// grid size. Calls come from runner worker goroutines in completion
+	// (not declaration) order, so the callback must be concurrency-safe;
+	// results are unaffected. The serve subsystem surfaces async job
+	// progress through it.
+	OnTrialDone func(done, total int)
 }
 
 // Experiment is one reproducible claim-check.

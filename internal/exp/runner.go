@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -104,16 +105,7 @@ func (g *Grid) Len() int { return len(g.trials) }
 // index selects a SplitMix64 stream, so seeds are stable functions of
 // (base, id, i) alone.
 func TrialSeed(base uint64, id string, i int) uint64 {
-	const (
-		fnvOffset = 14695981039346656037
-		fnvPrime  = 1099511628211
-	)
-	h := uint64(fnvOffset)
-	for j := 0; j < len(id); j++ {
-		h ^= uint64(id[j])
-		h *= fnvPrime
-	}
-	return xrand.New(base ^ h).Split(uint64(i)).Uint64()
+	return xrand.New(base ^ trace.FNV1a([]byte(id))).Split(uint64(i)).Uint64()
 }
 
 // Run executes the grid on cfg.Parallel workers (GOMAXPROCS when zero) and
@@ -135,7 +127,7 @@ func (g *Grid) Run(cfg Config) ([]Sample, error) {
 	}
 	out := make([]Sample, n)
 	errs := make([]error, n)
-	var next atomic.Int64
+	var next, completed atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -153,6 +145,9 @@ func (g *Grid) Run(cfg Config) ([]Sample, error) {
 				out[i], errs[i] = s, err
 				if err != nil {
 					failed.Store(true)
+				}
+				if cfg.OnTrialDone != nil {
+					cfg.OnTrialDone(int(completed.Add(1)), n)
 				}
 			}
 		}()

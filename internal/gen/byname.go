@@ -31,7 +31,7 @@ func ByName(name string, n int, seed uint64) (*graph.Graph, error) {
 		return nil, fmt.Errorf("gen: need n ≥ 1, got %d", n)
 	}
 	if kind, class, ok := splitDynSpec(name); ok {
-		if err := validateDynKind(kind); err != nil {
+		if err := validateDynSpec(name, kind, class); err != nil {
 			return nil, err
 		}
 		if kind == "mobile" {
@@ -135,7 +135,7 @@ func ByName(name string, n int, seed uint64) (*graph.Graph, error) {
 // (static) schedule, so callers can treat every spec uniformly.
 func ScheduleByName(spec string, n, epochs, epochLen int, rate float64, seed uint64) (*dyn.Schedule, error) {
 	if rate <= 0 {
-		rate = 0.15
+		rate = DefaultDynRate
 	}
 	rng := xrand.New(seed ^ 0xd1a2b3c4d5e6f708)
 	kind, class, ok := splitDynSpec(spec)
@@ -146,13 +146,13 @@ func ScheduleByName(spec string, n, epochs, epochLen int, rate float64, seed uin
 		}
 		return dyn.New(base, nil)
 	}
-	if err := validateDynKind(kind); err != nil {
+	if err := validateDynSpec(spec, kind, class); err != nil {
+		return nil, err
+	}
+	if err := ValidateRate(kind, rate); err != nil {
 		return nil, err
 	}
 	if kind == "mobile" {
-		if class != "udg" {
-			return nil, fmt.Errorf("gen: mobility spec %q: only mobile:udg is supported", spec)
-		}
 		return MobileUDG(n, epochs, epochLen, rate, rng)
 	}
 	base, err := ByName(class, n, seed)
@@ -165,6 +165,75 @@ func ScheduleByName(spec string, n, epochs, epochLen int, rate float64, seed uin
 	default: // "fault"
 		return dyn.EdgeFaults(base, epochs, epochLen, rate, rng)
 	}
+}
+
+// DefaultDynRate is the rate ScheduleByName substitutes for rate ≤ 0 —
+// exported so canonicalizing callers (the serve subsystem) make the same
+// default explicit instead of hard-coding a copy that could drift.
+const DefaultDynRate = 0.15
+
+// SplitSpec splits a "<kind>:<class>" dynamic spec into its kind and
+// underlying class; dynamic is false for bare static class names. It is
+// the exported face of the spec grammar so callers (the serve subsystem,
+// the CLIs) can classify specs without re-parsing.
+func SplitSpec(name string) (kind, class string, dynamic bool) {
+	return splitDynSpec(name)
+}
+
+// ValidateRate checks a dynamic-spec rate: churn/fault rates are
+// per-epoch probabilities (≤ 1; ≤ 0 selects DefaultDynRate before this
+// check), while mobile's rate is a speed in radio-ranges per epoch and
+// may exceed 1. Every rate must be finite.
+func ValidateRate(kind string, rate float64) error {
+	if math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("gen: %s rate %v must be finite", kind, rate)
+	}
+	if kind != "mobile" && rate > 1 {
+		return fmt.Errorf("gen: %s rate %v out of range (0, 1]", kind, rate)
+	}
+	return nil
+}
+
+// ValidateSpec checks that name is a well-formed graph spec — a known
+// static class, or a known dynamic kind wrapping one — without building
+// anything. It returns exactly the error ByName/ScheduleByName would, so
+// servers can reject malformed specs up front with a clean client error.
+func ValidateSpec(name string) error {
+	if kind, class, ok := splitDynSpec(name); ok {
+		if err := validateDynSpec(name, kind, class); err != nil {
+			return err
+		}
+		if kind == "mobile" {
+			return nil
+		}
+		return ValidateSpec(class)
+	}
+	for _, c := range ClassNames {
+		if name == c {
+			return nil
+		}
+	}
+	return fmt.Errorf("gen: unknown graph class %q (known: %v)", name, ClassNames)
+}
+
+// validateDynSpec checks a split dynamic spec's kind and shape. Nested
+// dynamic specs ("churn:churn:grid") are rejected everywhere: they would
+// execute identically to their un-nested form but serialize (and content-
+// hash) differently, breaking one-canonical-form-per-scenario.
+func validateDynSpec(spec, kind, class string) error {
+	if err := validateDynKind(kind); err != nil {
+		return err
+	}
+	if kind == "mobile" {
+		if class != "udg" {
+			return fmt.Errorf("gen: mobility spec %q: only mobile:udg is supported", spec)
+		}
+		return nil
+	}
+	if strings.Contains(class, ":") {
+		return fmt.Errorf("gen: nested dynamic spec %q: %s must wrap a static class", spec, kind)
+	}
+	return nil
 }
 
 // splitDynSpec splits "<kind>:<class>" dynamic specs; ok is false for bare

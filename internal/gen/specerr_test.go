@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The serve subsystem turns these errors into HTTP 400s, so every
+// malformed-spec shape must fail loudly (and identically) in ByName,
+// ScheduleByName, and the build-free ValidateSpec.
+func TestMalformedSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want string
+	}{
+		{"unknown class", "nosuch", "unknown graph class"},
+		{"unknown dynamic kind", "warp:grid", "unknown dynamic kind"},
+		{"missing payload", "churn:", "unknown graph class"},
+		{"fault missing payload", "fault:", "unknown graph class"},
+		{"unknown wrapped class", "churn:nosuch", "unknown graph class"},
+		{"mobile non-udg", "mobile:grid", "only mobile:udg"},
+		{"nested dynamic", "churn:fault:grid", "nested dynamic spec"},
+		{"doubly nested dynamic", "churn:churn:grid", "nested dynamic spec"},
+		{"empty spec", "", "unknown graph class"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidateSpec(tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("ValidateSpec(%q) = %v, want %q", tc.spec, err, tc.want)
+			}
+			if _, err := ByName(tc.spec, 16, 1); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("ByName(%q) = %v, want %q", tc.spec, err, tc.want)
+			}
+			if _, err := ScheduleByName(tc.spec, 16, 2, 8, 0.2, 1); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("ScheduleByName(%q) = %v, want %q", tc.spec, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestScheduleByNameBadRate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		rate float64
+	}{
+		{"churn rate above 1", "churn:grid", 1.5},
+		{"fault rate above 1", "fault:grid", 2},
+		{"churn rate NaN", "churn:grid", math.NaN()},
+		{"mobile rate Inf", "mobile:udg", math.Inf(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ScheduleByName(tc.spec, 16, 2, 8, tc.rate, 1); err == nil || !strings.Contains(err.Error(), "rate") {
+				t.Errorf("ScheduleByName(%q, rate=%v) = %v, want rate error", tc.spec, tc.rate, err)
+			}
+		})
+	}
+	// A mobile speed above 1 is legal: it is radio-ranges per epoch, not a
+	// probability.
+	if _, err := ScheduleByName("mobile:udg", 16, 2, 8, 1.5, 1); err != nil {
+		t.Errorf("ScheduleByName(mobile:udg, rate=1.5) = %v, want nil", err)
+	}
+}
+
+func TestByNameBadN(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := ByName("grid", n, 1); err == nil || !strings.Contains(err.Error(), "n ≥ 1") {
+			t.Errorf("ByName(grid, n=%d) = %v, want n error", n, err)
+		}
+	}
+}
+
+func TestValidateSpecAccepts(t *testing.T) {
+	specs := append([]string{}, ClassNames...)
+	specs = append(specs, "churn:grid", "fault:gnp", "mobile:udg")
+	for _, s := range specs {
+		if err := ValidateSpec(s); err != nil {
+			t.Errorf("ValidateSpec(%q) = %v, want nil", s, err)
+		}
+	}
+}
+
+func TestSplitSpec(t *testing.T) {
+	if kind, class, dyn := SplitSpec("churn:grid"); !dyn || kind != "churn" || class != "grid" {
+		t.Fatalf("SplitSpec(churn:grid) = %q %q %v", kind, class, dyn)
+	}
+	if _, _, dyn := SplitSpec("grid"); dyn {
+		t.Fatal("SplitSpec(grid) claimed dynamic")
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU mapping spec hashes to marshaled Result bytes.
+// Because results are pure functions of their specs, entries never go
+// stale — eviction exists only to bound memory, and an evicted entry is
+// simply recomputed on the next request.
+type Cache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns an LRU holding at most maxEntries results (minimum 1).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache{max: maxEntries, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Get returns the cached bytes for key, marking the entry most recently
+// used. Callers must not mutate the returned slice.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// peek returns the cached bytes without touching the hit/miss counters or
+// recency — for internal re-checks (e.g. after waiting on an execution
+// slot) that are not request-serving lookups and must not distort the
+// /v1/stats hit rate.
+func (c *Cache) peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry when
+// over capacity. Re-putting an existing key refreshes its recency (the
+// value is identical by the determinism contract).
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns the lifetime hit/miss counts.
+func (c *Cache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	// Touch "a" so "b" becomes the eviction victim.
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("A")) {
+		t.Fatalf("get a: %q %v", v, ok)
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := NewCache(4)
+	c.Get("missing")
+	c.Put("k", []byte("v"))
+	c.Get("k")
+	c.Get("k")
+	hits, misses := c.Counters()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("counters hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}
+
+func TestCacheRePutRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Put("a", []byte("A2")) // refresh recency and value
+	c.Put("c", []byte("C"))  // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "A2" {
+		t.Fatalf("a = %q %v", v, ok)
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d, want 1", c.Len())
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+// The HTTP face of the service (cmd/radionet-serve mounts it):
+//
+//	POST /v1/simulate      — sync: spec JSON in, Result JSON out
+//	POST /v1/jobs          — async: spec JSON in, 202 + JobView out
+//	GET  /v1/jobs/{id}     — job progress / completion
+//	GET  /v1/results/{hash} — content-addressed cached Result
+//	GET  /v1/stats         — service counters
+//	GET  /healthz          — liveness
+//
+// Simulate and results responses carry X-Cache (HIT | MISS | COALESCED)
+// and X-Spec-Hash headers so load generators can measure cache behavior
+// client-side.
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// NewHandler mounts the /v1 API for s.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		sp, ok := decodeSpec(w, r)
+		if !ok {
+			return
+		}
+		data, hash, status, err := s.Simulate(sp)
+		if err != nil {
+			writeSimError(w, err)
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		h.Set("X-Spec-Hash", hash)
+		h.Set("X-Cache", cacheHeader(status))
+		w.Write(data)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		sp, ok := decodeSpec(w, r)
+		if !ok {
+			return
+		}
+		v, err := s.SubmitJob(sp)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				writeErr(w, http.StatusTooManyRequests, err.Error())
+			case errors.Is(err, ErrClosed):
+				writeErr(w, http.StatusServiceUnavailable, err.Error())
+			default:
+				writeSimError(w, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusAccepted, v)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /v1/results/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		data, ok := s.ResultByHash(r.PathValue("hash"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "result not cached (not computed yet, or evicted — re-request the spec)")
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		h.Set("X-Cache", "HIT")
+		w.Write(data)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// maxSpecBody bounds spec request bodies. Valid specs are a few hundred
+// bytes; the limit keeps one malicious POST from buffering unbounded JSON
+// (the body-side counterpart of the Spec's MaxN/MaxReps guardrails).
+const maxSpecBody = 64 << 10
+
+// decodeSpec parses the request body strictly; unknown fields are client
+// errors so typos ("epochlen") fail loudly instead of hashing as defaults.
+func decodeSpec(w http.ResponseWriter, r *http.Request) (Spec, bool) {
+	var sp Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad spec JSON: "+err.Error())
+		return Spec{}, false
+	}
+	// One spec per request: trailing data is a client bug (e.g. two specs
+	// concatenated), not something to silently drop.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeErr(w, http.StatusBadRequest, "trailing data after spec JSON")
+		return Spec{}, false
+	}
+	return sp, true
+}
+
+// writeSimError maps spec-validation failures to 400, sync-path
+// backpressure to 503, and everything else (engine/generator failures)
+// to 500.
+func writeSimError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		writeErr(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrBusy):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func cacheHeader(status CacheStatus) string {
+	switch status {
+	case StatusHit:
+		return "HIT"
+	case StatusCoalesced:
+		return "COALESCED"
+	default:
+		return "MISS"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHTTPSimulateMissThenHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, CacheEntries: 8})
+	body := `{"graph":"grid","n":25,"algo":"mis","seed":1}`
+	r1, b1 := post(t, ts.URL+"/v1/simulate", body)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("first X-Cache %q, want MISS", got)
+	}
+	hash := r1.Header.Get("X-Spec-Hash")
+	if len(hash) != 64 {
+		t.Fatalf("X-Spec-Hash %q", hash)
+	}
+	r2, b2 := post(t, ts.URL+"/v1/simulate", body)
+	if got := r2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("second X-Cache %q, want HIT", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("hit bytes differ from miss bytes")
+	}
+	// The content-addressed endpoint serves the same bytes.
+	r3, b3 := get(t, ts.URL+"/v1/results/"+hash)
+	if r3.StatusCode != http.StatusOK || !bytes.Equal(b1, b3) {
+		t.Fatalf("results/%s: status %d, bytes match %v", hash[:8], r3.StatusCode, bytes.Equal(b1, b3))
+	}
+	var res Result
+	if err := json.Unmarshal(b1, &res); err != nil {
+		t.Fatalf("response is not a Result: %v", err)
+	}
+	if res.SpecHash != hash || len(res.Record.Tables) != 1 {
+		t.Fatalf("result record %+v", res)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"graph":"grid","epochlen":4}`},
+		{"bad class", `{"graph":"nosuch"}`},
+		{"bad algo", `{"algo":"nosuch"}`},
+		{"bad rate", `{"graph":"churn:grid","algo":"flood","rate":2}`},
+		{"nested dynamic", `{"graph":"churn:churn:grid","algo":"flood"}`},
+		{"trailing data", `{"algo":"mis"}{"algo":"mis"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, ep := range []string{"/v1/simulate", "/v1/jobs"} {
+				resp, body := post(t, ts.URL+ep, tc.body)
+				if resp.StatusCode != http.StatusBadRequest {
+					t.Fatalf("%s: status %d (%s), want 400", ep, resp.StatusCode, body)
+				}
+				if !strings.Contains(string(body), "error") {
+					t.Fatalf("%s: body %s lacks error field", ep, body)
+				}
+			}
+		})
+	}
+}
+
+func TestHTTPOversizedBodyRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	huge := `{"graph":"` + strings.Repeat("x", maxSpecBody) + `"}`
+	resp, _ := post(t, ts.URL+"/v1/simulate", huge)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4, CacheEntries: 8})
+	resp, body := post(t, ts.URL+"/v1/jobs", `{"graph":"path","n":16,"algo":"broadcast","seed":3,"reps":2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body = get(t, ts.URL+"/v1/jobs/"+v.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.State == JobDone {
+			break
+		}
+		if v.State == JobFailed {
+			t.Fatalf("job failed: %s", v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", v.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v.Result == "" || v.TrialsDone != 2 {
+		t.Fatalf("done view %+v", v)
+	}
+	resp, _ = get(t, ts.URL+v.Result)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result fetch status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPQueueFull(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, CacheEntries: 8})
+	running := make(chan struct{})
+	release := make(chan struct{})
+	hooked := false
+	s.testHookExecuting = func(Spec) {
+		if !hooked {
+			hooked = true
+			close(running)
+		}
+		<-release
+	}
+	defer close(release)
+	post(t, ts.URL+"/v1/jobs", `{"graph":"grid","n":16,"algo":"mis","seed":1}`)
+	<-running
+	post(t, ts.URL+"/v1/jobs", `{"graph":"grid","n":16,"algo":"mis","seed":2}`)
+	resp, body := post(t, ts.URL+"/v1/jobs", `{"graph":"grid","n":16,"algo":"mis","seed":3}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPMisc(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok":true`) {
+		t.Fatalf("healthz %d %s", resp.StatusCode, body)
+	}
+	resp, _ = get(t, ts.URL+"/v1/jobs/job-999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/v1/results/deadbeef")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown result status %d", resp.StatusCode)
+	}
+	resp, body = get(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("stats body %s: %v", body, err)
+	}
+	if st.QueueCap == 0 || st.Workers == 0 {
+		t.Fatalf("stats %+v missing config echoes", st)
+	}
+}

@@ -1,0 +1,210 @@
+package serve
+
+// Spec execution: each spec becomes an exp trial grid (one trial per seed
+// replica) run through the same engines and protocols the CLIs use, and the
+// samples aggregate into the stats.Table / exp.ExperimentResult shapes that
+// `radionet-bench -json` already emits — one JSON schema across the bench
+// CLI and the service.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/mis"
+	"repro/internal/stats"
+)
+
+// Result is the service's response record for one spec. Record reuses the
+// exp.ExperimentResult schema (`radionet-bench -json` experiments[]), so
+// bench tooling can consume service output unchanged.
+type Result struct {
+	SpecHash string               `json:"spec_hash"`
+	Spec     Spec                 `json:"spec"`
+	Record   exp.ExperimentResult `json:"record"`
+}
+
+// JSON marshals the result indented with a trailing newline. Struct-only
+// encoding keeps the bytes deterministic — the property the cache-identity
+// tests pin down.
+func (r *Result) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Execute canonicalizes sp and runs it: Reps independent trials fan out
+// over min(parallel, Reps) runner workers (parallel ≤ 0 selects 1 — the
+// service keeps per-job parallelism capped so concurrent jobs share cores
+// fairly). onTrial, when non-nil, observes progress as trials complete.
+// The returned Result is a pure function of the canonical spec: per-trial
+// seeds derive from (Seed, GridID, index) and aggregation is in
+// declaration order, so Execute(sp) is byte-stable across calls, worker
+// counts, and hosts.
+func Execute(sp Spec, parallel int, onTrial func(done, total int)) (*Result, error) {
+	c, err := sp.Canonicalize()
+	if err != nil {
+		return nil, err
+	}
+	if parallel <= 0 {
+		parallel = 1
+	}
+	grid := exp.NewGrid(c.GridID())
+	grid.AddReps(c.Algo, c.Reps, trialFunc(c))
+	samples, err := grid.Run(exp.Config{
+		Scale: exp.Quick, Seed: c.Seed, Parallel: parallel, OnTrialDone: onTrial,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", c, err)
+	}
+	hash := c.Hash()
+	return &Result{
+		SpecHash: hash,
+		Spec:     c,
+		Record: exp.ExperimentResult{
+			ID:     "serve:" + hash[:12],
+			Title:  c.String(),
+			Claim:  "determinism contract (DESIGN.md §3–§6): this record is a pure function of the spec",
+			Tables: []*stats.Table{resultTable(c, samples)},
+		},
+	}, nil
+}
+
+// trialFunc builds the one-replica closure for a canonical spec. All
+// randomness derives from the trial seed, per the runner contract.
+func trialFunc(sp Spec) exp.TrialFunc {
+	return func(seed uint64) (exp.Sample, error) {
+		if sp.Algo == "flood" {
+			return floodTrial(sp, seed)
+		}
+		g, err := gen.ByName(sp.Graph, sp.N, seed)
+		if err != nil {
+			return exp.Sample{}, err
+		}
+		src := sp.Source % g.N()
+		switch sp.Algo {
+		case "mis":
+			out, err := mis.Run(g, mis.Params{}, seed)
+			if err != nil {
+				return exp.Sample{}, err
+			}
+			return exp.Sample{Values: exp.V(
+				"mis_size", len(out.MIS),
+				"steps", out.Steps,
+				"rounds", out.Rounds,
+				"completed", out.Completed,
+				"valid", mis.Verify(g, out.MIS) == nil,
+			)}, nil
+		case "broadcast", "broadcast-all":
+			params := core.Params{}
+			if sp.Algo == "broadcast-all" {
+				params.CenterMode = core.AllCenters
+			}
+			res, err := core.Broadcast(g, src, params, seed)
+			if err != nil {
+				return exp.Sample{}, err
+			}
+			return exp.Sample{Values: exp.V(
+				"complete", res.CompleteStep,
+				"total", res.TotalSteps,
+				"main", res.MainSteps,
+				"mis_steps", res.MISSteps,
+				"mis_size", res.MISSize,
+			)}, nil
+		case "decay-broadcast":
+			res, err := baseline.DecayBroadcast(g, src, 0, seed)
+			if err != nil {
+				return exp.Sample{}, err
+			}
+			return exp.Sample{Values: exp.V(
+				"complete", res.CompleteStep,
+				"levels", res.Levels,
+				"transmissions", res.Transmissions,
+			)}, nil
+		case "election":
+			er, err := core.LeaderElection(g, core.Params{}, seed)
+			if err != nil {
+				return exp.Sample{}, err
+			}
+			return exp.Sample{Values: exp.V(
+				"complete", er.CompleteStep,
+				"candidates", er.Candidates,
+			)}, nil
+		case "decay-election":
+			er, err := baseline.DecayLeaderElection(g, 0, seed)
+			if err != nil {
+				return exp.Sample{}, err
+			}
+			return exp.Sample{Values: exp.V(
+				"complete", er.CompleteStep,
+				"candidates", er.Candidates,
+			)}, nil
+		default:
+			return exp.Sample{}, badSpec("unknown algorithm %q", sp.Algo)
+		}
+	}
+}
+
+// floodTrial runs the dynamic-topology flood (exp.RunFlood — the same
+// runner E17–E20 and radionet-sim use) for one replica.
+func floodTrial(sp Spec, seed uint64) (exp.Sample, error) {
+	sched, err := gen.ScheduleByName(sp.Graph, sp.N, sp.Epochs, sp.EpochLen, sp.Rate, seed)
+	if err != nil {
+		return exp.Sample{}, err
+	}
+	n := sched.N()
+	budget := max(sched.LastStart()+sp.EpochLen, 4*sp.EpochLen)
+	g := sched.CSR(0).Graph()
+	out, err := exp.RunFlood(g, sched, map[int]int64{sp.Source % n: 1}, budget, -1, seed, nil)
+	if err != nil {
+		return exp.Sample{}, err
+	}
+	complete := out.Complete
+	if complete < 0 {
+		complete = budget
+	}
+	return exp.Sample{Values: exp.V(
+		"completed", out.Complete >= 0,
+		"complete", complete,
+		"informed_end", out.InformedEnd,
+		"n_nodes", n,
+	)}, nil
+}
+
+// resultTable aggregates the replicas' samples: one row per metric in
+// sorted name order, summarizing over Reps.
+func resultTable(sp Spec, samples []exp.Sample) *stats.Table {
+	seen := make(map[string]bool)
+	var names []string
+	for _, s := range samples {
+		for name := range s.Values {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	t := &stats.Table{
+		Title:  fmt.Sprintf("%s on %s (n=%d, reps=%d, seed=%d)", sp.Algo, sp.Graph, sp.N, sp.Reps, sp.Seed),
+		Header: []string{"metric", "n", "mean", "stddev", "ci95", "min", "max"},
+	}
+	for _, name := range names {
+		xs := exp.Metric(samples, name)
+		s := stats.Summarize(xs)
+		t.AddRowf(name, s.N, s.Mean, s.StdDev,
+			fmt.Sprintf("[%.4g, %.4g]", s.CI95Lo, s.CI95Hi),
+			stats.Min(xs), stats.Max(xs))
+	}
+	return t
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// specGrid is the scenario grid the cache-correctness tests sweep: every
+// algorithm family, static and dynamic graphs.
+func specGrid() []Spec {
+	return []Spec{
+		{Graph: "grid", N: 25, Algo: "mis", Seed: 1, Reps: 2},
+		{Graph: "path", N: 16, Algo: "broadcast", Seed: 2},
+		{Graph: "clique", N: 12, Algo: "decay-broadcast", Seed: 3, Reps: 2},
+		{Graph: "grid", N: 16, Algo: "election", Seed: 4},
+		{Graph: "grid", N: 16, Algo: "decay-election", Seed: 5},
+		{Graph: "grid", N: 16, Algo: "flood", Seed: 6, EpochLen: 8},
+		{Graph: "churn:grid", N: 25, Algo: "flood", Seed: 7, Reps: 2, Epochs: 3, EpochLen: 8, Rate: 0.2},
+	}
+}
+
+// Acceptance: for a grid of specs, a recomputation is byte-identical to
+// the first — the property that makes the cache correct by construction.
+func TestExecuteDeterministicAcrossRecomputation(t *testing.T) {
+	for _, sp := range specGrid() {
+		sp := sp
+		t.Run(sp.Algo+"/"+sp.Graph, func(t *testing.T) {
+			t.Parallel()
+			r1, err := Execute(sp, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b1, err := r1.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Execute(sp, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := r2.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("recomputation differs:\n%s\nvs\n%s", b1, b2)
+			}
+			if !strings.Contains(string(b1), r1.SpecHash[:12]) {
+				t.Fatal("result JSON does not carry the spec hash")
+			}
+		})
+	}
+}
+
+// Per-job parallelism must not leak into results (the runner contract).
+func TestExecuteParallelInvariance(t *testing.T) {
+	sp := Spec{Graph: "grid", N: 25, Algo: "mis", Seed: 9, Reps: 4}
+	var want []byte
+	for _, par := range []int{1, 2, 4} {
+		r, err := Execute(sp, par, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = b
+		} else if !bytes.Equal(want, b) {
+			t.Fatalf("parallel=%d changed the result bytes", par)
+		}
+	}
+}
+
+func TestExecuteProgress(t *testing.T) {
+	sp := Spec{Graph: "path", N: 12, Algo: "broadcast", Seed: 1, Reps: 3}
+	var mu sync.Mutex
+	var dones []int
+	total := 0
+	_, err := Execute(sp, 2, func(done, tot int) {
+		mu.Lock()
+		dones = append(dones, done)
+		total = tot
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != 3 || total != 3 {
+		t.Fatalf("progress calls %v total %d, want 3 calls and total 3", dones, total)
+	}
+	seen := map[int]bool{}
+	for _, d := range dones {
+		if d < 1 || d > 3 || seen[d] {
+			t.Fatalf("bad progress sequence %v", dones)
+		}
+		seen[d] = true
+	}
+}
+
+func TestExecuteBadSpec(t *testing.T) {
+	if _, err := Execute(Spec{Graph: "nosuch"}, 1, nil); err == nil {
+		t.Fatal("want error for bad spec")
+	}
+}
+
+func TestExecuteCanonicalizesBeforeRunning(t *testing.T) {
+	// The executor must hash/seed off the canonical spec, so an equivalent
+	// spelling yields identical bytes.
+	a := Spec{Graph: "grid", N: 16, Algo: "mis", Seed: 2}
+	b := Spec{Graph: "grid", N: 16, Algo: "mis", Seed: 2, Epochs: 5, Rate: 0.9}
+	ra, err := Execute(a, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Execute(b, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := ra.JSON()
+	bb, _ := rb.JSON()
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("equivalent spellings produced different results")
+	}
+}

@@ -1,0 +1,445 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by SubmitJob when the bounded job queue is at
+// capacity — the service's backpressure signal (HTTP 429).
+var ErrQueueFull = errors.New("job queue full")
+
+// ErrClosed is returned by SubmitJob after Close.
+var ErrClosed = errors.New("service closed")
+
+// ErrBusy is returned by Simulate when the sync path already has
+// Workers+QueueDepth requests admitted — the sync counterpart of
+// ErrQueueFull (HTTP 503), so a burst of distinct-spec sync requests
+// cannot park unboundedly many goroutines on the execution semaphore.
+var ErrBusy = errors.New("server busy: too many simulations in flight")
+
+// Config sizes a Service.
+type Config struct {
+	// Workers bounds concurrently executing simulations — async queue
+	// consumers, and a shared semaphore that sync requests also respect
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued-but-not-running async jobs (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result LRU (default 256).
+	CacheEntries int
+	// Parallel caps each job's trial-runner workers (default 1, so
+	// cross-job concurrency — not intra-job — uses the cores; results are
+	// identical either way by the runner contract).
+	Parallel int
+	// MaxJobs bounds retained job records (default 4096). Past the bound,
+	// the oldest *terminal* (done/failed) records are evicted FIFO, so a
+	// long-lived server's memory stays bounded; a 404 on a previously-done
+	// job means "fetch the result by its hash instead".
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = 1
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// JobState is the lifecycle of an async job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// job is the service-internal record; mutable fields are guarded by
+// Service.mu.
+type job struct {
+	id   string
+	spec Spec
+	hash string
+
+	state    JobState
+	done     int
+	total    int
+	errMsg   string
+	cacheHit bool
+}
+
+// JobView is the externally visible snapshot of a job (the GET
+// /v1/jobs/{id} body).
+type JobView struct {
+	ID          string   `json:"id"`
+	SpecHash    string   `json:"spec_hash"`
+	State       JobState `json:"state"`
+	TrialsDone  int      `json:"trials_done"`
+	TrialsTotal int      `json:"trials_total"`
+	// CacheHit marks jobs satisfied from the cache without executing.
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Result is the relative URL of the result once the job is done.
+	Result string `json:"result,omitempty"`
+}
+
+// Stats is the service-wide counter snapshot (GET /v1/stats).
+type Stats struct {
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+	// Executions counts simulations actually run (cache misses that
+	// computed); Coalesced counts requests served by piggybacking on an
+	// in-flight identical execution.
+	Executions uint64 `json:"executions"`
+	Coalesced  uint64 `json:"coalesced"`
+	Jobs       int    `json:"jobs"`
+	QueueLen   int    `json:"queue_len"`
+	QueueCap   int    `json:"queue_cap"`
+	Workers    int    `json:"workers"`
+}
+
+// Service ties the pieces together: the result cache and singleflight
+// group in front, the bounded queue and worker pool behind. One Service
+// instance backs the whole HTTP API.
+type Service struct {
+	cfg         Config
+	cache       *Cache
+	sf          flightGroup
+	slots       chan struct{} // execution semaphore, capacity cfg.Workers
+	queue       chan *job
+	syncPending atomic.Int64 // admitted non-cache-hit sync requests
+	execs       atomic.Uint64
+	coalesced   atomic.Uint64
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string // insertion order, for bounded FIFO retention
+	seq      int
+	closed   bool
+	wg       sync.WaitGroup
+
+	// testHookExecuting, when non-nil, is called after an execution slot is
+	// acquired and before the simulation runs — tests use it to hold
+	// executions open deterministically.
+	testHookExecuting func(sp Spec)
+}
+
+// New starts a Service with cfg's workers running.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheEntries),
+		slots: make(chan struct{}, cfg.Workers),
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting jobs, drains the queue, and waits for workers.
+// In-flight sync Simulate calls are unaffected.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// CacheStatus classifies how a sync request was satisfied.
+type CacheStatus string
+
+// Simulate outcomes: served from cache, computed fresh, or coalesced onto
+// a concurrent identical execution.
+const (
+	StatusHit       CacheStatus = "hit"
+	StatusMiss      CacheStatus = "miss"
+	StatusCoalesced CacheStatus = "coalesced"
+)
+
+// Simulate is the sync path: canonicalize, consult the cache, otherwise
+// execute exactly once across all concurrent identical requests. The
+// returned bytes are the deterministic Result JSON; callers must not
+// mutate them.
+func (s *Service) Simulate(raw Spec) (data []byte, hash string, status CacheStatus, err error) {
+	sp, err := raw.Canonicalize()
+	if err != nil {
+		return nil, "", "", err
+	}
+	hash = sp.Hash()
+	if b, ok := s.cache.Get(hash); ok {
+		return b, hash, StatusHit, nil
+	}
+	// Admission control for the sync path: cache hits above cost nothing,
+	// but every admitted request below parks on the execution semaphore
+	// (or a flight), so the count of them must be bounded like every other
+	// server-side store.
+	limit := int64(s.cfg.Workers + s.cfg.QueueDepth)
+	if s.syncPending.Add(1) > limit {
+		s.syncPending.Add(-1)
+		return nil, hash, "", ErrBusy
+	}
+	defer s.syncPending.Add(-1)
+	// fromCache is written only when this caller is the executor (the
+	// closure runs synchronously inside Do then), covering the race where
+	// an identical in-flight execution completed between the Get above and
+	// the flight registration: the response was really served from cache
+	// and must not be labeled a miss.
+	var fromCache bool
+	b, err, shared := s.sf.Do(hash, nil, func(report func(done, total int)) ([]byte, error) {
+		eb, hit, eerr := s.execute(sp, hash, report)
+		fromCache = hit
+		return eb, eerr
+	})
+	// Count coalescing before the error check so the counter means the
+	// same thing ("waited on someone else's execution") on the sync and
+	// async paths, failures included.
+	if shared {
+		s.coalesced.Add(1)
+	}
+	if err != nil {
+		return nil, hash, "", err
+	}
+	switch {
+	case shared:
+		return b, hash, StatusCoalesced, nil
+	case fromCache:
+		return b, hash, StatusHit, nil
+	default:
+		return b, hash, StatusMiss, nil
+	}
+}
+
+// execute runs one simulation under the worker semaphore and publishes the
+// result bytes to the cache; fromCache reports that the result had already
+// landed and nothing ran. Callers hold the singleflight slot for hash.
+func (s *Service) execute(sp Spec, hash string, onTrial func(done, total int)) (b []byte, fromCache bool, err error) {
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+	// The result may have landed while this request waited in the queue or
+	// for a slot (e.g. a sync request computed the same spec) — serve it.
+	// peek, not Get: this internal re-check must not distort the stats.
+	if b, ok := s.cache.peek(hash); ok {
+		return b, true, nil
+	}
+	if hook := s.testHookExecuting; hook != nil {
+		hook(sp)
+	}
+	s.execs.Add(1)
+	res, err := Execute(sp, s.cfg.Parallel, onTrial)
+	if err != nil {
+		return nil, false, err
+	}
+	b, err = res.JSON()
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.Put(hash, b)
+	return b, false, nil
+}
+
+// SubmitJob is the async path: canonicalize, register a job, and either
+// satisfy it from the cache immediately or enqueue it. ErrQueueFull
+// signals backpressure; the caller should retry later or fall back to the
+// sync endpoint.
+func (s *Service) SubmitJob(raw Spec) (JobView, error) {
+	sp, err := raw.Canonicalize()
+	if err != nil {
+		return JobView{}, err
+	}
+	hash := sp.Hash()
+	_, cached := s.cache.Get(hash)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobView{}, ErrClosed
+	}
+	s.seq++
+	j := &job{
+		id:    fmt.Sprintf("job-%d", s.seq),
+		spec:  sp,
+		hash:  hash,
+		state: JobQueued,
+		total: sp.Reps,
+	}
+	if cached {
+		j.state, j.done, j.cacheHit = JobDone, sp.Reps, true
+		s.registerLocked(j)
+		return s.viewLocked(j), nil
+	}
+	select {
+	case s.queue <- j:
+		s.registerLocked(j)
+		return s.viewLocked(j), nil
+	default:
+		return JobView{}, ErrQueueFull
+	}
+}
+
+// registerLocked records j and evicts the oldest terminal records past
+// cfg.MaxJobs; s.mu must be held. Non-terminal jobs are never evicted —
+// they are already bounded by QueueDepth + Workers.
+func (s *Service) registerLocked(j *job) {
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	if len(s.jobs) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.jobOrder[:0] // in-place filter; kept never outruns the read index
+	for _, id := range s.jobOrder {
+		old, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(s.jobs) > s.cfg.MaxJobs && old != j && (old.state == JobDone || old.state == JobFailed) {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// worker drains the queue until Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		// After Close, fail queued-but-unstarted jobs instead of draining
+		// them: shutdown must be bounded by in-flight work only, not by a
+		// full queue of heavy simulations (a supervisor would SIGKILL long
+		// before a 64-deep queue drains).
+		if s.isClosed() {
+			s.updateJob(j, func(j *job) { j.state, j.errMsg = JobFailed, ErrClosed.Error() })
+			continue
+		}
+		s.updateJob(j, func(j *job) { j.state = JobRunning })
+		// The progress listener is attached whether this worker executes or
+		// coalesces onto an in-flight identical execution, so polling
+		// clients see trial progress either way. Completion counts arrive
+		// from concurrent runner goroutines (and the coalescing catch-up
+		// replay) out of order, so the write is kept monotone.
+		onProgress := func(done, total int) {
+			s.updateJob(j, func(j *job) {
+				if done > j.done {
+					j.done = done
+				}
+				j.total = total
+			})
+		}
+		var fromCache bool
+		_, err, shared := s.sf.Do(j.hash, onProgress, func(report func(done, total int)) ([]byte, error) {
+			b, hit, err := s.execute(j.spec, j.hash, report)
+			fromCache = hit
+			return b, err
+		})
+		if shared {
+			s.coalesced.Add(1)
+		}
+		s.updateJob(j, func(j *job) {
+			if err != nil {
+				j.state, j.errMsg = JobFailed, err.Error()
+				return
+			}
+			j.state, j.done = JobDone, j.total
+			// The result may have landed (via a sync request for the same
+			// spec) while this job sat in the queue; keep CacheHit honest.
+			j.cacheHit = j.cacheHit || fromCache
+		})
+	}
+}
+
+// updateJob applies fn to j under the service lock.
+func (s *Service) updateJob(j *job, fn func(*job)) {
+	s.mu.Lock()
+	fn(j)
+	s.mu.Unlock()
+}
+
+// isClosed reports whether Close has begun.
+func (s *Service) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Job returns the snapshot of the job with the given ID.
+func (s *Service) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return s.viewLocked(j), true
+}
+
+// viewLocked snapshots j; s.mu must be held.
+func (s *Service) viewLocked(j *job) JobView {
+	v := JobView{
+		ID:          j.id,
+		SpecHash:    j.hash,
+		State:       j.state,
+		TrialsDone:  j.done,
+		TrialsTotal: j.total,
+		CacheHit:    j.cacheHit,
+		Error:       j.errMsg,
+	}
+	if j.state == JobDone {
+		v.Result = "/v1/results/" + j.hash
+	}
+	return v
+}
+
+// ResultByHash serves the content-addressed endpoint straight from the
+// cache. A miss means "not computed yet, or evicted — request it again".
+func (s *Service) ResultByHash(hash string) ([]byte, bool) {
+	return s.cache.Get(hash)
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	hits, misses := s.cache.Counters()
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	return Stats{
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheEntries: s.cache.Len(),
+		Executions:   s.execs.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Jobs:         jobs,
+		QueueLen:     len(s.queue),
+		QueueCap:     cap(s.queue),
+		Workers:      s.cfg.Workers,
+	}
+}

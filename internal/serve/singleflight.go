@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup coalesces concurrent duplicate computations: while one call
+// for a key is in flight, later callers block and share its outcome
+// instead of recomputing. With deterministic results this is pure
+// deduplication — every waiter receives exactly the bytes it would have
+// computed. Waiters may attach progress listeners, so an async job that
+// coalesces onto someone else's execution still sees trial progress. (A
+// minimal in-tree take on golang.org/x/sync/singleflight; the module is
+// dependency-free by policy.)
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+
+	mu        sync.Mutex
+	listeners []func(done, total int)
+	lastDone  int
+	lastTotal int
+}
+
+// report fans one progress event out to every attached listener and
+// remembers it so late joiners can catch up. The executor's simulation
+// calls it from runner worker goroutines.
+func (c *flightCall) report(done, total int) {
+	c.mu.Lock()
+	c.lastDone, c.lastTotal = done, total
+	ls := append([]func(done, total int){}, c.listeners...)
+	c.mu.Unlock()
+	for _, f := range ls {
+		f(done, total)
+	}
+}
+
+// attach registers a progress listener, replaying the latest event so the
+// listener starts from current progress rather than zero.
+func (c *flightCall) attach(f func(done, total int)) {
+	c.mu.Lock()
+	c.listeners = append(c.listeners, f)
+	done, total := c.lastDone, c.lastTotal
+	c.mu.Unlock()
+	if total > 0 {
+		f(done, total)
+	}
+}
+
+// Do invokes fn once per key at a time: the first caller executes, callers
+// arriving before it finishes wait and receive the same (val, err) with
+// shared=true. fn receives a report func it should invoke with trial
+// progress; events reach every caller's onProgress (nil = no interest).
+// After completion the key is forgotten, so a later Do executes fn again
+// (the cache in front of this absorbs those).
+func (g *flightGroup) Do(key string, onProgress func(done, total int), fn func(report func(done, total int)) ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		if onProgress != nil {
+			c.attach(onProgress)
+		}
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	if onProgress != nil {
+		c.listeners = append(c.listeners, onProgress)
+	}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// A panicking fn must not poison the key (leaving waiters blocked on a
+	// wg that is never Done and every future Do hung on the stale call):
+	// recover it into the shared error so the service degrades to a 500 /
+	// failed job instead of wedging.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("serve: panic during execution: %v", r)
+			}
+		}()
+		c.val, c.err = fn(c.report)
+	}()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

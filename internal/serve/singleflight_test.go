@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A waiter that coalesces onto an in-flight execution must still observe
+// progress: events after it attaches, plus a catch-up replay of the
+// latest event from before.
+func TestFlightGroupProgressReachesLateListeners(t *testing.T) {
+	var g flightGroup
+	executorStarted := make(chan struct{})
+	proceed := make(chan struct{})
+
+	type event struct{ done, total int }
+	var mu sync.Mutex
+	var waiterEvents []event
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var execVal, waitVal []byte
+	go func() {
+		defer wg.Done()
+		execVal, _, _ = g.Do("k", nil, func(report func(int, int)) ([]byte, error) {
+			report(1, 3) // before the waiter attaches — must replay
+			close(executorStarted)
+			<-proceed
+			report(2, 3)
+			report(3, 3)
+			return []byte("result"), nil
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-executorStarted
+		var err error
+		var shared bool
+		waitVal, err, shared = g.Do("k", func(done, total int) {
+			mu.Lock()
+			waiterEvents = append(waiterEvents, event{done, total})
+			if done == 1 {
+				// catch-up replay received; let the executor finish
+				close(proceed)
+			}
+			mu.Unlock()
+		}, func(func(int, int)) ([]byte, error) {
+			t.Error("waiter executed instead of coalescing")
+			return nil, nil
+		})
+		if err != nil || !shared {
+			t.Errorf("waiter: err=%v shared=%v", err, shared)
+		}
+	}()
+	wg.Wait()
+
+	if !bytes.Equal(execVal, waitVal) || string(execVal) != "result" {
+		t.Fatalf("values: executor %q, waiter %q", execVal, waitVal)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waiterEvents) < 3 {
+		t.Fatalf("waiter saw %v, want the (1,3) replay plus (2,3) and (3,3)", waiterEvents)
+	}
+	if waiterEvents[0] != (event{1, 3}) {
+		t.Fatalf("first event %v, want catch-up replay (1,3)", waiterEvents[0])
+	}
+	last := waiterEvents[len(waiterEvents)-1]
+	if last != (event{3, 3}) {
+		t.Fatalf("last event %v, want (3,3)", last)
+	}
+}
+
+// A panicking executor must not poison the key: waiters and later calls
+// proceed, and the panic surfaces as an error rather than a hang.
+func TestFlightGroupPanicDoesNotPoisonKey(t *testing.T) {
+	var g flightGroup
+	_, err, _ := g.Do("k", nil, func(func(int, int)) ([]byte, error) {
+		panic("boom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	val, err, shared := g.Do("k", nil, func(func(int, int)) ([]byte, error) {
+		return []byte("recovered"), nil
+	})
+	if err != nil || shared || string(val) != "recovered" {
+		t.Fatalf("key poisoned after panic: val=%q err=%v shared=%v", val, err, shared)
+	}
+}
+
+func TestFlightGroupSequentialCallsReExecute(t *testing.T) {
+	var g flightGroup
+	execs := 0
+	fn := func(func(int, int)) ([]byte, error) {
+		execs++
+		return []byte("x"), nil
+	}
+	if _, _, shared := g.Do("k", nil, fn); shared {
+		t.Fatal("first call marked shared")
+	}
+	if _, _, shared := g.Do("k", nil, fn); shared {
+		t.Fatal("sequential call marked shared")
+	}
+	if execs != 2 {
+		t.Fatalf("execs = %d, want 2 (no in-flight overlap)", execs)
+	}
+}

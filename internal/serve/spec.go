@@ -1,0 +1,206 @@
+// Package serve is the simulation-service subsystem (DESIGN.md §6): a
+// canonical, content-hashable scenario spec; an executor that runs specs
+// through the radio engines via the exp trial runner; an LRU + singleflight
+// result cache; and a bounded job queue + worker pool behind the
+// cmd/radionet-serve HTTP API.
+//
+// The load-bearing property is inherited from the engines: a Result is a
+// pure function of its canonical Spec (DESIGN.md §3–§5), so the
+// content-addressed cache needs no invalidation — identical requests are
+// byte-identical responses, forever.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// ErrBadSpec wraps every spec-validation failure so transports can map the
+// whole family to one client-error class (HTTP 400).
+var ErrBadSpec = errors.New("bad spec")
+
+// Guardrails keeping a single request's work bounded: simulations are
+// superlinear in n, and the service must stay responsive under a queue of
+// strangers' requests.
+const (
+	// MaxN caps the requested node count.
+	MaxN = 4096
+	// MaxReps caps seed replicas per spec.
+	MaxReps = 64
+	// MaxEpochs caps mutated epochs for dynamic specs.
+	MaxEpochs = 1024
+	// MaxEpochLen caps steps per epoch.
+	MaxEpochLen = 4096
+)
+
+// Algorithms lists the algorithm names a Spec may carry — the same set
+// cmd/radionet-sim exposes, minus trace-file output.
+var Algorithms = []string{
+	"mis", "broadcast", "broadcast-all", "decay-broadcast",
+	"election", "decay-election", "flood",
+}
+
+// Spec is one simulation scenario: a graph spec understood by gen.ByName /
+// gen.ScheduleByName, an algorithm, its parameters, and a seed. The zero
+// value of every field means "default"; Canonicalize resolves defaults and
+// zeroes fields the scenario cannot observe, so any two spellings of the
+// same scenario share one canonical form — and therefore one Hash.
+type Spec struct {
+	// Graph is a gen.ByName/ScheduleByName spec ("grid", "churn:gnp", ...).
+	Graph string `json:"graph"`
+	// N is the approximate node count (default 64, max MaxN).
+	N int `json:"n"`
+	// Algo is one of Algorithms (default "broadcast").
+	Algo string `json:"algo"`
+	// Seed is the scenario seed; per-replica seeds derive from it (default 1).
+	Seed uint64 `json:"seed"`
+	// Reps is the number of seed replicas aggregated into the result
+	// (default 1, max MaxReps).
+	Reps int `json:"reps,omitempty"`
+	// Source is the broadcast/flood source node (algorithms without a
+	// source ignore it; canonicalized to 0 there). It is validated against
+	// the requested N, but generators build *roughly* N nodes (a grid
+	// rounds to a square), so execution uses Source modulo the built
+	// graph's node count — same convention as radionet-sim.
+	Source int `json:"source,omitempty"`
+	// Epochs, EpochLen, Rate parameterize dynamic specs exactly as the
+	// radionet-sim flags do; only "flood" observes them (other algorithms
+	// run on the epoch-0 skeleton), so they canonicalize to zero elsewhere.
+	Epochs   int     `json:"epochs,omitempty"`
+	EpochLen int     `json:"epoch_len,omitempty"`
+	Rate     float64 `json:"rate,omitempty"`
+}
+
+// badSpec builds an ErrBadSpec-wrapped validation error.
+func badSpec(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+}
+
+// Canonicalize validates sp and returns its canonical form: defaults made
+// explicit, unobservable fields zeroed. Hash and Canonical are only
+// meaningful on the returned spec. Errors wrap ErrBadSpec.
+func (sp Spec) Canonicalize() (Spec, error) {
+	c := sp
+	if c.Graph == "" {
+		c.Graph = "grid"
+	}
+	if c.Algo == "" {
+		c.Algo = "broadcast"
+	}
+	if c.N == 0 {
+		c.N = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Reps == 0 {
+		c.Reps = 1
+	}
+	if c.N < 1 || c.N > MaxN {
+		return Spec{}, badSpec("n %d out of range [1, %d]", c.N, MaxN)
+	}
+	if c.Reps < 1 || c.Reps > MaxReps {
+		return Spec{}, badSpec("reps %d out of range [1, %d]", c.Reps, MaxReps)
+	}
+	if !knownAlgo(c.Algo) {
+		return Spec{}, badSpec("unknown algorithm %q (known: %v)", c.Algo, Algorithms)
+	}
+	if err := gen.ValidateSpec(c.Graph); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if usesSource(c.Algo) {
+		if c.Source < 0 || c.Source >= c.N {
+			return Spec{}, badSpec("source %d out of range [0, %d)", c.Source, c.N)
+		}
+	} else {
+		c.Source = 0
+	}
+	kind, _, dynamic := gen.SplitSpec(c.Graph)
+	if c.Algo != "flood" {
+		// Only flood follows a dynamic schedule; every other algorithm runs
+		// on the epoch-0 skeleton and cannot observe these fields.
+		c.Epochs, c.EpochLen, c.Rate = 0, 0, 0
+		return c, nil
+	}
+	if c.EpochLen == 0 {
+		c.EpochLen = 32
+	}
+	if c.EpochLen < 1 || c.EpochLen > MaxEpochLen {
+		return Spec{}, badSpec("epoch_len %d out of range [1, %d]", c.EpochLen, MaxEpochLen)
+	}
+	if !dynamic {
+		// Static flood: the budget depends on EpochLen, nothing on the rest.
+		c.Epochs, c.Rate = 0, 0
+		return c, nil
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 12
+	}
+	if c.Epochs < 1 || c.Epochs > MaxEpochs {
+		return Spec{}, badSpec("epochs %d out of range [1, %d]", c.Epochs, MaxEpochs)
+	}
+	if c.Rate <= 0 { // false for NaN, which ValidateRate rejects below
+		c.Rate = gen.DefaultDynRate // the same substitution ScheduleByName makes
+	}
+	if err := gen.ValidateRate(kind, c.Rate); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return c, nil
+}
+
+func knownAlgo(algo string) bool {
+	for _, a := range Algorithms {
+		if algo == a {
+			return true
+		}
+	}
+	return false
+}
+
+// usesSource reports whether algo reads Spec.Source.
+func usesSource(algo string) bool {
+	switch algo {
+	case "broadcast", "broadcast-all", "decay-broadcast", "flood":
+		return true
+	}
+	return false
+}
+
+// Canonical renders the stable serialization the content hash is computed
+// over: versioned, fixed field order, one key=value per line. Call only on
+// canonicalized specs.
+func (sp Spec) Canonical() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "v1\nalgo=%s\ngraph=%s\nn=%d\nseed=%d\nreps=%d\nsource=%d\nepochs=%d\nepochlen=%d\nrate=%s\n",
+		sp.Algo, sp.Graph, sp.N, sp.Seed, sp.Reps, sp.Source,
+		sp.Epochs, sp.EpochLen, strconv.FormatFloat(sp.Rate, 'g', -1, 64))
+	return b.Bytes()
+}
+
+// String renders the canonical form on one line for titles and logs.
+func (sp Spec) String() string {
+	return strings.ReplaceAll(strings.TrimSuffix(string(sp.Canonical()), "\n"), "\n", " ")
+}
+
+// Hash is the content address of a canonicalized spec: the hex SHA-256 of
+// its canonical serialization. Determinism makes it a cache key for the
+// full result (GET /v1/results/{hash}).
+func (sp Spec) Hash() string {
+	sum := sha256.Sum256(sp.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// GridID is the exp trial-grid ID for this spec — a short FNV-1a digest of
+// the canonical bytes, so per-replica seeds never collide across distinct
+// scenarios yet stay pure functions of the spec.
+func (sp Spec) GridID() string {
+	return fmt.Sprintf("serve:%016x", trace.FNV1a(sp.Canonical()))
+}

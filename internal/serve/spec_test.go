@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustCanon(t *testing.T, sp Spec) Spec {
+	t.Helper()
+	c, err := sp.Canonicalize()
+	if err != nil {
+		t.Fatalf("Canonicalize(%+v): %v", sp, err)
+	}
+	return c
+}
+
+func TestCanonicalizeDefaults(t *testing.T) {
+	c := mustCanon(t, Spec{})
+	want := Spec{Graph: "grid", N: 64, Algo: "broadcast", Seed: 1, Reps: 1}
+	if c != want {
+		t.Fatalf("defaults: got %+v, want %+v", c, want)
+	}
+}
+
+// Two spellings of the same scenario must share one hash: fields the
+// scenario cannot observe are zeroed by canonicalization.
+func TestCanonicalizeEquivalentSpellings(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Spec
+	}{
+		{"defaults explicit",
+			Spec{},
+			Spec{Graph: "grid", N: 64, Algo: "broadcast", Seed: 1, Reps: 1}},
+		{"mis ignores dynamic knobs",
+			Spec{Graph: "grid", N: 49, Algo: "mis", Seed: 3},
+			Spec{Graph: "grid", N: 49, Algo: "mis", Seed: 3, Epochs: 9, EpochLen: 16, Rate: 0.4}},
+		{"election ignores source",
+			Spec{Graph: "grid", N: 49, Algo: "election", Seed: 3},
+			Spec{Graph: "grid", N: 49, Algo: "election", Seed: 3, Source: 7}},
+		{"static flood ignores epochs and rate",
+			Spec{Graph: "grid", N: 25, Algo: "flood", Seed: 2},
+			Spec{Graph: "grid", N: 25, Algo: "flood", Seed: 2, Epochs: 7, Rate: 0.3}},
+		{"dynamic flood default rate explicit",
+			Spec{Graph: "churn:grid", N: 25, Algo: "flood", Seed: 2},
+			Spec{Graph: "churn:grid", N: 25, Algo: "flood", Seed: 2, Epochs: 12, EpochLen: 32, Rate: 0.15}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ca, cb := mustCanon(t, tc.a), mustCanon(t, tc.b)
+			if ca != cb {
+				t.Fatalf("canonical forms differ:\n  %+v\n  %+v", ca, cb)
+			}
+			if ca.Hash() != cb.Hash() {
+				t.Fatalf("hashes differ for equivalent specs")
+			}
+		})
+	}
+}
+
+func TestHashDistinguishesScenarios(t *testing.T) {
+	base := Spec{Graph: "grid", N: 49, Algo: "mis", Seed: 1}
+	variants := []Spec{
+		{Graph: "path", N: 49, Algo: "mis", Seed: 1},
+		{Graph: "grid", N: 50, Algo: "mis", Seed: 1},
+		{Graph: "grid", N: 49, Algo: "election", Seed: 1},
+		{Graph: "grid", N: 49, Algo: "mis", Seed: 2},
+		{Graph: "grid", N: 49, Algo: "mis", Seed: 1, Reps: 3},
+	}
+	h0 := mustCanon(t, base).Hash()
+	if len(h0) != 64 {
+		t.Fatalf("hash length %d, want 64 hex chars", len(h0))
+	}
+	seen := map[string]bool{h0: true}
+	for _, v := range variants {
+		h := mustCanon(t, v).Hash()
+		if seen[h] {
+			t.Fatalf("hash collision for %+v", v)
+		}
+		seen[h] = true
+	}
+}
+
+func TestCanonicalizeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		sp   Spec
+		want string
+	}{
+		{"bad algo", Spec{Algo: "nosuch"}, "unknown algorithm"},
+		{"bad class", Spec{Graph: "nosuch"}, "unknown graph class"},
+		{"bad dyn kind", Spec{Graph: "warp:grid"}, "unknown dynamic kind"},
+		{"missing payload", Spec{Graph: "churn:"}, "unknown graph class"},
+		{"mobile non-udg", Spec{Graph: "mobile:grid"}, "only mobile:udg"},
+		{"nested dynamic", Spec{Graph: "churn:churn:grid"}, "nested dynamic spec"},
+		{"n too big", Spec{N: MaxN + 1}, "out of range"},
+		{"n negative", Spec{N: -3}, "out of range"},
+		{"reps too big", Spec{Reps: MaxReps + 1}, "out of range"},
+		{"source out of range", Spec{Algo: "broadcast", N: 16, Source: 16}, "source"},
+		{"source negative", Spec{Algo: "flood", N: 16, Source: -1}, "source"},
+		{"churn rate above 1", Spec{Graph: "churn:grid", Algo: "flood", Rate: 1.5}, "rate"},
+		{"rate NaN", Spec{Graph: "fault:grid", Algo: "flood", Rate: math.NaN()}, "rate"},
+		{"epochs too big", Spec{Graph: "churn:grid", Algo: "flood", Epochs: MaxEpochs + 1}, "epochs"},
+		{"epoch_len too big", Spec{Algo: "flood", EpochLen: MaxEpochLen + 1}, "epoch_len"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.sp.Canonicalize()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Canonicalize(%+v) = %v, want %q", tc.sp, err, tc.want)
+			}
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("error %v does not wrap ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+func TestMobileSpeedAboveOneAllowed(t *testing.T) {
+	c := mustCanon(t, Spec{Graph: "mobile:udg", Algo: "flood", N: 32, Rate: 1.5})
+	if c.Rate != 1.5 {
+		t.Fatalf("mobile rate clobbered: %v", c.Rate)
+	}
+}
+
+func TestCanonicalStringAndGridID(t *testing.T) {
+	c := mustCanon(t, Spec{Graph: "grid", N: 49, Algo: "mis", Seed: 7, Reps: 2})
+	s := c.String()
+	for _, want := range []string{"v1", "algo=mis", "graph=grid", "n=49", "seed=7", "reps=2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if !strings.HasPrefix(c.GridID(), "serve:") || len(c.GridID()) != len("serve:")+16 {
+		t.Fatalf("GridID() = %q", c.GridID())
+	}
+	other := mustCanon(t, Spec{Graph: "grid", N: 49, Algo: "mis", Seed: 8, Reps: 2})
+	if other.GridID() == c.GridID() {
+		t.Fatal("distinct specs share a grid ID")
+	}
+}

@@ -68,6 +68,14 @@ func Quantile(xs []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// Percentile returns the p-th percentile of xs with p in [0, 100] (linear
+// interpolation between order statistics, exactly Quantile(xs, p/100); 0
+// for empty input). Percentile(xs, 50) is the median; the serve load
+// generator reports request-latency p50/p95/p99 through it.
+func Percentile(xs []float64, p float64) float64 {
+	return Quantile(xs, p/100)
+}
+
 // Min returns the minimum (0 for empty input).
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -47,6 +47,36 @@ func TestMedianQuantile(t *testing.T) {
 	}
 }
 
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if p := Percentile(xs, 50); p != Median(xs) {
+		t.Fatalf("p50 %v != median %v", p, Median(xs))
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("p100 %v", p)
+	}
+	if p := Percentile(xs, 25); math.Abs(p-2) > 1e-12 {
+		t.Fatalf("p25 %v", p)
+	}
+	// p95/p99 interpolate within the top gap of a 0..100 ramp.
+	ramp := make([]float64, 101)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	if p := Percentile(ramp, 95); math.Abs(p-95) > 1e-9 {
+		t.Fatalf("p95 %v", p)
+	}
+	if p := Percentile(ramp, 99); math.Abs(p-99) > 1e-9 {
+		t.Fatalf("p99 %v", p)
+	}
+	if Percentile(nil, 95) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
 func TestMinMax(t *testing.T) {
 	xs := []float64{3, -1, 7, 2}
 	if Min(xs) != -1 || Max(xs) != 7 {

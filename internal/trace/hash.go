@@ -66,6 +66,19 @@ func (h *Hasher) Sum() uint64 {
 	return sum
 }
 
+// FNV1a returns the 64-bit FNV-1a hash of data — the same stream function
+// the transcript hasher folds events with — for callers that need a short
+// stable content hash (exp.TrialSeed salts per-trial seeds with it and the
+// serve subsystem derives grid IDs from canonical spec bytes).
+func FNV1a(data []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // mix64 is the SplitMix64 finalizer, decorrelating per-node digests before
 // the XOR fold.
 func mix64(z uint64) uint64 {

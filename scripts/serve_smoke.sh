@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the simulation service (CI's serve-smoke job, also
+# runnable locally): boot radionet-serve on an ephemeral port, exercise the
+# sync path, the async job path, the cache-hit path, and the load
+# generator, then shut down cleanly via SIGTERM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+cleanup() {
+  if [[ -n "${server_pid:-}" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/radionet-serve" ./cmd/radionet-serve
+go build -o "$workdir/radionet-loadgen" ./cmd/radionet-loadgen
+
+"$workdir/radionet-serve" -addr 127.0.0.1:0 -workers 2 >"$workdir/serve.out" 2>&1 &
+server_pid=$!
+
+base=""
+for _ in $(seq 100); do
+  base=$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$workdir/serve.out" | head -1)
+  [[ -n "$base" ]] && break
+  kill -0 "$server_pid" || { echo "server died:"; cat "$workdir/serve.out"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$base" ]] || { echo "server never announced its address"; cat "$workdir/serve.out"; exit 1; }
+echo "server at $base"
+
+curl -fsS "$base/healthz" | grep -q '"ok":true'
+
+# 1. Sync simulate: first request computes...
+spec='{"graph":"grid","n":36,"algo":"mis","seed":1,"reps":2}'
+curl -fsS -D "$workdir/h1" -o "$workdir/r1" -H 'Content-Type: application/json' \
+  -d "$spec" "$base/v1/simulate"
+grep -qi '^x-cache: MISS' "$workdir/h1"
+
+# ...and the identical repeat is a cache hit with byte-identical body.
+curl -fsS -D "$workdir/h2" -o "$workdir/r2" -H 'Content-Type: application/json' \
+  -d "$spec" "$base/v1/simulate"
+grep -qi '^x-cache: HIT' "$workdir/h2"
+cmp "$workdir/r1" "$workdir/r2"
+echo "sync simulate + cache hit OK"
+
+# 2. Async job: submit, poll to completion, fetch the result by hash.
+job=$(curl -fsS -d '{"graph":"churn:grid","n":36,"algo":"flood","seed":3,"epochs":3,"epoch_len":8,"rate":0.2}' \
+  "$base/v1/jobs")
+jid=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$job")
+[[ -n "$jid" ]] || { echo "no job id in: $job"; exit 1; }
+state=""
+for _ in $(seq 200); do
+  poll=$(curl -fsS "$base/v1/jobs/$jid")
+  state=$(sed -n 's/.*"state":"\([^"]*\)".*/\1/p' <<<"$poll")
+  [[ "$state" == done ]] && break
+  [[ "$state" == failed ]] && { echo "job failed: $poll"; exit 1; }
+  sleep 0.1
+done
+[[ "$state" == done ]] || { echo "job stuck: $poll"; exit 1; }
+hash=$(sed -n 's/.*"spec_hash":"\([^"]*\)".*/\1/p' <<<"$poll")
+curl -fsS "$base/v1/results/$hash" | grep -q '"spec_hash"'
+echo "async job + result fetch OK"
+
+# 3. Load generator against the live server: mixed workload, latency
+# percentiles, cache hit rate.
+"$workdir/radionet-loadgen" -addr "$base" -requests 60 -concurrency 4 -seeds 2 \
+  -out "$workdir/BENCH_serve.json" | tee "$workdir/loadgen.out"
+grep -q 'p95' "$workdir/loadgen.out"
+grep -q 'hit rate' "$workdir/loadgen.out"
+grep -q 'throughput_rps' "$workdir/BENCH_serve.json"
+
+# 4. Clean shutdown on SIGTERM.
+kill "$server_pid"
+wait "$server_pid"
+grep -q 'shut down cleanly' "$workdir/serve.out"
+unset server_pid
+echo "serve smoke OK"
