@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every experiment table
-// (E1–E20, DESIGN.md §4–§5) under `go test -bench`, and additionally
+// (E1–E23, DESIGN.md §4–§7) under `go test -bench`, and additionally
 // micro-benchmark the simulator and algorithm primitives.
 //
 // Experiment benches run at Quick scale per iteration; use
@@ -59,6 +59,9 @@ func BenchmarkE17ChurnBroadcast(b *testing.B)  { benchExperiment(b, "E17") }
 func BenchmarkE18FaultMIS(b *testing.B)        { benchExperiment(b, "E18") }
 func BenchmarkE19PartitionHeal(b *testing.B)   { benchExperiment(b, "E19") }
 func BenchmarkE20MobileElection(b *testing.B)  { benchExperiment(b, "E20") }
+func BenchmarkE21SINRUnified(b *testing.B)     { benchExperiment(b, "E21") }
+func BenchmarkE22CaptureDecay(b *testing.B)    { benchExperiment(b, "E22") }
+func BenchmarkE23CDvsNoCDMIS(b *testing.B)     { benchExperiment(b, "E23") }
 
 // --- Micro-benchmarks of the primitives ---
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/dyn"
 	"repro/internal/gen"
+	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/xrand"
 )
@@ -105,6 +107,142 @@ func benchDynSteps(rows, cols, epochLen int) func(b *testing.B) {
 	}
 }
 
+// sinrNode transmits with probability 1/32 per step — the sparse Decay-like
+// regime the SINR grid bucketing is built for.
+type sinrNode struct {
+	rng    *xrand.RNG
+	step   int
+	budget int
+}
+
+func (c *sinrNode) Act(step int) radio.Action {
+	if c.rng.Bernoulli(1.0 / 32) {
+		return radio.Transmit(benchPayload)
+	}
+	return radio.Listen()
+}
+func (c *sinrNode) Deliver(step int, msg radio.Message) { c.step = step + 1 }
+func (c *sinrNode) Done() bool                          { return c.step >= c.budget }
+
+// sinrDeployment draws a uniform UDG deployment at the phy:sinr density
+// convention (average degree ~8 at unit decode range). Connectivity is not
+// required for the delivery benches, so there is no retry loop — at n=4096
+// a degree-8 deployment is usually disconnected, which the engines and the
+// SINR model handle like any other geometry.
+func sinrDeployment(n int) []gen.Point {
+	side := math.Sqrt(float64(n) * math.Pi / 8)
+	return gen.UniformPoints(n, 2, side, xrand.New(3))
+}
+
+// benchSINRSteps measures one engine step per op under the grid-bucketed
+// SINR model (default far-field cutoff) on the canonical phy:sinr
+// deployment.
+func benchSINRSteps(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		pts := sinrDeployment(n)
+		model, err := phy.NewSINR(pts, phy.SINRParams{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := gen.SINRConnectivity(pts, model.Params())
+		g.Freeze()
+		factory := func(info radio.NodeInfo) radio.Protocol {
+			return &sinrNode{rng: info.RNG, budget: b.N}
+		}
+		b.ResetTimer()
+		if _, err := radio.Run(g, factory, radio.Options{MaxSteps: b.N, Seed: 1, PHY: model}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPoolSINRRun measures one 64-step worker-pool SINR run per op, engine
+// and model construction included.
+func benchPoolSINRRun(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		pts := sinrDeployment(n)
+		params := phy.SINRParams{}.WithDefaults()
+		g := gen.SINRConnectivity(pts, params)
+		g.Freeze()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			model, err := phy.NewSINR(pts, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			factory := func(info radio.NodeInfo) radio.Protocol {
+				return &sinrNode{rng: info.RNG, budget: 64}
+			}
+			if _, err := radio.Run(g, factory, radio.Options{MaxSteps: 64, Seed: 1, Concurrent: true, PHY: model}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchSINRDenseRef measures one step per op of the pre-PHY internal/sinr
+// execution loop (deleted in the PHY refactor), reimplemented here verbatim
+// as the regression reference: a dense O(n) act scan plus O(#tx·n) decoding
+// — every listener sums every transmitter. The committed report's
+// seq_sinr_n4096 row must beat this one; if the grid-bucketed delivery ever
+// regresses past the old loop, the gap shows up here.
+func benchSINRDenseRef(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		pts := sinrDeployment(n)
+		const power, pathLoss, noise, beta = 1, 4, 0.5, 2
+		root := xrand.New(1)
+		nodes := make([]*sinrNode, n)
+		for v := 0; v < n; v++ {
+			nodes[v] = &sinrNode{rng: root.Split(uint64(v)), budget: b.N}
+		}
+		transmitting := make([]bool, n)
+		payload := make([]radio.Message, n)
+		txIdx := make([]int, 0, n)
+		b.ResetTimer()
+		for step := 0; step < b.N; step++ {
+			txIdx = txIdx[:0]
+			for v := 0; v < n; v++ {
+				transmitting[v] = false
+				payload[v] = nil
+				if nodes[v].Done() {
+					continue
+				}
+				a := nodes[v].Act(step)
+				if a.Transmit {
+					transmitting[v] = true
+					payload[v] = a.Msg
+					txIdx = append(txIdx, v)
+				}
+			}
+			for v := 0; v < n; v++ {
+				if nodes[v].Done() {
+					continue
+				}
+				var msg radio.Message
+				if !transmitting[v] && len(txIdx) > 0 {
+					var total float64
+					best, bestPow := -1, 0.0
+					for _, u := range txIdx {
+						d := pts[u].Dist(pts[v])
+						if d == 0 {
+							d = 1e-9
+						}
+						pow := power * math.Pow(d, -pathLoss)
+						total += pow
+						if pow > bestPow {
+							best, bestPow = u, pow
+						}
+					}
+					if bestPow/(noise+(total-bestPow)) >= beta {
+						msg = payload[best]
+					}
+				}
+				nodes[v].Deliver(step, msg)
+			}
+		}
+	}
+}
+
 // benchPoolRun measures one 64-step worker-pool run per op, engine
 // construction included.
 func benchPoolRun(rows, cols int) func(b *testing.B) {
@@ -134,6 +272,10 @@ var engineBenchSpecs = []struct {
 	{"seq_dyn_churn_n1024", 1024, 1, benchDynSteps(32, 32, 64)},
 	{"pool_n256_64steps", 256, 64, benchPoolRun(16, 16)},
 	{"pool_n1024_64steps", 1024, 64, benchPoolRun(32, 32)},
+	{"seq_sinr_n1024", 1024, 1, benchSINRSteps(1024)},
+	{"pool_sinr_n1024", 1024, 64, benchPoolSINRRun(1024)},
+	{"seq_sinr_n4096", 4096, 1, benchSINRSteps(4096)},
+	{"sinr_dense_ref_n4096", 4096, 1, benchSINRDenseRef(4096)},
 }
 
 // seedBaseline is the same workload set measured at PR 1 on the seed's

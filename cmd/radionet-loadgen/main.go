@@ -65,7 +65,7 @@ func run(args []string, out io.Writer) error {
 	requests := fs.Int("requests", 100, "total requests to issue")
 	concurrency := fs.Int("concurrency", 4, "concurrent client connections")
 	seeds := fs.Int("seeds", 3, "distinct seeds per scenario (mix×seeds unique specs → steady-state hit rate 1)")
-	mixFlag := fs.String("mix", "mis@grid/49,broadcast@path/32,flood@churn:grid/36",
+	mixFlag := fs.String("mix", "mis@grid/49,broadcast@path/32,flood@churn:grid/36,mis@phy:sinr/36",
 		"comma-separated algo@graph/n scenario mix")
 	outPath := fs.String("out", "", "append this run's record to a JSON tracking file")
 	if err := fs.Parse(args); err != nil {

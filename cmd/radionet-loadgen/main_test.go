@@ -8,17 +8,21 @@ import (
 )
 
 func TestParseMix(t *testing.T) {
-	mix, err := parseMix("mis@grid/49, flood@churn:grid/36")
+	mix, err := parseMix("mis@grid/49, flood@churn:grid/36, mis@phy:sinr/36")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(mix) != 2 {
+	if len(mix) != 3 {
 		t.Fatalf("len %d", len(mix))
 	}
 	if mix[1].Graph != "churn:grid" || mix[1].N != 36 || mix[1].Algo != "flood" {
 		t.Fatalf("dynamic entry parsed as %+v", mix[1])
 	}
-	for _, bad := range []string{"", "mis-grid-49", "mis@grid", "mis@grid/xx", "nosuch@grid/10", "mis@nosuch/10"} {
+	if mix[2].Graph != "phy:sinr" || mix[2].N != 36 || mix[2].Algo != "mis" {
+		t.Fatalf("phy entry parsed as %+v", mix[2])
+	}
+	for _, bad := range []string{"", "mis-grid-49", "mis@grid", "mis@grid/xx", "nosuch@grid/10",
+		"mis@nosuch/10", "broadcast@phy:sinr/10", "mis@phy:collision:grid/10"} {
 		if _, err := parseMix(bad); err == nil {
 			t.Errorf("parseMix(%q) accepted", bad)
 		}
@@ -28,10 +32,12 @@ func TestParseMix(t *testing.T) {
 // Smoke: in-process server, small mixed workload, report with latency
 // percentiles and cache hit rate, tracking record appended twice.
 func TestLoadgenInProcessSmoke(t *testing.T) {
+	// The phy:sinr entry exercises the PHY-extended cache key end to end:
+	// the server must hash, execute, and then HIT on a SINR scenario.
 	outFile := t.TempDir() + "/track.json"
 	args := []string{
 		"-requests", "12", "-concurrency", "3", "-seeds", "2",
-		"-mix", "mis@grid/25,broadcast@path/16",
+		"-mix", "mis@grid/25,mis@phy:sinr/25",
 		"-out", outFile,
 	}
 	var buf strings.Builder

@@ -23,10 +23,27 @@ func TestRunAlgorithms(t *testing.T) {
 		{"-graph", "fault:gnp", "-n", "36", "-algo", "flood", "-rate", "0.2", "-epochs", "6", "-epoch-len", "16"},
 		{"-graph", "mobile:udg", "-n", "40", "-algo", "flood", "-rate", "0.5", "-epochs", "6", "-epoch-len", "16"},
 		{"-graph", "churn:grid", "-n", "36", "-algo", "mis"}, // epoch-0 skeleton warning path
+		{"-graph", "phy:sinr", "-n", "48", "-algo", "mis"},
+		{"-graph", "phy:sinr", "-n", "48", "-algo", "decay-broadcast", "-beta", "1"},
+		{"-graph", "phy:sinr", "-n", "48", "-algo", "decay-broadcast", "-noise", "0.25", "-pathloss", "3", "-cutoff", "6"},
+		{"-graph", "phy:sinr", "-n", "48", "-algo", "flood"},
+		{"-graph", "phy:cd:grid", "-n", "36", "-algo", "mis"},
+		{"-graph", "phy:cd:grid", "-n", "36", "-algo", "flood"},
 	}
 	for _, args := range cases {
 		if err := run(args, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+// A phy: spec with an algorithm that has no reception-model entry point
+// must fail loudly — not silently fall back to the graph model.
+func TestPhySpecUnsupportedAlgo(t *testing.T) {
+	for _, algo := range []string{"broadcast", "election", "decay-election"} {
+		err := run([]string{"-graph", "phy:sinr", "-n", "48", "-algo", algo}, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), "phy") {
+			t.Fatalf("algo %s on phy:sinr: err = %v, want phy-support error", algo, err)
 		}
 	}
 }

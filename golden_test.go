@@ -17,6 +17,7 @@ import (
 	"repro/internal/dyn"
 	"repro/internal/gen"
 	"repro/internal/mis"
+	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -37,6 +38,14 @@ const (
 	// to the mutation-seed derivation, the delta application order, or the
 	// epoch-boundary placement flips this digest.
 	goldenDynDecay = uint64(0xc77a9386768f557e) // amplified Decay, churned 6x6 grid, seed 21
+	// goldenSINRDecay freezes the physical-layer semantics end to end: the
+	// mobile deployment draw (gen.MobileUDG, schedule seed 8), the per-epoch
+	// position hand-off through dyn into phy.NewMobileSINR, the grid-bucketed
+	// interference accumulation in fixed transmitter order, and the SINR
+	// decode rule — on both engines. Any change to the decode arithmetic,
+	// the cutoff default, the position plumbing, or the epoch-boundary
+	// placement flips this digest.
+	goldenSINRDecay = uint64(0x487f98994ae2d74e) // amplified Decay, mobile SINR UDG, seed 19
 )
 
 func hashMIS(t *testing.T, concurrent bool) uint64 {
@@ -87,6 +96,27 @@ func hashDynDecay(t *testing.T, concurrent bool) uint64 {
 	return h.Sum()
 }
 
+func hashSINRDecay(t *testing.T, concurrent bool) uint64 {
+	t.Helper()
+	sched, err := gen.MobileUDG(36, 6, 16, 0.5, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := phy.NewMobileSINR(sched, phy.SINRParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := trace.NewHasher()
+	factory := func(info radio.NodeInfo) radio.Protocol {
+		return decay.NewNode(info, 6, info.Index == 0, info.Index)
+	}
+	opts := radio.Options{MaxSteps: 1 << 10, Seed: 19, Topology: sched, PHY: model, Concurrent: concurrent}
+	if _, err := radio.Run(sched.CSR(0).Graph(), h.Wrap(factory), opts); err != nil {
+		t.Fatal(err)
+	}
+	return h.Sum()
+}
+
 func hashBroadcast(t *testing.T) uint64 {
 	t.Helper()
 	g := gen.Grid(6, 6)
@@ -127,6 +157,8 @@ func TestGoldenTranscripts(t *testing.T) {
 		{"decay/concurrent-engine", goldenDecay, func() uint64 { return hashDecay(t, true) }},
 		{"dyn-decay", goldenDynDecay, func() uint64 { return hashDynDecay(t, false) }},
 		{"dyn-decay/concurrent-engine", goldenDynDecay, func() uint64 { return hashDynDecay(t, true) }},
+		{"sinr-decay", goldenSINRDecay, func() uint64 { return hashSINRDecay(t, false) }},
+		{"sinr-decay/concurrent-engine", goldenSINRDecay, func() uint64 { return hashSINRDecay(t, true) }},
 		{"broadcast", goldenBroadcast, func() uint64 { return hashBroadcast(t) }},
 		{"election", goldenElection, func() uint64 { return hashElection(t) }},
 	}

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/xrand"
 )
@@ -78,8 +79,11 @@ func (d *decayNode) Deliver(step int, msg radio.Message) {
 func (d *decayNode) Done() bool { return *d.stop || d.step >= d.budget }
 
 // run executes a decay-style multi-source broadcast with the given level
-// count and returns when all nodes know the highest rank.
-func run(g *graph.Graph, sources map[int]int64, levels, maxSteps int, seed uint64) (*Result, error) {
+// count and returns when all nodes know the highest rank. model, when
+// non-nil, selects the physical-layer reception model (radio.Options.PHY);
+// g is then the abstraction the budget and connectivity check are derived
+// from (for SINR, the decode-range connectivity graph).
+func run(g *graph.Graph, sources map[int]int64, levels, maxSteps int, seed uint64, model phy.Model) (*Result, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, fmt.Errorf("baseline: empty graph")
@@ -127,6 +131,7 @@ func run(g *graph.Graph, sources map[int]int64, levels, maxSteps int, seed uint6
 	res, err := radio.Run(g, factory, radio.Options{
 		MaxSteps: maxSteps,
 		Seed:     seed,
+		PHY:      model,
 		OnStep: func(st radio.StepStats) {
 			if completeStep >= 0 {
 				return
@@ -156,7 +161,18 @@ func run(g *graph.Graph, sources map[int]int64, levels, maxSteps int, seed uint6
 // the full ⌈log₂ n⌉ probability levels.
 func DecayBroadcast(g *graph.Graph, source int, maxSteps int, seed uint64) (*Result, error) {
 	levels := int(math.Ceil(math.Log2(float64(g.N() + 1))))
-	return run(g, map[int]int64{source: 1}, levels, maxSteps, seed)
+	return run(g, map[int]int64{source: 1}, levels, maxSteps, seed, nil)
+}
+
+// DecayBroadcastPHY is DecayBroadcast under a pluggable reception model
+// (DESIGN.md §7): delivery is decided by model while g supplies the budget,
+// the connectivity check, and the parameter estimates — for SINR, pass the
+// decode-range connectivity graph of the deployment the model was built
+// over. The serve subsystem and radionet-sim use it to run the classic
+// baseline under phy:sinr / phy:cd specs.
+func DecayBroadcastPHY(g *graph.Graph, model phy.Model, source int, maxSteps int, seed uint64) (*Result, error) {
+	levels := int(math.Ceil(math.Log2(float64(g.N() + 1))))
+	return run(g, map[int]int64{source: 1}, levels, maxSteps, seed, model)
 }
 
 // TruncatedDecayBroadcast sweeps only ~log₂(n/D)+2 levels, the
@@ -175,14 +191,14 @@ func TruncatedDecayBroadcast(g *graph.Graph, source int, maxSteps int, seed uint
 	if levels < 2 {
 		levels = 2
 	}
-	return run(g, map[int]int64{source: 1}, levels, maxSteps, seed)
+	return run(g, map[int]int64{source: 1}, levels, maxSteps, seed, nil)
 }
 
 // MultiSourceDecay broadcasts the highest of several source ranks (used by
 // leader election and by tests of the multi-source property).
 func MultiSourceDecay(g *graph.Graph, sources map[int]int64, maxSteps int, seed uint64) (*Result, error) {
 	levels := int(math.Ceil(math.Log2(float64(g.N() + 1))))
-	return run(g, sources, levels, maxSteps, seed)
+	return run(g, sources, levels, maxSteps, seed, nil)
 }
 
 // ElectionResult extends Result for leader election runs.

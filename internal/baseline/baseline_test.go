@@ -99,10 +99,10 @@ func TestValidation(t *testing.T) {
 	if _, err := DecayBroadcast(graph.New(0), 0, 0, 1); err == nil {
 		t.Fatal("want empty error")
 	}
-	if _, err := run(g, nil, 3, 100, 1); err == nil {
+	if _, err := run(g, nil, 3, 100, 1, nil); err == nil {
 		t.Fatal("want no-sources error")
 	}
-	if _, err := run(g, map[int]int64{9: 1}, 3, 100, 1); err == nil {
+	if _, err := run(g, map[int]int64{9: 1}, 3, 100, 1, nil); err == nil {
 		t.Fatal("want range error")
 	}
 	disc := graph.New(4)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/xrand"
 )
@@ -73,9 +74,9 @@ func CDLeaderElection(g *graph.Graph, bits int, seed uint64) (*ElectionResult, e
 		return nd
 	}
 	res, err := radio.Run(g, factory, radio.Options{
-		MaxSteps:           bits + 2,
-		Seed:               seed,
-		CollisionDetection: true,
+		MaxSteps: bits + 2,
+		Seed:     seed,
+		PHY:      phy.NewCollisionCD(),
 	})
 	if err != nil {
 		return nil, err

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/phy"
 )
 
 // Delta is one epoch's edge changes relative to the previous epoch:
@@ -44,11 +45,15 @@ type EpochSpec struct {
 	Delta Delta
 }
 
-// Schedule is an immutable epoch sequence implementing radio.Topology.
+// Schedule is an immutable epoch sequence implementing radio.Topology —
+// and, when built with positions attached (FromGraphsWithPositions, the
+// geometric generators), phy.PositionSource, so geometric reception models
+// (phy.SINR) follow the same epochs the topology does.
 type Schedule struct {
-	starts []int        // ascending; starts[0] == 0
-	csrs   []*graph.CSR // snapshot in force from starts[i]
-	deltas []Delta      // deltas[i] transforms epoch i-1 into epoch i; deltas[0] is empty
+	starts    []int         // ascending; starts[0] == 0
+	csrs      []*graph.CSR  // snapshot in force from starts[i]
+	deltas    []Delta       // deltas[i] transforms epoch i-1 into epoch i; deltas[0] is empty
+	positions [][]phy.Point // per-epoch node positions; nil for non-geometric schedules
 }
 
 // New builds a schedule: epoch 0 is the base graph as given, and each spec
@@ -141,9 +146,32 @@ func diffDelta(prev, next *graph.Graph) Delta {
 
 // FromGraphs builds a schedule from explicit per-epoch graphs: graphs[i] is
 // the topology from step i*epochLen. All graphs must share one node count.
-// Mobility generators (gen.MobileUDG) rebuild geometry per epoch and hand
-// the sequence here; consecutive duplicates collapse into longer epochs.
+// Consecutive duplicates collapse into longer epochs.
 func FromGraphs(epochLen int, graphs []*graph.Graph) (*Schedule, error) {
+	return fromGraphs(epochLen, graphs, nil)
+}
+
+// FromGraphsWithPositions additionally attaches positions[i] — the node
+// positions the geometry of graphs[i] was derived from — to each epoch, so
+// the schedule implements phy.PositionSource and geometric reception models
+// can run over it (mobile SINR). Unlike FromGraphs, epochs whose graph is
+// unchanged are NOT collapsed: motion too slow to rewire the connectivity
+// graph still moves the interference geometry, which a SINR run observes.
+// The position slices are retained as given and must not be mutated by the
+// caller afterwards (gen.MobileUDG hands over per-epoch clones).
+func FromGraphsWithPositions(epochLen int, graphs []*graph.Graph, positions [][]phy.Point) (*Schedule, error) {
+	if len(positions) != len(graphs) {
+		return nil, fmt.Errorf("dyn: %d position sets for %d epoch graphs", len(positions), len(graphs))
+	}
+	for i, pts := range positions {
+		if len(pts) != graphs[i].N() {
+			return nil, fmt.Errorf("dyn: epoch %d has %d positions for %d nodes", i, len(pts), graphs[i].N())
+		}
+	}
+	return fromGraphs(epochLen, graphs, positions)
+}
+
+func fromGraphs(epochLen int, graphs []*graph.Graph, positions [][]phy.Point) (*Schedule, error) {
 	if len(graphs) == 0 {
 		return nil, fmt.Errorf("dyn: no epoch graphs")
 	}
@@ -152,15 +180,58 @@ func FromGraphs(epochLen int, graphs []*graph.Graph) (*Schedule, error) {
 	}
 	n := graphs[0].N()
 	var specs []EpochSpec
+	kept := []int{0} // graph indices retained as epochs
 	for i := 1; i < len(graphs); i++ {
 		if graphs[i].N() != n {
 			return nil, fmt.Errorf("dyn: epoch %d has %d nodes, epoch 0 has %d", i, graphs[i].N(), n)
 		}
 		d := diffDelta(graphs[i-1], graphs[i])
-		if d.empty() {
+		if d.empty() && (positions == nil || samePositions(positions[kept[len(kept)-1]], positions[i])) {
+			// Nothing observable changed: no edge rewired and (for geometric
+			// schedules) no node moved, so the epoch collapses into the
+			// previous one. Motion below the rewiring threshold does NOT
+			// collapse — it still shifts the interference geometry a SINR
+			// model observes.
 			continue
 		}
 		specs = append(specs, EpochSpec{Start: i * epochLen, Delta: d})
+		kept = append(kept, i)
 	}
-	return New(graphs[0], specs)
+	s, err := New(graphs[0], specs)
+	if err != nil {
+		return nil, err
+	}
+	if positions != nil {
+		s.positions = make([][]phy.Point, len(kept))
+		for j, i := range kept {
+			s.positions[j] = positions[i]
+		}
+	}
+	return s, nil
+}
+
+// samePositions reports whether two epoch position sets are identical.
+func samePositions(a, b []phy.Point) bool {
+	for i := range a {
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PositionsAt implements phy.PositionSource: the node positions in force at
+// step, or nil when the schedule carries no geometry. Pure in step, like
+// EpochAt.
+func (s *Schedule) PositionsAt(step int) []phy.Point {
+	if s.positions == nil {
+		return nil
+	}
+	i := sort.SearchInts(s.starts, step+1) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s.positions[i]
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/mis"
+	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/stats"
 	"repro/internal/xrand"
@@ -69,14 +70,32 @@ type FloodOutcome struct {
 	InformedProbe int
 }
 
+// FloodConfig parameterizes RunFlood.
+type FloodConfig struct {
+	// Budget bounds the run in steps.
+	Budget int
+	// ProbeStep, when ≥ 0, records coverage at the end of that step into
+	// FloodOutcome.InformedProbe.
+	ProbeStep int
+	// Seed drives all run randomness.
+	Seed uint64
+	// PHY selects the reception model (nil = the graph collision default);
+	// passed through to radio.Options.PHY.
+	PHY phy.Model
+	// OnStep, when non-nil, observes (step, nodes currently holding the
+	// target) after each step — radionet-sim's flood mode uses it for
+	// per-epoch progress.
+	OnStep func(step, informed int)
+}
+
 // RunFlood floods the sources' ranks over topo (nil = static g) for at most
-// budget steps and reports completion/coverage of the highest rank. onStep,
-// when non-nil, observes (step, nodes currently holding the target) after
-// each step — radionet-sim's flood mode uses it for per-epoch progress.
-// E17, E19 and E20 are built on this runner, so the CLI and the experiment
-// suite cannot disagree about what a dynamic flood means.
-func RunFlood(g *graph.Graph, topo radio.Topology, sources map[int]int64, budget int, probeStep int, seed uint64, onStep func(step, informed int)) (FloodOutcome, error) {
+// cfg.Budget steps and reports completion/coverage of the highest rank.
+// E17, E19–E21 and the radionet-sim/serve flood paths are built on this
+// runner, so the CLIs and the experiment suite cannot disagree about what a
+// flood means — under any topology schedule or reception model.
+func RunFlood(g *graph.Graph, topo radio.Topology, sources map[int]int64, cfg FloodConfig) (FloodOutcome, error) {
 	n := g.N()
+	budget := cfg.Budget
 	target := int64(math.MinInt64)
 	for _, r := range sources {
 		if r > target {
@@ -106,15 +125,16 @@ func RunFlood(g *graph.Graph, topo radio.Topology, sources map[int]int64, budget
 	}
 	opts := radio.Options{
 		MaxSteps: budget,
-		Seed:     seed ^ 0xdf10a7,
+		Seed:     cfg.Seed ^ 0xdf10a7,
 		Topology: topo,
+		PHY:      cfg.PHY,
 		OnStep: func(st radio.StepStats) {
 			informed := countInformed()
-			if st.Step == probeStep {
+			if st.Step == cfg.ProbeStep {
 				out.InformedProbe = informed
 			}
-			if onStep != nil {
-				onStep(st.Step, informed)
+			if cfg.OnStep != nil {
+				cfg.OnStep(st.Step, informed)
 			}
 			if out.Complete < 0 && informed == n {
 				out.Complete = st.Step + 1
@@ -161,7 +181,7 @@ func RunE17(cfg Config) (*Report, error) {
 				}
 				topo = sched
 			}
-			out, err := RunFlood(g, topo, map[int]int64{0: 1}, budget, -1, trng.Uint64(), nil)
+			out, err := RunFlood(g, topo, map[int]int64{0: 1}, FloodConfig{Budget: budget, ProbeStep: -1, Seed: trng.Uint64()})
 			if err != nil {
 				return Sample{}, err
 			}
@@ -322,7 +342,7 @@ func RunE19(cfg Config) (*Report, error) {
 				}
 				topo = sched
 			}
-			out, err := RunFlood(g, topo, map[int]int64{0: 1}, budget, heal-1, trng.Uint64(), nil)
+			out, err := RunFlood(g, topo, map[int]int64{0: 1}, FloodConfig{Budget: budget, ProbeStep: heal - 1, Seed: trng.Uint64()})
 			if err != nil {
 				return Sample{}, err
 			}
@@ -397,7 +417,7 @@ func RunE20(cfg Config) (*Report, error) {
 					}
 				}
 			}
-			out, err := RunFlood(g, sched, sources, budget, -1, trng.Uint64(), nil)
+			out, err := RunFlood(g, sched, sources, FloodConfig{Budget: budget, ProbeStep: -1, Seed: trng.Uint64()})
 			if err != nil {
 				return Sample{}, err
 			}

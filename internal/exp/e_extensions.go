@@ -9,8 +9,8 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/mis"
+	"repro/internal/phy"
 	"repro/internal/radio"
-	"repro/internal/sinr"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -26,6 +26,13 @@ import (
 // effect; the important qualitative check is that Radio MIS executed under
 // SINR physics still produces a valid MIS of the decode-range connectivity
 // graph. One trial = one deployment measured under both models.
+//
+// Both models now run on the same radio engines — the SINR side through
+// phy.SINR in exact mode (CutoffFactor +Inf), which reproduces the deleted
+// internal/sinr loop's interference sums bit for bit, so this experiment's
+// numbers are comparable across the engine unification (pinned by
+// TestE13MatchesPrePhyEngine). E21 measures the grid-bucketed default
+// cutoff against exact mode.
 func RunE13(cfg Config) (*Report, error) {
 	trials := 5
 	nPoints := 120
@@ -33,7 +40,9 @@ func RunE13(cfg Config) (*Report, error) {
 		trials = 15
 		nPoints = 250
 	}
-	params := sinr.Params{} // decode range exactly 1 → connectivity graph = UDG(1)
+	// Default physics, exact interference: decode range exactly 1 → the
+	// connectivity graph is the unit-disk graph.
+	params := phy.SINRParams{CutoffFactor: math.Inf(1)}
 	grid := NewGrid("E13")
 	grid.AddReps("sinr", trials, func(seed uint64) (Sample, error) {
 		trng := xrand.New(seed)
@@ -47,7 +56,7 @@ func RunE13(cfg Config) (*Report, error) {
 		gStep := completedOr(gres.CompleteStep, gres.Steps)
 
 		// The same protocol under SINR physics.
-		sStep, err := decayBroadcastSINR(pts, g.N(), params, seed)
+		sStep, _, err := decayBroadcastSINR(pts, g.N(), params, seed)
 		if err != nil {
 			return Sample{}, err
 		}
@@ -89,16 +98,18 @@ func connectedDeployment(n int, rng *xrand.RNG) ([]gen.Point, *graph.Graph) {
 	}
 }
 
-// decayBroadcastSINR runs the informed-nodes-run-Decay broadcast on the
-// SINR engine and returns the completion step.
-func decayBroadcastSINR(pts []gen.Point, n int, params sinr.Params, seed uint64) (int, error) {
+// decayBroadcastSINR runs the informed-nodes-run-Decay broadcast under SINR
+// reception on the unified engine and returns the completion step. The
+// decode-range connectivity graph supplies the parameter estimates (n, D)
+// exactly as the pre-PHY sinr engine derived them.
+func decayBroadcastSINR(pts []gen.Point, n int, params phy.SINRParams, seed uint64) (int, radio.Result, error) {
 	levels := int(math.Ceil(math.Log2(float64(n + 1))))
 	nodes := make([]*sinrDecayNode, n)
 	stop := false
-	g := sinr.ConnectivityGraph(pts, params)
+	g := gen.SINRConnectivity(pts, params)
 	d, err := g.DiameterApprox()
 	if err != nil {
-		return 0, err
+		return 0, radio.Result{}, err
 	}
 	maxSteps := 60 * (d*levels + levels*levels)
 	factory := func(info radio.NodeInfo) radio.Protocol {
@@ -109,10 +120,15 @@ func decayBroadcastSINR(pts []gen.Point, n int, params sinr.Params, seed uint64)
 		nodes[info.Index] = nd
 		return nd
 	}
+	model, err := phy.NewSINR(pts, params)
+	if err != nil {
+		return 0, radio.Result{}, err
+	}
 	complete := -1
-	res, err := sinr.Run(pts, factory, params, sinr.Options{
+	res, err := radio.Run(g, factory, radio.Options{
 		MaxSteps: maxSteps,
 		Seed:     seed,
+		PHY:      model,
 		OnStep: func(st radio.StepStats) {
 			if complete >= 0 {
 				return
@@ -127,12 +143,12 @@ func decayBroadcastSINR(pts []gen.Point, n int, params sinr.Params, seed uint64)
 		},
 	})
 	if err != nil {
-		return 0, err
+		return 0, radio.Result{}, err
 	}
 	if complete < 0 {
 		complete = res.Steps
 	}
-	return complete, nil
+	return complete, res, nil
 }
 
 // sinrDecayNode mirrors baseline.decayNode for the SINR engine.
@@ -161,19 +177,19 @@ func (d *sinrDecayNode) Deliver(step int, msg radio.Message) {
 
 func (d *sinrDecayNode) Done() bool { return *d.stop || d.step >= d.budget }
 
-// misUnderSINR runs Radio MIS node logic on the SINR engine and verifies
+// misUnderSINR runs Radio MIS node logic under SINR reception and verifies
 // independence+maximality against the decode-range connectivity graph.
 // Under SINR the capture effect can deliver where the graph model would
 // collide, which only improves detection, so validity should persist.
-func misUnderSINR(pts []gen.Point, params sinr.Params, seed uint64) (bool, error) {
-	g := sinr.ConnectivityGraph(pts, params)
+func misUnderSINR(pts []gen.Point, params phy.SINRParams, seed uint64) (bool, error) {
+	g := gen.SINRConnectivity(pts, params)
 	out, err := mis.RunOnEngine(g, mis.Params{}, seed, func(factory radio.Factory, opts radio.Options) (radio.Result, error) {
-		return sinr.Run(pts, factory, params, sinr.Options{
-			MaxSteps: opts.MaxSteps,
-			Seed:     opts.Seed,
-			N:        opts.N,
-			OnStep:   opts.OnStep,
-		})
+		model, err := phy.NewSINR(pts, params)
+		if err != nil {
+			return radio.Result{}, err
+		}
+		opts.PHY = model
+		return radio.Run(g, factory, opts)
 	})
 	if err != nil {
 		return false, err

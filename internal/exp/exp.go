@@ -1,6 +1,7 @@
 // Package exp is the experiment harness that regenerates the paper's
 // quantitative claims (E1–E16) and stresses them under dynamic topologies
-// (E17–E20, DESIGN.md §4–§5 and EXPERIMENTS.md). Each
+// (E17–E20) and alternative physical layers (E21–E23, DESIGN.md §4–§7 and
+// EXPERIMENTS.md). Each
 // experiment declares a grid of independent trials (scenario × seed
 // replica) that the runner in runner.go executes concurrently, then
 // aggregates the typed samples into stats.Tables. A run renders both as
@@ -132,6 +133,9 @@ func Registry() []Experiment {
 		{ID: "E18", Title: "MIS under edge faults", Claim: "extension: Radio MIS output goes stale when links fail and heal mid-run", Run: RunE18},
 		{ID: "E19", Title: "Partition heal re-convergence", Claim: "extension: a partition contains the flood; healing re-converges at flood speed", Run: RunE19},
 		{ID: "E20", Title: "Election under mobility", Claim: "extension: waypoint motion both breaks links and ferries agreement across partitions", Run: RunE20},
+		{ID: "E21", Title: "SINR broadcast on the unified engine", Claim: "phy layer: the graph/SINR gap survives engine unification; the far-field cutoff is faithful to exact interference", Run: RunE21},
+		{ID: "E22", Title: "Capture-effect Decay", Claim: "phy layer: β→1 and loud nodes decode through interference the graph model calls a collision", Run: RunE22},
+		{ID: "E23", Title: "CD vs no-CD Radio MIS", Claim: "§1.5.2: collision markers read as extra signals — CD steers Algorithm 7 to different (still valid) MISes on dense classes", Run: RunE23},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

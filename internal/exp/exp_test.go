@@ -11,8 +11,8 @@ func quickCfg() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Registry()
-	if len(exps) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(exps))
+	if len(exps) != 23 {
+		t.Fatalf("registry has %d experiments, want 23", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -86,6 +86,16 @@ func TestE13(t *testing.T) {
 	}
 	runOne(t, "E13", "sinr", "MIS valid")
 }
+
+func TestE21(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runOne(t, "E21", "cutoff", "exact")
+}
+
+func TestE22(t *testing.T) { runOne(t, "E22", "beta", "deliveries per tx") }
+func TestE23(t *testing.T) { runOne(t, "E23", "no-CD valid", "same MIS") }
 
 // E7/E8 are the heavyweight broadcast sweeps; still must pass at Quick scale.
 func TestE7(t *testing.T) {

@@ -1,0 +1,41 @@
+package exp
+
+import "testing"
+
+// TestE13MatchesPrePhyEngine is the old-vs-new differential for the engine
+// unification: these rows were produced by the pre-PHY internal/sinr
+// standalone loop (captured before its deletion) and the rebuilt E13 —
+// radio engines + phy.SINR in exact mode — must reproduce them exactly.
+// The agreement is not statistical: the exact-mode model performs the same
+// floating-point interference sums in the same order and the engine splits
+// per-node RNGs identically, so every trial's transcript — and hence every
+// table cell — is bit-identical to the old loop's.
+func TestE13MatchesPrePhyEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	want := map[uint64][]string{
+		// seed → {n, trials, graph-model steps, sinr steps, ratio, MIS valid}
+		1: {"120", "5", "65.2", "125.4", "1.923", "5/5"},
+		7: {"120", "5", "78.2", "130.6", "1.67", "5/5"},
+	}
+	for seed, row := range want {
+		rep, err := RunE13(Config{Scale: Quick, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(rep.Tables) != 1 || len(rep.Tables[0].Rows) != 1 {
+			t.Fatalf("seed %d: unexpected table shape: %+v", seed, rep.Tables)
+		}
+		got := rep.Tables[0].Rows[0]
+		if len(got) != len(row) {
+			t.Fatalf("seed %d: row has %d cells, want %d: %v", seed, len(got), len(row), got)
+		}
+		for i := range row {
+			if got[i] != row[i] {
+				t.Errorf("seed %d, column %q: got %q, want pre-PHY value %q (full row %v)",
+					seed, rep.Tables[0].Header[i], got[i], row[i], got)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dyn"
 	"repro/internal/graph"
+	"repro/internal/phy"
 	"repro/internal/xrand"
 )
 
@@ -21,18 +22,40 @@ var ClassNames = []string{
 // edge-fault epochs, and "mobile:udg" is random-waypoint mobility.
 var DynClassNames = []string{"churn:<class>", "fault:<class>", "mobile:udg"}
 
+// PhyClassNames lists the physical-layer specs the grammar understands:
+// "phy:sinr" is a connected-UDG deployment run under SINR reception
+// (DESIGN.md §7) and "phy:cd:<class>" runs any static class under the
+// collision-detection model. There is deliberately no "phy:collision:…"
+// spelling — the bare class name IS the collision model, and one scenario
+// must have one canonical form (the serve content hash depends on it).
+var PhyClassNames = []string{"phy:sinr", "phy:cd:<class>"}
+
 // ByName builds a graph of roughly n nodes from a named class, used by the
 // CLIs and examples. Randomized classes derive their randomness from seed.
 // Dynamic specs ("churn:grid", "fault:gnp", "mobile:udg") are accepted too
 // and yield the epoch-0 skeleton — the underlying static class — so static
 // consumers keep working; ScheduleByName builds the full epoch schedule.
+// Physical-layer specs likewise yield their skeleton: "phy:cd:<class>" is
+// the class itself and "phy:sinr" is the deployment's default-range
+// connectivity graph (ByNameWithPoints also returns the positions a SINR
+// model needs).
 func ByName(name string, n int, seed uint64) (*graph.Graph, error) {
+	g, _, err := ByNameWithPoints(name, n, seed)
+	return g, err
+}
+
+// ByNameWithPoints is ByName for callers that also need the deployment
+// geometry: for the geometric classes with a canonical placement ("udg",
+// "phy:sinr") it returns the drawn positions alongside the graph; for every
+// other spec points is nil. The graph is identical to ByName's for the same
+// (name, n, seed).
+func ByNameWithPoints(name string, n int, seed uint64) (*graph.Graph, []Point, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("gen: need n ≥ 1, got %d", n)
+		return nil, nil, fmt.Errorf("gen: need n ≥ 1, got %d", n)
 	}
 	if kind, class, ok := splitDynSpec(name); ok {
 		if err := validateDynSpec(name, kind, class); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if kind == "mobile" {
 			// The mobile classes have their own placement convention, so
@@ -41,12 +64,38 @@ func ByName(name string, n int, seed uint64) (*graph.Graph, error) {
 			// the same seed (motion parameters don't touch it).
 			sched, err := ScheduleByName(name, n, 0, 1, 0, seed)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return sched.CSR(0).Graph(), nil
+			return sched.CSR(0).Graph(), sched.PositionsAt(0), nil
 		}
-		return ByName(class, n, seed)
+		if kind == "phy" {
+			if class == "sinr" {
+				// The SINR deployment convention: a connected unit-range UDG
+				// at average degree ~8, like the "udg" class but with the
+				// points retained for the reception model. The unit disk is
+				// the decode range of the default phy.SINRParams; runners
+				// with non-default params derive their own connectivity view
+				// from the points (SINRConnectivity).
+				g, pts, err := ConnectedUDG(n, 8, 60, xrand.New(seed^0x517cc1b727220a95))
+				return g, pts, err
+			}
+			return ByNameWithPoints(strings.TrimPrefix(class, "cd:"), n, seed)
+		}
+		g, err := ByName(class, n, seed)
+		return g, nil, err
 	}
+	if name == "udg" {
+		g, pts, err := ConnectedUDG(n, 8, 60, xrand.New(seed^0x517cc1b727220a95))
+		return g, pts, err
+	}
+	g, err := byStaticName(name, n, seed)
+	return g, nil, err
+}
+
+// byStaticName builds the bare static classes. "udg" never reaches it —
+// ByNameWithPoints intercepts it to retain the deployment points — so it
+// has no case here.
+func byStaticName(name string, n int, seed uint64) (*graph.Graph, error) {
 	rng := xrand.New(seed ^ 0x517cc1b727220a95)
 	switch name {
 	case "path":
@@ -67,9 +116,6 @@ func ByName(name string, n int, seed uint64) (*graph.Graph, error) {
 		return RandomTree(n, rng), nil
 	case "gnp":
 		return GNPConnected(n, math.Min(1, 8/float64(n)), 60, rng)
-	case "udg":
-		g, _, err := ConnectedUDG(n, 8, 60, rng)
-		return g, err
 	case "quasiudg":
 		side := math.Sqrt(float64(n) * math.Pi / 8)
 		for t := 0; t < 60; t++ {
@@ -132,7 +178,10 @@ func ByName(name string, n int, seed uint64) (*graph.Graph, error) {
 // epochLen is each epoch's length in time-steps; rate <= 0 selects the
 // default 0.15. Like ByName, the result is a pure function of the
 // arguments. A bare static class name is accepted and yields a single-epoch
-// (static) schedule, so callers can treat every spec uniformly.
+// (static) schedule, so callers can treat every spec uniformly; so are the
+// physical-layer specs, whose schedules are static too — "phy:sinr"
+// additionally carries the deployment positions, so the schedule can feed a
+// mobile-capable SINR model (phy.PositionSource).
 func ScheduleByName(spec string, n, epochs, epochLen int, rate float64, seed uint64) (*dyn.Schedule, error) {
 	if rate <= 0 {
 		rate = DefaultDynRate
@@ -148,6 +197,19 @@ func ScheduleByName(spec string, n, epochs, epochLen int, rate float64, seed uin
 	}
 	if err := validateDynSpec(spec, kind, class); err != nil {
 		return nil, err
+	}
+	if kind == "phy" {
+		if epochLen < 1 {
+			epochLen = 1
+		}
+		base, pts, err := ByNameWithPoints(spec, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		if pts == nil {
+			return dyn.New(base, nil)
+		}
+		return dyn.FromGraphsWithPositions(epochLen, []*graph.Graph{base}, [][]phy.Point{pts})
 	}
 	if err := ValidateRate(kind, rate); err != nil {
 		return nil, err
@@ -195,16 +257,20 @@ func ValidateRate(kind string, rate float64) error {
 }
 
 // ValidateSpec checks that name is a well-formed graph spec — a known
-// static class, or a known dynamic kind wrapping one — without building
-// anything. It returns exactly the error ByName/ScheduleByName would, so
-// servers can reject malformed specs up front with a clean client error.
+// static class, or a known dynamic or physical-layer kind wrapping one —
+// without building anything. It returns exactly the error
+// ByName/ScheduleByName would, so servers can reject malformed specs up
+// front with a clean client error.
 func ValidateSpec(name string) error {
 	if kind, class, ok := splitDynSpec(name); ok {
 		if err := validateDynSpec(name, kind, class); err != nil {
 			return err
 		}
-		if kind == "mobile" {
+		if kind == "mobile" || name == "phy:sinr" {
 			return nil
+		}
+		if kind == "phy" {
+			return ValidateSpec(strings.TrimPrefix(class, "cd:"))
 		}
 		return ValidateSpec(class)
 	}
@@ -216,19 +282,50 @@ func ValidateSpec(name string) error {
 	return fmt.Errorf("gen: unknown graph class %q (known: %v)", name, ClassNames)
 }
 
-// validateDynSpec checks a split dynamic spec's kind and shape. Nested
-// dynamic specs ("churn:churn:grid") are rejected everywhere: they would
-// execute identically to their un-nested form but serialize (and content-
-// hash) differently, breaking one-canonical-form-per-scenario.
+// SplitPhySpec splits a physical-layer spec: "phy:sinr" yields
+// ("sinr", "udg"), "phy:cd:<class>" yields ("cd", class). ok is false for
+// everything else, including malformed phy: specs — callers branching on
+// it validate separately.
+func SplitPhySpec(name string) (model, class string, ok bool) {
+	kind, rest, cut := strings.Cut(name, ":")
+	if !cut || kind != "phy" {
+		return "", "", false
+	}
+	if rest == "sinr" {
+		return "sinr", "udg", true
+	}
+	if c, isCD := strings.CutPrefix(rest, "cd:"); isCD && validateDynSpec(name, "phy", rest) == nil {
+		return "cd", c, true
+	}
+	return "", "", false
+}
+
+// validateDynSpec checks a split dynamic or phy spec's kind and shape.
+// Nested specs ("churn:churn:grid", "phy:cd:churn:grid") are rejected
+// everywhere: they would execute identically to (or be indistinguishable
+// from) another spelling but serialize — and content-hash — differently,
+// breaking one-canonical-form-per-scenario.
 func validateDynSpec(spec, kind, class string) error {
 	if err := validateDynKind(kind); err != nil {
 		return err
 	}
-	if kind == "mobile" {
+	switch kind {
+	case "mobile":
 		if class != "udg" {
 			return fmt.Errorf("gen: mobility spec %q: only mobile:udg is supported", spec)
 		}
 		return nil
+	case "phy":
+		if class == "sinr" {
+			return nil
+		}
+		if cdClass, ok := strings.CutPrefix(class, "cd:"); ok {
+			if strings.Contains(cdClass, ":") {
+				return fmt.Errorf("gen: nested phy spec %q: phy:cd must wrap a static class", spec)
+			}
+			return nil
+		}
+		return fmt.Errorf("gen: unknown phy spec %q (known: %v; the collision model is the bare class name)", spec, PhyClassNames)
 	}
 	if strings.Contains(class, ":") {
 		return fmt.Errorf("gen: nested dynamic spec %q: %s must wrap a static class", spec, kind)
@@ -246,9 +343,9 @@ func splitDynSpec(name string) (kind, class string, ok bool) {
 // validateDynKind rejects unknown dynamic-spec kinds.
 func validateDynKind(kind string) error {
 	switch kind {
-	case "churn", "fault", "mobile":
+	case "churn", "fault", "mobile", "phy":
 		return nil
 	default:
-		return fmt.Errorf("gen: unknown dynamic kind %q (known: %v)", kind, DynClassNames)
+		return fmt.Errorf("gen: unknown dynamic kind %q (known: %v and %v)", kind, DynClassNames, PhyClassNames)
 	}
 }

@@ -1,0 +1,56 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzByNameSpec fuzzes the spec grammar that now guards four subsystems —
+// static classes, dynamic topologies (churn:/fault:/mobile:), and the
+// physical layer (phy:) — for the agreement property the serve subsystem
+// depends on: ValidateSpec is the gatekeeper, so no spec it rejects may
+// build through ByName/ByNameWithPoints/ScheduleByName, and nothing may
+// panic on adversarial input. (The converse is not required: a validated
+// spec may still fail to build for size reasons, e.g. a connectivity retry
+// budget at tiny n.)
+func FuzzByNameSpec(f *testing.F) {
+	for _, spec := range []string{
+		"grid", "udg", "gnp", "regular",
+		"churn:grid", "fault:gnp", "mobile:udg",
+		"phy:sinr", "phy:cd:grid", "phy:cd:udg",
+		// Malformed shapes the validator must reject without panicking.
+		"phy:collision:grid", "phy:sinr:udg", "phy:cd:churn:grid", "phy:",
+		"churn:churn:grid", "mobile:grid", "fault:", ":", "phy",
+		"churn:phy:sinr", "bogus", "PHY:SINR", "phy:cd:",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 128 {
+			return // the grammar is tiny; huge inputs only slow the fuzzer
+		}
+		verr := ValidateSpec(spec)
+		g, pts, err := ByNameWithPoints(spec, 9, 3)
+		if verr != nil && err == nil {
+			t.Fatalf("ValidateSpec rejected %q (%v) but ByNameWithPoints built it", spec, verr)
+		}
+		if err == nil {
+			if g == nil || g.N() < 1 {
+				t.Fatalf("ByNameWithPoints(%q) returned a degenerate graph", spec)
+			}
+			if pts != nil && len(pts) != g.N() {
+				t.Fatalf("ByNameWithPoints(%q): %d points for %d nodes", spec, len(pts), g.N())
+			}
+			if strings.HasPrefix(spec, "phy:sinr") && pts == nil {
+				t.Fatalf("ByNameWithPoints(%q) returned no deployment points", spec)
+			}
+		}
+		sched, serr := ScheduleByName(spec, 9, 2, 4, 0.25, 3)
+		if verr != nil && serr == nil {
+			t.Fatalf("ValidateSpec rejected %q (%v) but ScheduleByName built it", spec, verr)
+		}
+		if serr == nil && (sched.N() < 1 || sched.Epochs() < 1) {
+			t.Fatalf("ScheduleByName(%q) returned a degenerate schedule", spec)
+		}
+	})
+}

@@ -13,34 +13,15 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/phy"
 	"repro/internal/xrand"
 )
 
-// Point is a position in d-dimensional Euclidean space.
-type Point []float64
-
-// Dist returns the Euclidean distance between p and q.
-func (p Point) Dist(q Point) float64 {
-	var s float64
-	for i := range p {
-		d := p[i] - q[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
-}
-
-// DistLInf returns the ℓ∞ distance between p and q. ℓ∞ on R^d is a doubling
-// metric, so unit ball graphs under it are growth-bounded (§1.3).
-func (p Point) DistLInf(q Point) float64 {
-	var m float64
-	for i := range p {
-		d := math.Abs(p[i] - q[i])
-		if d > m {
-			m = d
-		}
-	}
-	return m
-}
+// Point is a position in d-dimensional Euclidean space. It is an alias of
+// phy.Point — the physical layer owns the geometric primitives — so point
+// sets flow between generators, dynamic schedules, and reception models
+// without conversion.
+type Point = phy.Point
 
 // Path returns the path graph P_n (diameter n-1, α = ⌈n/2⌉).
 func Path(n int) *graph.Graph {
@@ -243,6 +224,17 @@ func ConnectedUDG(n int, degTarget float64, tries int, rng *xrand.RNG) (*graph.G
 		}
 	}
 	return nil, nil, fmt.Errorf("gen: no connected UDG(n=%d, deg=%v) in %d tries", n, degTarget, tries)
+}
+
+// SINRConnectivity returns the zero-interference reachability graph of a
+// deployment under uniform-power SINR params: the disk graph at the decode
+// range. This is the graph-model counterpart the paper's abstraction uses —
+// the reference against which the cross-model experiments judge protocol
+// outputs produced under SINR physics, and the parameter-estimate skeleton
+// unified SINR runs hand to radio.Run. A noiseless channel (explicit Noise
+// 0) has unbounded range, so its connectivity graph is complete.
+func SINRConnectivity(pts []Point, params phy.SINRParams) *graph.Graph {
+	return UDG(pts, params.WithDefaults().DecodeRange())
 }
 
 // CliqueChain returns a path of k cliques of size s joined by single bridge

@@ -14,10 +14,14 @@ import (
 // between epochs every node moves distance speed (in units of the radio
 // range) toward its private waypoint, drawing a fresh uniform waypoint when
 // it arrives. Epoch i's topology is the unit-disk graph of the positions at
-// time i; dyn.FromGraphs collapses motion too slow to rewire anything into
-// longer epochs. The initial placement is retried until connected (the
-// usual generator convention); later epochs may disconnect and reconnect
-// freely — that is the phenomenon mobility experiments measure.
+// time i, and the positions themselves are carried on the schedule
+// (dyn.FromGraphsWithPositions / Schedule.PositionsAt), so geometric
+// reception models — phy.SINR via phy.NewMobileSINR — follow the motion.
+// Because positions matter to those models even when the connectivity graph
+// is unchanged, mobile epochs never collapse. The initial placement is
+// retried until connected (the usual generator convention); later epochs
+// may disconnect and reconnect freely — that is the phenomenon mobility
+// experiments measure.
 //
 // The whole trajectory is a pure function of (n, epochs, speed, rng state),
 // keeping the dyn determinism contract.
@@ -43,13 +47,25 @@ func MobileUDG(n, epochs, epochLen int, speed float64, rng *xrand.RNG) (*dyn.Sch
 	}
 	waypoints := UniformPoints(n, 2, side, rng)
 	graphs := []*graph.Graph{g0}
+	positions := [][]Point{clonePoints(pts)}
 	for e := 1; e <= epochs; e++ {
 		for i := range pts {
 			pts[i], waypoints[i] = advance(pts[i], waypoints[i], speed, side, rng)
 		}
 		graphs = append(graphs, UDG(pts, 1))
+		positions = append(positions, clonePoints(pts))
 	}
-	return dyn.FromGraphs(epochLen, graphs)
+	return dyn.FromGraphsWithPositions(epochLen, graphs, positions)
+}
+
+// clonePoints deep-copies a point set: the mobility loop mutates pts in
+// place, while the schedule needs one immutable snapshot per epoch.
+func clonePoints(pts []Point) []Point {
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = append(Point(nil), p...)
+	}
+	return out
 }
 
 // advance moves p distance speed toward its waypoint, redrawing the

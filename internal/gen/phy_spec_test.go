@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/phy"
+)
+
+func TestPhySpecGrammar(t *testing.T) {
+	good := []string{"phy:sinr", "phy:cd:grid", "phy:cd:udg", "phy:cd:gnp"}
+	for _, spec := range good {
+		if err := ValidateSpec(spec); err != nil {
+			t.Errorf("ValidateSpec(%q) = %v, want nil", spec, err)
+		}
+		if _, err := ByName(spec, 36, 5); err != nil {
+			t.Errorf("ByName(%q) = %v, want nil", spec, err)
+		}
+	}
+	bad := []string{
+		"phy:collision:grid", // the bare class is the canonical spelling
+		"phy:sinr:udg", "phy:cd:churn:grid", "phy:cd:bogus", "phy:", "phy:fm",
+		"churn:phy:sinr", // phy composes outside, never inside, dynamics
+	}
+	for _, spec := range bad {
+		if err := ValidateSpec(spec); err == nil {
+			t.Errorf("ValidateSpec(%q) = nil, want error", spec)
+		}
+		if _, err := ByName(spec, 36, 5); err == nil {
+			t.Errorf("ByName(%q) = nil, want error", spec)
+		}
+	}
+}
+
+func TestSplitPhySpec(t *testing.T) {
+	cases := []struct {
+		spec, model, class string
+		ok                 bool
+	}{
+		{"phy:sinr", "sinr", "udg", true},
+		{"phy:cd:grid", "cd", "grid", true},
+		{"grid", "", "", false},
+		{"churn:grid", "", "", false},
+		{"phy:collision:grid", "", "", false},
+		{"phy:cd:churn:grid", "", "", false},
+	}
+	for _, c := range cases {
+		model, class, ok := SplitPhySpec(c.spec)
+		if model != c.model || class != c.class || ok != c.ok {
+			t.Errorf("SplitPhySpec(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.spec, model, class, ok, c.model, c.class, c.ok)
+		}
+	}
+}
+
+// TestPhySinrDeploymentFlows pins the geometry plumbing: ByNameWithPoints
+// and ScheduleByName must agree on the deployment, the schedule must expose
+// it as a phy.PositionSource, and the skeleton graph must be the unit-disk
+// connectivity graph of those points (the default decode range is 1).
+func TestPhySinrDeploymentFlows(t *testing.T) {
+	g, pts, err := ByNameWithPoints("phy:sinr", 48, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != g.N() {
+		t.Fatalf("%d points for %d nodes", len(pts), g.N())
+	}
+	if !g.Freeze().Equal(UDG(pts, 1).Freeze()) {
+		t.Fatal("skeleton is not the unit-disk graph of the returned points")
+	}
+	if !g.Freeze().Equal(SINRConnectivity(pts, phy.SINRParams{}).Freeze()) {
+		t.Fatal("SINRConnectivity at default params differs from the unit-disk skeleton")
+	}
+	sched, err := ScheduleByName("phy:sinr", 48, 0, 1, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.CSR(0).Equal(g.Freeze()) {
+		t.Fatal("schedule epoch 0 differs from ByName's skeleton")
+	}
+	spts := sched.PositionsAt(0)
+	if len(spts) != len(pts) {
+		t.Fatalf("schedule carries %d positions, want %d", len(spts), len(pts))
+	}
+	for i := range pts {
+		if pts[i].Dist(spts[i]) != 0 {
+			t.Fatalf("position %d differs between ByNameWithPoints and the schedule", i)
+		}
+	}
+	// Mobile schedules carry positions per epoch.
+	mob, err := ScheduleByName("mobile:udg", 48, 3, 8, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mob.PositionsAt(0) == nil || mob.PositionsAt(1<<20) == nil {
+		t.Fatal("mobile schedule carries no positions")
+	}
+	// Non-geometric schedules do not.
+	ch, err := ScheduleByName("churn:grid", 48, 3, 8, 0.25, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.PositionsAt(0) != nil {
+		t.Fatal("churn schedule unexpectedly carries positions")
+	}
+}

@@ -384,8 +384,9 @@ func RunDetailed(g *graph.Graph, params Params, seed uint64, nEst int, onStep fu
 }
 
 // EngineFunc abstracts the reception engine so Radio MIS can be executed
-// under alternative physics (e.g. the SINR model of internal/sinr). The
-// engine must honor MaxSteps, Seed, N and OnStep from opts.
+// under alternative physics (e.g. radio.Run with Options.PHY set to a
+// phy.SINR or phy.CollisionCD model). The engine must honor MaxSteps,
+// Seed, N and OnStep from opts.
 type EngineFunc func(factory radio.Factory, opts radio.Options) (radio.Result, error)
 
 // RunOnEngine executes Radio MIS with a custom reception engine. g supplies

@@ -1,0 +1,179 @@
+// Package phy is the pluggable physical layer of the radio simulator: a
+// reception model decides, for each time-step, which listeners decode which
+// transmitter. The paper's model (§1.1) — a listener hears a message iff
+// exactly one neighbor transmits, no collision detection — is the default
+// (Collision); CollisionCD is the stronger §1.5.2 variant that delivers a
+// collision marker; SINR (sinr.go) is the geometric alternative of
+// footnote 1, where decoding is a signal-to-interference-plus-noise
+// threshold over node positions.
+//
+// The engines in internal/radio drive delivery through the Model interface,
+// so every protocol, experiment, topology schedule and service scenario in
+// this repository composes with every reception model. A Model instance is
+// stateful per run: the engine calls Sync at the start of the run and at
+// every topology epoch boundary, then per step one or more Observe calls
+// (one ascending batch per engine shard, shards in ascending global order)
+// followed by exactly one Resolve and one Clear. Instances must not be
+// shared between concurrent runs.
+package phy
+
+import "repro/internal/graph"
+
+// Decode records one successful reception: listener To decodes the message
+// transmitted by From.
+type Decode struct {
+	To, From int32
+}
+
+// Outcome is the reception result of one step. The engine owns one Outcome
+// and passes it to every Resolve; models append into the reused slices so
+// the steady-state step loop allocates nothing.
+type Outcome struct {
+	// Decoded lists successful receptions.
+	Decoded []Decode
+	// Collided lists listeners that were reached by transmission energy but
+	// decoded nothing, on steps where a collision is possible — graph
+	// models: ≥2 transmitting neighbors; SINR: within the far-field cutoff
+	// of some transmitter while ≥2 transmitters were active. The SINR count
+	// therefore depends on CutoffFactor (a wider cutoff reaches more
+	// listeners) even though decode decisions barely move — it is a
+	// channel-usage statistic, not part of the transcript contract.
+	Collided []int32
+	// Marker is true when Collided listeners should receive the collision
+	// marker instead of silence (collision-detection models).
+	Marker bool
+}
+
+// Reset empties the outcome for the next step, keeping capacity. The engine
+// calls it before each Resolve.
+func (o *Outcome) Reset() {
+	o.Decoded = o.Decoded[:0]
+	o.Collided = o.Collided[:0]
+	o.Marker = false
+}
+
+// Model owns per-step reception semantics.
+type Model interface {
+	// Name is the canonical spec name of the model ("collision",
+	// "collision-cd", "sinr").
+	Name() string
+	// Sync installs the topology in force from step on. The engines call it
+	// once before step 0 and once per epoch boundary (never per step), so
+	// implementations may allocate here — the step-loop methods below must
+	// not. Geometric models ignore csr's edges and refresh their positions
+	// for the epoch instead.
+	Sync(step int, csr *graph.CSR) error
+	// Observe accumulates one batch of this step's transmitters, in
+	// ascending node order. It may be called several times per step (once
+	// per worker-pool shard), batches arriving in ascending global order;
+	// models that accumulate floating-point interference must do so in this
+	// fixed transmitter-index order so the sequential and worker-pool
+	// engines stay transcript-identical.
+	Observe(tx []int32)
+	// Resolve decides reception for the accumulated transmitter set,
+	// appending into out (which arrives reset). Cost must be proportional
+	// to the transmitters and the listeners they can reach, not to n.
+	Resolve(out *Outcome)
+	// Clear re-zeroes the per-step scratch dirtied by Observe/Resolve,
+	// restoring the between-steps all-zero invariant at cost proportional
+	// to the entries dirtied.
+	Clear()
+}
+
+// Collision is the paper's reception model (§1.1): a listener decodes iff
+// exactly one of its graph neighbors transmits; with two or more it hears
+// nothing and cannot distinguish the collision from silence. The zero-
+// overhead default — its delivery pass is the same saturating-counter
+// sparse scan the engines ran before the model was pluggable.
+type Collision struct {
+	csr     *graph.CSR
+	marker  bool    // CollisionCD delivers the marker instead of silence
+	counts  []int8  // transmitting-neighbor count, saturated at 2
+	from    []int32 // some transmitting neighbor (valid when counts==1)
+	isTx    []bool  // isTx[v]: v transmits this step
+	txAll   []int32 // this step's transmitters, ascending
+	touched []int32 // nodes with ≥1 transmitting neighbor this step
+}
+
+// NewCollision returns the no-collision-detection graph model, the engine
+// default.
+func NewCollision() *Collision { return &Collision{} }
+
+// NewCollisionCD returns the collision-detection variant (§1.5.2): listeners
+// with ≥2 transmitting neighbors receive the radio.Collision marker instead
+// of silence. This is the model Options.CollisionDetection selected before
+// the PHY layer existed.
+func NewCollisionCD() *Collision { return &Collision{marker: true} }
+
+// Name implements Model.
+func (c *Collision) Name() string {
+	if c.marker {
+		return "collision-cd"
+	}
+	return "collision"
+}
+
+// Sync implements Model: install the epoch's CSR and size the scratch on
+// first use. The node count is fixed for a whole run (the radio.Topology
+// contract), so the scratch survives every epoch unchanged.
+func (c *Collision) Sync(step int, csr *graph.CSR) error {
+	c.csr = csr
+	if n := csr.N(); len(c.counts) < n {
+		c.counts = make([]int8, n)
+		c.from = make([]int32, n)
+		c.isTx = make([]bool, n)
+		c.txAll = make([]int32, 0, n)
+		c.touched = make([]int32, 0, n)
+	}
+	return nil
+}
+
+// Observe implements Model: for every neighbor w of a transmitter, counts[w]
+// rises (saturating at 2), from[w] records a transmitting neighbor, and w is
+// recorded in touched on first contact.
+func (c *Collision) Observe(tx []int32) {
+	for _, v := range tx {
+		c.isTx[v] = true
+		c.txAll = append(c.txAll, v)
+		for _, w := range c.csr.Neighbors(int(v)) {
+			switch c.counts[w] {
+			case 0:
+				c.counts[w] = 1
+				c.from[w] = v
+				c.touched = append(c.touched, w)
+			case 1:
+				c.counts[w] = 2
+			}
+		}
+	}
+}
+
+// Resolve implements Model: the exactly-one-transmitting-neighbor rule over
+// the touched set. Transmitters hear nothing (half-duplex); retirement and
+// wake state are the engine's concern — every touched listener is reported,
+// matching the model's global view of the medium.
+func (c *Collision) Resolve(out *Outcome) {
+	out.Marker = c.marker
+	for _, u := range c.touched {
+		if c.isTx[u] {
+			continue
+		}
+		if c.counts[u] == 1 {
+			out.Decoded = append(out.Decoded, Decode{To: u, From: c.from[u]})
+		} else {
+			out.Collided = append(out.Collided, u)
+		}
+	}
+}
+
+// Clear implements Model.
+func (c *Collision) Clear() {
+	for _, u := range c.touched {
+		c.counts[u] = 0
+	}
+	for _, v := range c.txAll {
+		c.isTx[v] = false
+	}
+	c.touched = c.touched[:0]
+	c.txAll = c.txAll[:0]
+}

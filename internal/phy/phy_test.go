@@ -1,0 +1,102 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// star returns K_{1,n-1} frozen, center 0.
+func star(n int) *graph.CSR {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g.Freeze()
+}
+
+// resolveOnce drives one synthetic step through a model.
+func resolveOnce(t *testing.T, m Model, csr *graph.CSR, tx []int32) Outcome {
+	t.Helper()
+	if err := m.Sync(0, csr); err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(tx)
+	var out Outcome
+	m.Resolve(&out)
+	snap := Outcome{Marker: out.Marker}
+	snap.Decoded = append(snap.Decoded, out.Decoded...)
+	snap.Collided = append(snap.Collided, out.Collided...)
+	m.Clear()
+	// The all-zero between-steps invariant: an empty follow-up step must
+	// resolve to nothing.
+	out.Reset()
+	m.Resolve(&out)
+	if len(out.Decoded) != 0 || len(out.Collided) != 0 {
+		t.Fatalf("%s: scratch not cleared, empty step resolved to %+v", m.Name(), out)
+	}
+	m.Clear()
+	return snap
+}
+
+func TestCollisionModelRule(t *testing.T) {
+	csr := star(4)
+	// One transmitting leaf: the center decodes it, other leaves silent.
+	out := resolveOnce(t, NewCollision(), csr, []int32{1})
+	if len(out.Decoded) != 1 || out.Decoded[0] != (Decode{To: 0, From: 1}) {
+		t.Fatalf("single transmitter: %+v", out)
+	}
+	if len(out.Collided) != 0 || out.Marker {
+		t.Fatalf("single transmitter produced collisions: %+v", out)
+	}
+	// Two transmitting leaves: the center collides, silently (no marker).
+	out = resolveOnce(t, NewCollision(), csr, []int32{1, 2})
+	if len(out.Decoded) != 0 || len(out.Collided) != 1 || out.Collided[0] != 0 || out.Marker {
+		t.Fatalf("two transmitters: %+v", out)
+	}
+	// CD variant: same reception, but the collision is marked.
+	out = resolveOnce(t, NewCollisionCD(), csr, []int32{1, 2})
+	if len(out.Collided) != 1 || !out.Marker {
+		t.Fatalf("CD two transmitters: %+v", out)
+	}
+	// The transmitting center is half-duplex: leaves decode it, it hears
+	// nothing even while a leaf transmits at it.
+	out = resolveOnce(t, NewCollision(), csr, []int32{0, 1})
+	for _, d := range out.Decoded {
+		if d.To == 0 || d.To == 1 {
+			t.Fatalf("transmitter received: %+v", out)
+		}
+	}
+	if len(out.Decoded) != 2 { // leaves 2, 3 decode the center
+		t.Fatalf("leaves did not decode the center: %+v", out)
+	}
+}
+
+func TestCollisionObserveInShardBatches(t *testing.T) {
+	// Observing {1}, then {2} (two pool shards) must equal observing {1, 2}.
+	csr := star(4)
+	m := NewCollisionCD()
+	if err := m.Sync(0, csr); err != nil {
+		t.Fatal(err)
+	}
+	m.Observe([]int32{1})
+	m.Observe([]int32{2})
+	var out Outcome
+	m.Resolve(&out)
+	if len(out.Decoded) != 0 || len(out.Collided) != 1 || out.Collided[0] != 0 {
+		t.Fatalf("batched observe: %+v", out)
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if NewCollision().Name() != "collision" || NewCollisionCD().Name() != "collision-cd" {
+		t.Fatal("collision model names drifted")
+	}
+	s, err := NewSINR([]Point{{0, 0}}, SINRParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "sinr" {
+		t.Fatal("sinr model name drifted")
+	}
+}

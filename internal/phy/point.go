@@ -1,0 +1,32 @@
+package phy
+
+import "math"
+
+// Point is a position in d-dimensional Euclidean space. It lives in phy —
+// the lowest layer that needs geometry — and gen re-exports it as an alias
+// (`gen.Point`), so generators, dynamic schedules and reception models all
+// share one point type with no conversions.
+type Point []float64
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// DistLInf returns the ℓ∞ distance between p and q. ℓ∞ on R^d is a doubling
+// metric, so unit ball graphs under it are growth-bounded (§1.3).
+func (p Point) DistLInf(q Point) float64 {
+	var m float64
+	for i := range p {
+		d := math.Abs(p[i] - q[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

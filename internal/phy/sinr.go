@@ -1,0 +1,444 @@
+package phy
+
+// The SINR reception model — footnote 1's geometric alternative to the
+// graph abstraction. A listener v decodes transmitter u iff
+//
+//	P_u·d(u,v)^-α / (Noise + Σ_{w transmitting, w≠u} P_w·d(w,v)^-α) ≥ Beta.
+//
+// For Beta ≥ 1 at most one transmitter can clear the threshold, so delivery
+// is unambiguous. Transmitters hear nothing (half-duplex, as in the graph
+// model). Unlike the pre-PHY internal/sinr loop — O(#tx·n) per step, every
+// listener summing every transmitter — this implementation buckets node
+// positions into a uniform grid with cell size equal to the largest decode
+// range and sweeps, per transmitter, only the cells within the far-field
+// cutoff. Per-step cost is O(#tx · nodes-within-cutoff), near-sparse on
+// spread-out deployments.
+//
+// The far-field cutoff is the one deliberate approximation: interference
+// from transmitters farther than CutoffFactor decode ranges is dropped. A
+// neglected transmitter contributes at most Beta·Noise/CutoffFactor^PathLoss
+// (1/256 of the noise floor at the defaults), which only matters for
+// listeners already on the decode boundary. CutoffFactor = +Inf disables
+// the cutoff entirely and reproduces the old exact loop bit for bit — the
+// mode the cross-model validation experiment (E13) and the old-vs-new
+// differential tests run in.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// DefaultCutoffFactor is the far-field cutoff, in multiples of the largest
+// decode range, substituted when SINRParams.CutoffFactor is zero.
+const DefaultCutoffFactor = 4
+
+// SINRParams are the physical-layer parameters of the SINR model. The zero
+// value of every field means "default"; WithDefaults resolves them. Noise
+// is the one field whose zero is a meaningful physical value (a noiseless
+// channel), so it carries an explicit NoiseSet bit instead of a zero
+// sentinel.
+type SINRParams struct {
+	// Power is the uniform transmission power P > 0. Default 1.
+	Power float64
+	// Powers, when non-nil, gives heterogeneous per-node transmission
+	// powers (length n, all > 0), overriding Power.
+	Powers []float64
+	// PathLoss is the path-loss exponent α > 0 (typically 2–6). Default 4 —
+	// path-loss exponents >2 model near-ground propagation.
+	PathLoss float64
+	// Noise is the ambient noise floor N ≥ 0. Meaningful only when NoiseSet
+	// is true; the default (NoiseSet false) is chosen so the decode range
+	// at zero interference is exactly 1 (the unit disk): N = Power/Beta.
+	// An explicit zero (NoiseSet true, Noise 0) is a noiseless channel with
+	// unbounded decode range — representable, unlike in the old
+	// sinr.Params, whose Noise==0 always meant "unset".
+	Noise    float64
+	NoiseSet bool
+	// Beta is the SINR decode threshold β ≥ 1. Default 2.
+	Beta float64
+	// CutoffFactor is the far-field interference cutoff in multiples of the
+	// largest decode range. Zero selects DefaultCutoffFactor; +Inf disables
+	// truncation (exact interference sums, O(#tx·n) worst case).
+	CutoffFactor float64
+}
+
+// WithDefaults resolves zero fields to their defaults. The returned params
+// have NoiseSet true, so defaults made explicit survive re-resolution.
+func (p SINRParams) WithDefaults() SINRParams {
+	if p.Power <= 0 {
+		p.Power = 1
+	}
+	if p.PathLoss <= 0 {
+		p.PathLoss = 4
+	}
+	if p.Beta <= 0 {
+		p.Beta = 2
+	}
+	if !p.NoiseSet {
+		// Decode range 1 at zero interference: P·1^-α / N = β.
+		p.Noise = p.Power / p.Beta
+		p.NoiseSet = true
+	}
+	if p.CutoffFactor == 0 {
+		p.CutoffFactor = DefaultCutoffFactor
+	}
+	return p
+}
+
+// Validate checks resolved params (call WithDefaults first or use explicit
+// values throughout).
+func (p SINRParams) Validate() error {
+	if math.IsNaN(p.Power) || math.IsInf(p.Power, 0) || p.Power <= 0 {
+		return fmt.Errorf("phy: Power %v must be positive and finite", p.Power)
+	}
+	if math.IsNaN(p.PathLoss) || math.IsInf(p.PathLoss, 0) || p.PathLoss <= 0 {
+		return fmt.Errorf("phy: PathLoss %v must be positive and finite", p.PathLoss)
+	}
+	if p.Beta < 1 || math.IsNaN(p.Beta) || math.IsInf(p.Beta, 0) {
+		return fmt.Errorf("phy: Beta %v must be ≥ 1 (unambiguous decoding) and finite", p.Beta)
+	}
+	if p.Noise < 0 || math.IsNaN(p.Noise) || math.IsInf(p.Noise, 0) {
+		return fmt.Errorf("phy: Noise %v must be ≥ 0 and finite", p.Noise)
+	}
+	if p.CutoffFactor < 1 && !math.IsInf(p.CutoffFactor, 1) {
+		return fmt.Errorf("phy: CutoffFactor %v must be ≥ 1 or +Inf", p.CutoffFactor)
+	}
+	for i, pw := range p.Powers {
+		if math.IsNaN(pw) || math.IsInf(pw, 0) || pw <= 0 {
+			return fmt.Errorf("phy: Powers[%d] = %v must be positive and finite", i, pw)
+		}
+	}
+	return nil
+}
+
+// DecodeRange returns the maximum distance at which a lone transmitter at
+// the uniform Power is decodable: P·d^-α / N ≥ β ⇔ d ≤ (P/(N·β))^(1/α).
+// A noiseless channel (explicit Noise 0) has unbounded range: +Inf.
+func (p SINRParams) DecodeRange() float64 {
+	p = p.WithDefaults()
+	return p.RangeFor(p.Power)
+}
+
+// RangeFor returns the decode range of a transmitter with the given power
+// under resolved params (+Inf on a noiseless channel).
+func (p SINRParams) RangeFor(power float64) float64 {
+	if p.Noise == 0 {
+		return math.Inf(1)
+	}
+	return math.Pow(power/(p.Noise*p.Beta), 1/p.PathLoss)
+}
+
+// PositionSource supplies per-epoch node positions to a mobile SINR model.
+// dyn.Schedule implements it when built with positions attached
+// (gen.MobileUDG); PositionsAt must be a pure function of step, like
+// radio.Topology's EpochAt.
+type PositionSource interface {
+	PositionsAt(step int) []Point
+}
+
+// SINR is the Model implementation. Build with NewSINR (static positions)
+// or NewMobileSINR (positions per epoch from a PositionSource).
+type SINR struct {
+	params   SINRParams
+	src      PositionSource // nil for static runs
+	pts      []Point
+	maxRange float64 // largest per-node decode range
+	cutoff   float64 // absolute far-field cutoff distance (may be +Inf)
+
+	// Uniform grid over the epoch's positions: cellNodes holds node indices
+	// bucketed by cell in CSR layout. dense is the fallback (non-2D points,
+	// unbounded range) that sweeps every node.
+	dense      bool
+	cellSize   float64
+	cols, rows int
+	minX, minY float64
+	cellStart  []int32
+	cellNodes  []int32
+
+	// Per-step scratch, all-zero between steps (see Model.Clear).
+	isTx     []bool
+	txAll    []int32
+	acc      []float64 // total received power per touched listener
+	bestPow  []float64 // strongest single signal per touched listener
+	bestFrom []int32   // its transmitter (valid when seen)
+	seen     []bool
+	touched  []int32
+}
+
+// NewSINR builds the SINR model over static positions. params defaults are
+// resolved; the points must be non-empty and share one dimension.
+func NewSINR(pts []Point, params SINRParams) (*SINR, error) {
+	s, err := newSINR(params)
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("phy: no points")
+	}
+	s.pts = pts
+	return s, nil
+}
+
+// NewMobileSINR builds a SINR model whose positions come from src at every
+// topology epoch — the mobile-deployment variant. The engine's Sync calls
+// feed it the epoch boundaries.
+func NewMobileSINR(src PositionSource, params SINRParams) (*SINR, error) {
+	s, err := newSINR(params)
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("phy: nil position source")
+	}
+	s.src = src
+	return s, nil
+}
+
+func newSINR(params SINRParams) (*SINR, error) {
+	params = params.WithDefaults()
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &SINR{params: params}, nil
+}
+
+// Params returns the resolved parameters.
+func (s *SINR) Params() SINRParams { return s.params }
+
+// Name implements Model.
+func (s *SINR) Name() string { return "sinr" }
+
+// powerOf returns node v's transmission power.
+func (s *SINR) powerOf(v int32) float64 {
+	if s.params.Powers != nil {
+		return s.params.Powers[v]
+	}
+	return s.params.Power
+}
+
+// Sync implements Model: fetch the epoch's positions (mobile runs), size
+// the scratch, and rebuild the grid buckets. Runs once per epoch, never per
+// step, so the allocations here stay off the hot path.
+func (s *SINR) Sync(step int, csr *graph.CSR) error {
+	if s.src != nil {
+		s.pts = s.src.PositionsAt(step)
+		if s.pts == nil {
+			return fmt.Errorf("phy: position source has no positions at step %d (build the schedule with positions attached)", step)
+		}
+	}
+	n := csr.N()
+	if len(s.pts) != n {
+		return fmt.Errorf("phy: %d positions for %d nodes", len(s.pts), n)
+	}
+	if s.params.Powers != nil && len(s.params.Powers) != n {
+		return fmt.Errorf("phy: %d per-node powers for %d nodes", len(s.params.Powers), n)
+	}
+	if len(s.acc) < n {
+		s.isTx = make([]bool, n)
+		s.txAll = make([]int32, 0, n)
+		s.acc = make([]float64, n)
+		s.bestPow = make([]float64, n)
+		s.bestFrom = make([]int32, n)
+		s.seen = make([]bool, n)
+		s.touched = make([]int32, 0, n)
+	}
+	s.maxRange = s.params.RangeFor(s.params.Power)
+	if s.params.Powers != nil {
+		s.maxRange = 0
+		for _, pw := range s.params.Powers {
+			if r := s.params.RangeFor(pw); r > s.maxRange {
+				s.maxRange = r
+			}
+		}
+	}
+	s.cutoff = s.params.CutoffFactor * s.maxRange
+	s.buildGrid()
+	return nil
+}
+
+// buildGrid buckets the positions into a uniform grid with cell size equal
+// to the largest decode range (so one cell ring covers a decode disk), or
+// falls back to a dense sweep when the geometry does not bucket: unbounded
+// decode range (noiseless channel), an infinite cutoff (exact-interference
+// mode sums every transmitter at every listener by definition), or non-2D
+// points.
+func (s *SINR) buildGrid() {
+	s.dense = true
+	if math.IsInf(s.maxRange, 1) || s.maxRange <= 0 || math.IsInf(s.cutoff, 1) {
+		return
+	}
+	for _, p := range s.pts {
+		if len(p) != 2 {
+			return
+		}
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range s.pts {
+		minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+		minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+	}
+	cs := s.maxRange
+	cols := int((maxX-minX)/cs) + 1
+	rows := int((maxY-minY)/cs) + 1
+	// Bound the grid to O(n) cells: very spread-out deployments would
+	// otherwise allocate a table dominated by empty cells.
+	if limit := 4*len(s.pts) + 16; cols*rows > limit {
+		scale := math.Sqrt(float64(cols*rows) / float64(limit))
+		cs *= scale
+		cols = int((maxX-minX)/cs) + 1
+		rows = int((maxY-minY)/cs) + 1
+	}
+	s.dense = false
+	s.cellSize, s.cols, s.rows, s.minX, s.minY = cs, cols, rows, minX, minY
+	cells := cols * rows
+	if len(s.cellStart) < cells+1 {
+		s.cellStart = make([]int32, cells+1)
+	} else {
+		s.cellStart = s.cellStart[:cells+1]
+		for i := range s.cellStart {
+			s.cellStart[i] = 0
+		}
+	}
+	if len(s.cellNodes) < len(s.pts) {
+		s.cellNodes = make([]int32, len(s.pts))
+	}
+	// Counting sort by cell; node order inside each cell stays ascending,
+	// keeping the sweep (and so the touched order) deterministic.
+	for _, p := range s.pts {
+		s.cellStart[s.cellIndex(p)+1]++
+	}
+	for i := 1; i <= cells; i++ {
+		s.cellStart[i] += s.cellStart[i-1]
+	}
+	cursor := make([]int32, cells)
+	copy(cursor, s.cellStart[:cells])
+	for v, p := range s.pts {
+		c := s.cellIndex(p)
+		s.cellNodes[cursor[c]] = int32(v)
+		cursor[c]++
+	}
+}
+
+// cellIndex maps a point to its grid cell.
+func (s *SINR) cellIndex(p Point) int {
+	cx := int((p[0] - s.minX) / s.cellSize)
+	cy := int((p[1] - s.minY) / s.cellSize)
+	if cx >= s.cols {
+		cx = s.cols - 1
+	}
+	if cy >= s.rows {
+		cy = s.rows - 1
+	}
+	return cy*s.cols + cx
+}
+
+// Observe implements Model: record the batch. Interference accumulation is
+// deferred to Resolve, where the full transmitter set is known (a node in a
+// later shard's batch may itself transmit and must not be swept as a
+// listener) and the fixed ascending-index accumulation order is guaranteed.
+func (s *SINR) Observe(tx []int32) {
+	for _, v := range tx {
+		s.isTx[v] = true
+	}
+	s.txAll = append(s.txAll, tx...)
+}
+
+// Resolve implements Model. Pass 1 sweeps each transmitter's cutoff
+// neighborhood in ascending transmitter order — every touched listener
+// accumulates its received powers in exactly that order, so the
+// floating-point sums (and hence every decision) are identical however the
+// transmitter batches were sharded. Pass 2 applies the threshold test, with
+// the same arithmetic as the old exact loop: strongest signal against noise
+// plus the sum of the rest.
+func (s *SINR) Resolve(out *Outcome) {
+	for _, u := range s.txAll {
+		s.sweep(u)
+	}
+	multi := len(s.txAll) > 1
+	noise := s.params.Noise
+	beta := s.params.Beta
+	for _, v := range s.touched {
+		bp := s.bestPow[v]
+		if bp/(noise+(s.acc[v]-bp)) >= beta {
+			out.Decoded = append(out.Decoded, Decode{To: v, From: s.bestFrom[v]})
+		} else if multi {
+			// Touched (within the cutoff of some transmitter) but decoded
+			// nothing while ≥2 transmitters were active. Single-transmitter
+			// steps record no collisions: a lone touched listener either
+			// decodes or is simply out of range. See Outcome.Collided for
+			// why this stat varies with CutoffFactor.
+			out.Collided = append(out.Collided, v)
+		}
+	}
+}
+
+// sweep accumulates transmitter u's received power onto every non-
+// transmitting node within the far-field cutoff.
+func (s *SINR) sweep(u int32) {
+	pu := s.powerOf(u)
+	if s.dense {
+		for v := range s.pts {
+			s.contribute(u, int32(v), pu)
+		}
+		return
+	}
+	p := s.pts[u]
+	rc := int(math.Ceil(s.cutoff / s.cellSize))
+	cx := int((p[0] - s.minX) / s.cellSize)
+	cy := int((p[1] - s.minY) / s.cellSize)
+	if cx >= s.cols {
+		cx = s.cols - 1
+	}
+	if cy >= s.rows {
+		cy = s.rows - 1
+	}
+	for gy := max(cy-rc, 0); gy <= min(cy+rc, s.rows-1); gy++ {
+		for gx := max(cx-rc, 0); gx <= min(cx+rc, s.cols-1); gx++ {
+			c := gy*s.cols + gx
+			for _, v := range s.cellNodes[s.cellStart[c]:s.cellStart[c+1]] {
+				s.contribute(u, v, pu)
+			}
+		}
+	}
+}
+
+// contribute adds u's signal at v to the accumulation scratch.
+func (s *SINR) contribute(u, v int32, pu float64) {
+	if s.isTx[v] {
+		return // transmitters hear nothing, including their own signal
+	}
+	d := s.pts[u].Dist(s.pts[v])
+	if d == 0 {
+		d = 1e-9 // co-located points: effectively infinite power
+	}
+	if d > s.cutoff {
+		return
+	}
+	pow := pu * math.Pow(d, -s.params.PathLoss)
+	if !s.seen[v] {
+		s.seen[v] = true
+		s.touched = append(s.touched, v)
+	}
+	s.acc[v] += pow
+	if pow > s.bestPow[v] {
+		s.bestPow[v] = pow
+		s.bestFrom[v] = u
+	}
+}
+
+// Clear implements Model.
+func (s *SINR) Clear() {
+	for _, v := range s.touched {
+		s.acc[v] = 0
+		s.bestPow[v] = 0
+		s.seen[v] = false
+	}
+	for _, v := range s.txAll {
+		s.isTx[v] = false
+	}
+	s.touched = s.touched[:0]
+	s.txAll = s.txAll[:0]
+}

@@ -4,67 +4,72 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/phy"
 )
 
 // engine is the step-loop state shared by the sequential and worker-pool
-// engines: the frozen CSR topology, the protocol instances, and reusable
-// scratch buffers sized once at construction so the per-step loop allocates
-// nothing. Under a dynamic topology (Options.Topology) csr is the snapshot
-// of the current epoch and epochSync swaps it at epoch boundaries; the
+// engines: the frozen CSR topology, the protocol instances, the physical-
+// layer reception model, and reusable scratch buffers sized once at
+// construction so the per-step loop allocates nothing. Under a dynamic
+// topology (Options.Topology) csr is the snapshot of the current epoch and
+// epochSync swaps it at epoch boundaries (re-syncing the PHY model); the
 // scratch buffers are indexed by node and the node count is fixed for the
 // whole run, so they survive every epoch unchanged.
 //
 // Sparse-delivery invariants (DESIGN.md §3): between steps every scratch
 // entry is at its zero value — transmitting[v]=false, payload[v]=nil,
-// hear[v]=nil, counts[v]=0 — and txList/touched are empty. Each step dirties
-// only the entries reachable from this step's transmitters (themselves plus
-// their neighbors) and resetStep restores the invariant by re-zeroing
-// exactly those entries, so a step with k transmitters of total degree d
-// costs O(k + d) delivery work regardless of n.
+// hear[v]=nil — txList/out are empty, and the model's own scratch is
+// likewise all-zero (the phy.Model.Clear contract). Each step dirties only
+// the entries reachable from this step's transmitters and resetStep
+// restores the invariant by re-zeroing exactly those, so delivery work is
+// proportional to the transmitters and the listeners they reach, never to n.
 type engine struct {
 	csr       *graph.CSR
 	topo      Topology // nil for static runs
 	nextEpoch int      // step of the next topology change; -1 = static from here
 	nodes     []Protocol
 	opts      Options
+	model     phy.Model
 
-	transmitting []bool    // transmitting[v]: v transmits this step
-	payload      []Message // payload[v]: message v transmits
-	hear         []Message // hear[v]: message v receives (nil = silence)
-	counts       []int8    // transmitting-neighbor count, saturated at 2
-	from         []int32   // some transmitting neighbor (valid when counts==1)
-	txList       []int32   // this step's transmitters, ascending
-	touched      []int32   // nodes with ≥1 transmitting neighbor this step
+	transmitting []bool      // transmitting[v]: v transmits this step
+	payload      []Message   // payload[v]: message v transmits
+	hear         []Message   // hear[v]: message v receives (nil = silence)
+	txList       []int32     // this step's transmitters, ascending (sequential engine)
+	out          phy.Outcome // this step's reception outcome, buffers reused
 }
 
-func newEngine(g *graph.Graph, nodes []Protocol, opts Options) *engine {
+func newEngine(g *graph.Graph, nodes []Protocol, opts Options) (*engine, error) {
 	n := len(nodes)
 	e := &engine{
 		topo:         opts.Topology,
 		nextEpoch:    -1,
 		nodes:        nodes,
 		opts:         opts,
+		model:        opts.PHY,
 		transmitting: make([]bool, n),
 		payload:      make([]Message, n),
 		hear:         make([]Message, n),
-		counts:       make([]int8, n),
-		from:         make([]int32, n),
 		txList:       make([]int32, 0, n),
-		touched:      make([]int32, 0, n),
 	}
+	e.out.Decoded = make([]phy.Decode, 0, n)
+	e.out.Collided = make([]int32, 0, n)
 	if e.topo != nil {
 		e.csr, e.nextEpoch = e.topo.EpochAt(0)
 	} else {
 		e.csr = g.Freeze()
 	}
-	return e
+	if err := e.model.Sync(0, e.csr); err != nil {
+		return nil, fmt.Errorf("radio: %s model rejected the run: %w", e.model.Name(), err)
+	}
+	return e, nil
 }
 
 // epochSync installs the topology in force at step when step crosses the
-// next epoch boundary. Between boundaries it is a single comparison, so the
-// per-step delivery cost stays amortized O(#tx + Σdeg); the Topology query
-// (and any allocation inside the implementation) happens once per epoch.
-// Both engines call it at the top of the step, before the act phase, so the
+// next epoch boundary, re-syncing the PHY model (geometric models refresh
+// their positions here). Between boundaries it is a single comparison, so
+// the per-step delivery cost stays amortized; the Topology query, the model
+// re-sync, and any allocation inside either happen once per epoch. Both
+// engines call it at the top of the step, before the act phase, so the
 // epoch's first step already delivers over the new topology.
 func (e *engine) epochSync(step int) {
 	if e.nextEpoch < 0 || step < e.nextEpoch {
@@ -78,6 +83,11 @@ func (e *engine) epochSync(step int) {
 		panic(fmt.Sprintf("radio: Topology epoch at step %d has %d nodes, run has %d", step, csr.N(), len(e.nodes)))
 	}
 	e.csr, e.nextEpoch = csr, next
+	if err := e.model.Sync(step, e.csr); err != nil {
+		// Epoch 0 sync errors surface from Run; a mid-run failure means the
+		// Topology/PositionSource contract broke under the engine.
+		panic(fmt.Sprintf("radio: %s model rejected the epoch at step %d: %v", e.model.Name(), step, err))
+	}
 }
 
 // actScan runs one step's act phase over a compacting active list: dormant
@@ -133,47 +143,24 @@ func (e *engine) newActive() []int32 {
 	return active
 }
 
-// countTransmitters accumulates the delivery counts for one step's
-// transmitter list: for every neighbor w of a transmitter, counts[w] rises
-// (saturating at 2), from[w] records a transmitting neighbor, and w is
-// recorded in touched on first contact. May be called several times per
-// step (once per worker shard); lists must arrive in ascending global order
-// for the engines to stay transcript-identical, though delivery itself only
-// depends on the transmitter set.
-func (e *engine) countTransmitters(tx []int32) {
-	for _, v := range tx {
-		for _, w := range e.csr.Neighbors(int(v)) {
-			switch e.counts[w] {
-			case 0:
-				e.counts[w] = 1
-				e.from[w] = v
-				e.touched = append(e.touched, w)
-			case 1:
-				e.counts[w] = 2
-			}
-		}
-	}
-}
-
-// resolveDeliveries applies the exactly-one-transmitting-neighbor rule to
-// the touched set, filling hear and the step stats. Deliveries and
-// collisions are counted for every touched listener — including retired or
-// dormant nodes, which hear nothing but still appear in the channel-usage
-// statistics, matching the model's global view of the medium.
+// resolveDeliveries asks the PHY model to decide reception for the observed
+// transmitter set and applies the outcome: hear is filled for decoded
+// listeners (and, under a collision-marking model, the Collision marker for
+// blocked ones) and the step stats record every reached listener —
+// including retired or dormant nodes, which hear nothing but still appear
+// in the channel-usage statistics, matching the model's global view of the
+// medium.
 func (e *engine) resolveDeliveries(st *StepStats) {
-	cd := e.opts.CollisionDetection
-	for _, u := range e.touched {
-		if e.transmitting[u] {
-			continue // transmitters hear nothing
-		}
-		if e.counts[u] == 1 {
-			e.hear[u] = e.payload[e.from[u]]
-			st.Deliveries++
-		} else {
-			st.Collisions++
-			if cd {
-				e.hear[u] = Collision
-			}
+	e.out.Reset()
+	e.model.Resolve(&e.out)
+	for _, d := range e.out.Decoded {
+		e.hear[d.To] = e.payload[d.From]
+	}
+	st.Deliveries = len(e.out.Decoded)
+	st.Collisions = len(e.out.Collided)
+	if e.out.Marker {
+		for _, v := range e.out.Collided {
+			e.hear[v] = Collision
 		}
 	}
 }
@@ -186,14 +173,18 @@ func (e *engine) clearTx(tx []int32) {
 	}
 }
 
-// clearTouched re-zeroes the per-listener scratch, restoring the between-
-// steps invariant.
-func (e *engine) clearTouched() {
-	for _, u := range e.touched {
-		e.counts[u] = 0
-		e.hear[u] = nil
+// clearDeliveries re-zeroes the hear entries this step's outcome dirtied and
+// the model's own scratch, restoring the between-steps invariant.
+func (e *engine) clearDeliveries() {
+	for _, d := range e.out.Decoded {
+		e.hear[d.To] = nil
 	}
-	e.touched = e.touched[:0]
+	if e.out.Marker {
+		for _, v := range e.out.Collided {
+			e.hear[v] = nil
+		}
+	}
+	e.model.Clear()
 }
 
 // finishAllDone is the end-of-run sweep when MaxSteps ran out: nodes off the

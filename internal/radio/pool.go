@@ -58,7 +58,11 @@ func workerCount(opts *Options, n int) int {
 
 func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 	n := len(nodes)
-	p := &pool{e: newEngine(g, nodes, opts)}
+	e, err := newEngine(g, nodes, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	p := &pool{e: e}
 	nw := workerCount(&opts, n)
 	var workers sync.WaitGroup
 	for i := 0; i < nw; i++ {
@@ -113,7 +117,7 @@ func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 			break
 		}
 		for _, s := range p.shards {
-			p.e.countTransmitters(s.txList)
+			p.e.model.Observe(s.txList)
 		}
 		p.e.resolveDeliveries(&st)
 		p.barrier(step, phaseDeliver)
@@ -121,7 +125,7 @@ func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 			p.e.clearTx(s.txList)
 			s.txList = s.txList[:0]
 		}
-		p.e.clearTouched()
+		p.e.clearDeliveries()
 		res.Steps = step + 1
 		res.Transmissions += int64(st.Transmits)
 		res.Deliveries += int64(st.Deliveries)

@@ -16,17 +16,23 @@
 // worker-pool engine where a small fixed pool of workers (GOMAXPROCS by
 // default, see Options.Shards) each own a contiguous node range with two
 // phase barriers per time-step. Both exploit
-// transmission sparsity: per-step delivery cost is O(#transmitters + the sum
-// of their degrees), not O(n), and nodes whose Done returns true are retired
-// from a compacting active list and never polled again. A differential test
-// asserts the engines produce identical transcripts for identical seeds; see
-// DESIGN.md §3 for the architecture and the determinism contract.
+// transmission sparsity: per-step delivery cost is O(#transmitters + the
+// listeners they can reach), not O(n), and nodes whose Done returns true are
+// retired from a compacting active list and never polled again. Reception
+// semantics — who decodes what given the step's transmitter set — are owned
+// by a pluggable physical-layer model (internal/phy, Options.PHY): the
+// paper's graph collision rule is the zero-overhead default, and the same
+// engines run the collision-detection variant and geometric SINR physics. A
+// differential test asserts the engines produce identical transcripts for
+// identical seeds under every model; see DESIGN.md §3/§7 for the
+// architecture and the determinism contract.
 package radio
 
 import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/phy"
 	"repro/internal/xrand"
 )
 
@@ -141,18 +147,29 @@ type Options struct {
 	// this interface; see DESIGN.md §5 for the epoch semantics and the
 	// determinism contract.
 	Topology Topology
+	// PHY selects the physical-layer reception model (DESIGN.md §7). Nil
+	// selects phy.NewCollision(), the paper's graph model (§1.1) — or
+	// phy.NewCollisionCD() when the legacy CollisionDetection flag is set.
+	// A Model instance is stateful per run and must not be shared between
+	// concurrent runs.
+	PHY phy.Model
 	// CollisionDetection, when true, delivers the Collision marker to
 	// listeners with ≥2 transmitting neighbors instead of silence — the
-	// stronger model of §1.5.2. Off (the paper's model) by default.
+	// stronger model of §1.5.2.
+	//
+	// Deprecated: the flag predates the pluggable PHY layer and survives as
+	// a shorthand for PHY: phy.NewCollisionCD(). Setting both is an error.
 	CollisionDetection bool
 }
 
-// Topology is the dynamic-topology hook (ISSUE: epochs of churn, mobility
-// and edge faults). Implementations must be pure: EpochAt(step) depends on
-// step alone, is safe for concurrent callers, and returns the same snapshot
-// every time it is asked about the same step — the engines rely on this for
-// run-to-run reproducibility and for the sequential/worker-pool transcript
-// equivalence. dyn.Schedule is the canonical implementation.
+// Topology is the dynamic-topology hook through which internal/dyn's epoch
+// schedules — node churn, edge faults, partition/heal, waypoint mobility —
+// reach the engines (DESIGN.md §5). Implementations must be pure:
+// EpochAt(step) depends on step alone, is safe for concurrent callers, and
+// returns the same snapshot every time it is asked about the same step —
+// the engines rely on this for run-to-run reproducibility and for the
+// sequential/worker-pool transcript equivalence. dyn.Schedule is the
+// canonical implementation.
 type Topology interface {
 	// EpochAt returns the frozen topology in force at step and the first
 	// step strictly after it at which the topology changes again
@@ -196,6 +213,15 @@ func Run(g *graph.Graph, factory Factory, opts Options) (Result, error) {
 		if csr.N() != g.N() {
 			return Result{}, fmt.Errorf("radio: Topology epoch 0 has %d nodes for %d protocol nodes", csr.N(), g.N())
 		}
+	}
+	if opts.PHY == nil {
+		if opts.CollisionDetection {
+			opts.PHY = phy.NewCollisionCD()
+		} else {
+			opts.PHY = phy.NewCollision()
+		}
+	} else if opts.CollisionDetection {
+		return Result{}, fmt.Errorf("radio: CollisionDetection is folded into the PHY model; pass phy.NewCollisionCD() as Options.PHY instead of setting both")
 	}
 	if opts.Concurrent {
 		return runPool(g, nodes, opts)

@@ -5,17 +5,26 @@ import (
 	"testing/quick"
 
 	"repro/internal/graph"
+	"repro/internal/phy"
 	"repro/internal/xrand"
 )
 
-// runDelivery drives the engine's sparse delivery core for one synthetic
-// step: it loads the given transmit set, runs countTransmitters and
-// resolveDeliveries, hands a copy of hear to the caller, then resets the
-// step and verifies the between-steps invariant (all scratch re-zeroed).
+// runDelivery drives the engine's delivery core for one synthetic step: it
+// loads the given transmit set, runs the PHY observe/resolve pass, hands a
+// copy of hear to the caller, then resets the step and verifies the
+// between-steps invariant (all engine scratch re-zeroed; a second resolve
+// must see an empty medium).
 func runDelivery(t *testing.T, g *graph.Graph, transmitting []bool, payload []Message, cd bool) ([]Message, StepStats) {
 	t.Helper()
 	n := g.N()
-	e := newEngine(g, make([]Protocol, n), Options{CollisionDetection: cd})
+	opts := Options{PHY: phy.NewCollision()}
+	if cd {
+		opts.PHY = phy.NewCollisionCD()
+	}
+	e, err := newEngine(g, make([]Protocol, n), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for v := 0; v < n; v++ {
 		if transmitting[v] {
 			e.transmitting[v] = true
@@ -24,21 +33,29 @@ func runDelivery(t *testing.T, g *graph.Graph, transmitting []bool, payload []Me
 		}
 	}
 	st := StepStats{}
-	e.countTransmitters(e.txList)
+	e.model.Observe(e.txList)
 	e.resolveDeliveries(&st)
 	hear := make([]Message, n)
 	copy(hear, e.hear)
 	e.clearTx(e.txList)
 	e.txList = e.txList[:0]
-	e.clearTouched()
+	e.clearDeliveries()
 	for v := 0; v < n; v++ {
-		if e.transmitting[v] || e.payload[v] != nil || e.hear[v] != nil || e.counts[v] != 0 {
+		if e.transmitting[v] || e.payload[v] != nil || e.hear[v] != nil {
 			t.Fatalf("scratch not re-zeroed at node %d after resetStep", v)
 		}
 	}
-	if len(e.txList) != 0 || len(e.touched) != 0 {
-		t.Fatal("txList/touched not emptied")
+	if len(e.txList) != 0 {
+		t.Fatal("txList not emptied")
 	}
+	// The model's own scratch must be clean too: resolving the empty
+	// transmitter set must produce an empty outcome.
+	var empty StepStats
+	e.resolveDeliveries(&empty)
+	if empty.Deliveries != 0 || empty.Collisions != 0 {
+		t.Fatalf("model scratch not re-zeroed: empty step resolved to %+v", empty)
+	}
+	e.clearDeliveries()
 	return hear, st
 }
 

@@ -4,12 +4,16 @@ import "repro/internal/graph"
 
 // runSequential is the single-threaded engine. After the engine struct is
 // built, the step loop performs zero heap allocations (a regression test
-// asserts this): the active list compacts in place, transmitters and touched
-// listeners go into preallocated scratch lists, and only entries dirtied
-// this step are re-zeroed. Per-step cost is O(#active + #transmitters + Σ
-// transmitter degrees).
+// asserts this): the active list compacts in place, transmitters go into a
+// preallocated scratch list, the PHY model's reception pass works off its
+// own preallocated scratch, and only entries dirtied this step are
+// re-zeroed. Per-step cost is O(#active + #transmitters + the listeners
+// they reach).
 func runSequential(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
-	e := newEngine(g, nodes, opts)
+	e, err := newEngine(g, nodes, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	active := e.newActive()
 	var res Result
 	for step := 0; step < opts.MaxSteps; step++ {
@@ -22,14 +26,14 @@ func runSequential(g *graph.Graph, nodes []Protocol, opts Options) (Result, erro
 			res.AllDone = true
 			break
 		}
-		// Delivery: exactly-one-transmitting-neighbor rule over the touched set.
-		e.countTransmitters(e.txList)
+		// Delivery: the PHY model decides reception for the transmitter set.
+		e.model.Observe(e.txList)
 		e.resolveDeliveries(&st)
 		// Deliver phase: every live node receives its message (or silence).
 		e.deliverScan(active, step)
 		e.clearTx(e.txList)
 		e.txList = e.txList[:0]
-		e.clearTouched()
+		e.clearDeliveries()
 		res.Steps = step + 1
 		res.Transmissions += int64(st.Transmits)
 		res.Deliveries += int64(st.Deliveries)

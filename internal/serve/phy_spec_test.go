@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustCanonical(t *testing.T, sp Spec) Spec {
+	t.Helper()
+	c, err := sp.Canonicalize()
+	if err != nil {
+		t.Fatalf("Canonicalize(%+v): %v", sp, err)
+	}
+	return c
+}
+
+// TestPhyParamsDistinctHashes pins the cache-key property the PHY axis
+// depends on: distinct physical-layer parameters are distinct scenarios
+// and must produce distinct content hashes — including the explicit
+// zero-noise channel, which the old zero-sentinel params could not even
+// represent.
+func TestPhyParamsDistinctHashes(t *testing.T) {
+	ten := 10.0
+	tenth := 0.1
+	specs := []Spec{
+		{Graph: "phy:sinr", Algo: "mis"},
+		{Graph: "phy:sinr", Algo: "mis", Beta: 4},
+		{Graph: "phy:sinr", Algo: "mis", PathLoss: 2},
+		{Graph: "phy:sinr", Algo: "mis", Noise: &ten},
+		{Graph: "phy:sinr", Algo: "mis", Noise: &tenth},
+		{Graph: "phy:sinr", Algo: "mis", Cutoff: 8},
+		{Graph: "phy:cd:grid", Algo: "mis"},
+		{Graph: "grid", Algo: "mis"},
+	}
+	seen := map[string]Spec{}
+	for _, sp := range specs {
+		c := mustCanonical(t, sp)
+		h := c.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("specs %+v and %+v share hash %s", prev, sp, h)
+		}
+		seen[h] = sp
+	}
+}
+
+// TestPhyParamsCanonicalized pins default resolution: spelling the defaults
+// explicitly must hash identically to leaving them unset, and non-phy specs
+// zero the PHY fields entirely.
+func TestPhyParamsCanonicalized(t *testing.T) {
+	implicit := mustCanonical(t, Spec{Graph: "phy:sinr", Algo: "mis"})
+	noise := 0.5 // the default: Power/Beta = 1/2
+	explicit := mustCanonical(t, Spec{Graph: "phy:sinr", Algo: "mis",
+		Beta: 2, PathLoss: 4, Cutoff: 4, Noise: &noise})
+	if implicit.Hash() != explicit.Hash() {
+		t.Fatalf("default spellings diverge:\n%s\nvs\n%s", implicit.Canonical(), explicit.Canonical())
+	}
+	if implicit.Noise == nil || *implicit.Noise != 0.5 || implicit.Beta != 2 || implicit.PathLoss != 4 || implicit.Cutoff != 4 {
+		t.Fatalf("defaults not made explicit: %+v", implicit)
+	}
+	if !strings.Contains(string(implicit.Canonical()), "beta=2\nnoise=0.5\npathloss=4\ncutoff=4\n") {
+		t.Fatalf("canonical bytes missing the physics block:\n%s", implicit.Canonical())
+	}
+
+	// Non-phy specs cannot observe the PHY fields: they canonicalize away,
+	// and the canonical bytes carry no physics block — pre-PHY hashes are
+	// unchanged.
+	junk := 3.0
+	plain := mustCanonical(t, Spec{Graph: "grid", Algo: "mis", Beta: 9, PathLoss: 9, Cutoff: 9, Noise: &junk})
+	if plain.Beta != 0 || plain.Noise != nil || plain.PathLoss != 0 || plain.Cutoff != 0 {
+		t.Fatalf("PHY fields survived on a graph-model spec: %+v", plain)
+	}
+	if strings.Contains(string(plain.Canonical()), "beta=") {
+		t.Fatalf("graph-model canonical bytes grew a physics block:\n%s", plain.Canonical())
+	}
+	if plain.Hash() != mustCanonical(t, Spec{Graph: "grid", Algo: "mis"}).Hash() {
+		t.Fatal("unobservable PHY fields changed a graph-model hash")
+	}
+}
+
+func TestPhySpecValidation(t *testing.T) {
+	zero := 0.0
+	bad := []Spec{
+		{Graph: "phy:sinr", Algo: "broadcast"},        // charged-construction algo
+		{Graph: "phy:sinr", Algo: "election"},         // likewise
+		{Graph: "phy:sinr", Algo: "mis", Beta: 0.5},   // ambiguous decoding
+		{Graph: "phy:sinr", Algo: "mis", Cutoff: 0.2}, // < 1
+		{Graph: "phy:collision:grid", Algo: "mis"},    // non-canonical spelling
+		{Graph: "phy:cd:churn:grid", Algo: "mis"},     // nested
+		// A noiseless channel (unbounded range ⇒ dense sweep, complete
+		// skeleton) is unbounded work — API-only, rejected by the service
+		// like the infinite cutoff.
+		{Graph: "phy:sinr", Algo: "mis", Noise: &zero},
+	}
+	for _, sp := range bad {
+		if _, err := sp.Canonicalize(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Canonicalize(%+v) = %v, want ErrBadSpec", sp, err)
+		}
+	}
+	for _, algo := range PhyAlgorithms {
+		if _, err := (Spec{Graph: "phy:sinr", Algo: algo}).Canonicalize(); err != nil {
+			t.Errorf("%s@phy:sinr rejected: %v", algo, err)
+		}
+		if _, err := (Spec{Graph: "phy:cd:grid", Algo: algo}).Canonicalize(); err != nil {
+			t.Errorf("%s@phy:cd:grid rejected: %v", algo, err)
+		}
+	}
+}
+
+// TestExecutePhySpecs runs each phy-capable algorithm under both phy models
+// end to end and pins byte-identical recomputation — the property the
+// result cache rests on, now covering the SINR path.
+func TestExecutePhySpecs(t *testing.T) {
+	for _, sp := range []Spec{
+		{Graph: "phy:sinr", Algo: "mis", N: 36, Reps: 2},
+		{Graph: "phy:sinr", Algo: "decay-broadcast", N: 36, Reps: 2},
+		{Graph: "phy:sinr", Algo: "flood", N: 36},
+		{Graph: "phy:cd:grid", Algo: "mis", N: 25},
+		{Graph: "phy:cd:grid", Algo: "flood", N: 25},
+	} {
+		a, err := Execute(sp, 1, nil)
+		if err != nil {
+			t.Fatalf("Execute(%+v): %v", sp, err)
+		}
+		if len(a.Record.Tables) != 1 || len(a.Record.Tables[0].Rows) == 0 {
+			t.Fatalf("Execute(%+v): empty record %+v", sp, a.Record)
+		}
+		b, err := Execute(sp, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ja, err := a.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := b.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ja) != string(jb) {
+			t.Fatalf("Execute(%+v) not byte-stable across parallelism", sp)
+		}
+	}
+	// Distinct physics must execute as distinct scenarios: stronger noise
+	// shrinks the decode range, which the mis result observes.
+	ten := 10.0
+	noisy, err := Execute(Spec{Graph: "phy:sinr", Algo: "mis", N: 36, Noise: &ten}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := Execute(Spec{Graph: "phy:sinr", Algo: "mis", N: 36}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.SpecHash == quiet.SpecHash {
+		t.Fatal("distinct noise floors share a content hash")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/gen"
 	"repro/internal/mis"
+	"repro/internal/radio"
 	"repro/internal/stats"
 )
 
@@ -87,6 +88,9 @@ func trialFunc(sp Spec) exp.TrialFunc {
 		if sp.Algo == "flood" {
 			return floodTrial(sp, seed)
 		}
+		if _, _, isPhy := gen.SplitPhySpec(sp.Graph); isPhy {
+			return phyTrial(sp, seed)
+		}
 		g, err := gen.ByName(sp.Graph, sp.N, seed)
 		if err != nil {
 			return exp.Sample{}, err
@@ -155,17 +159,62 @@ func trialFunc(sp Spec) exp.TrialFunc {
 	}
 }
 
+// phyTrial runs one replica of a phy: spec for the non-flood algorithms,
+// through the same engine entry points the experiments use (mis.RunOnEngine,
+// baseline.DecayBroadcastPHY).
+func phyTrial(sp Spec, seed uint64) (exp.Sample, error) {
+	g, model, err := gen.PhyDeployment(sp.Graph, sp.N, seed, sp.SINRParams())
+	if err != nil {
+		return exp.Sample{}, err
+	}
+	switch sp.Algo {
+	case "mis":
+		out, err := mis.RunOnEngine(g, mis.Params{}, seed, func(factory radio.Factory, opts radio.Options) (radio.Result, error) {
+			opts.PHY = model
+			return radio.Run(g, factory, opts)
+		})
+		if err != nil {
+			return exp.Sample{}, err
+		}
+		return exp.Sample{Values: exp.V(
+			"mis_size", len(out.MIS),
+			"steps", out.Steps,
+			"rounds", out.Rounds,
+			"completed", out.Completed,
+			"valid", mis.Verify(g, out.MIS) == nil,
+		)}, nil
+	case "decay-broadcast":
+		res, err := baseline.DecayBroadcastPHY(g, model, sp.Source%g.N(), 0, seed)
+		if err != nil {
+			return exp.Sample{}, err
+		}
+		return exp.Sample{Values: exp.V(
+			"complete", res.CompleteStep,
+			"levels", res.Levels,
+			"transmissions", res.Transmissions,
+		)}, nil
+	default:
+		// Canonicalize admits only PhyAlgorithms; flood goes via floodTrial.
+		return exp.Sample{}, badSpec("algorithm %q cannot run under physical-layer spec %q", sp.Algo, sp.Graph)
+	}
+}
+
 // floodTrial runs the dynamic-topology flood (exp.RunFlood — the same
-// runner E17–E20 and radionet-sim use) for one replica.
+// runner E17–E21 and radionet-sim use) for one replica. On a phy: spec the
+// schedule is static and the flood runs under the spec's reception model.
 func floodTrial(sp Spec, seed uint64) (exp.Sample, error) {
 	sched, err := gen.ScheduleByName(sp.Graph, sp.N, sp.Epochs, sp.EpochLen, sp.Rate, seed)
+	if err != nil {
+		return exp.Sample{}, err
+	}
+	model, _, err := gen.SchedulePhyModel(sp.Graph, sched, sp.SINRParams())
 	if err != nil {
 		return exp.Sample{}, err
 	}
 	n := sched.N()
 	budget := max(sched.LastStart()+sp.EpochLen, 4*sp.EpochLen)
 	g := sched.CSR(0).Graph()
-	out, err := exp.RunFlood(g, sched, map[int]int64{sp.Source % n: 1}, budget, -1, seed, nil)
+	out, err := exp.RunFlood(g, sched, map[int]int64{sp.Source % n: 1}, exp.FloodConfig{Budget: budget, ProbeStep: -1, Seed: seed, PHY: model})
 	if err != nil {
 		return exp.Sample{}, err
 	}

@@ -16,10 +16,12 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
 	"repro/internal/gen"
+	"repro/internal/phy"
 	"repro/internal/trace"
 )
 
@@ -77,6 +79,35 @@ type Spec struct {
 	Epochs   int     `json:"epochs,omitempty"`
 	EpochLen int     `json:"epoch_len,omitempty"`
 	Rate     float64 `json:"rate,omitempty"`
+	// Beta, Noise, PathLoss, Cutoff are the SINR physical-layer parameters
+	// (phy.SINRParams), observable only when Graph is a "phy:sinr" spec —
+	// they canonicalize to zero everywhere else, and to their explicit
+	// defaults there, so the content hash distinguishes every distinct
+	// physics. Noise is a pointer because an explicit zero (a noiseless
+	// channel) is a meaningful value distinct from "unset". Cutoff is the
+	// far-field cutoff factor and must be finite here (exact-interference
+	// mode, CutoffFactor +Inf, is an API-level testing mode, not a service
+	// scenario).
+	Beta     float64  `json:"beta,omitempty"`
+	Noise    *float64 `json:"noise,omitempty"`
+	PathLoss float64  `json:"path_loss,omitempty"`
+	Cutoff   float64  `json:"cutoff,omitempty"`
+}
+
+// PhyAlgorithms lists the algorithms that can run under a phy: graph spec:
+// the ones whose execution path accepts a reception model. The rest are
+// built on the charged-construction machinery (DESIGN.md §2), which is
+// defined in terms of the graph abstraction.
+var PhyAlgorithms = []string{"mis", "decay-broadcast", "flood"}
+
+// SINRParams converts a canonicalized phy:sinr spec's fields to the model
+// parameters.
+func (sp Spec) SINRParams() phy.SINRParams {
+	p := phy.SINRParams{Beta: sp.Beta, PathLoss: sp.PathLoss, CutoffFactor: sp.Cutoff}
+	if sp.Noise != nil {
+		p.Noise, p.NoiseSet = *sp.Noise, true
+	}
+	return p.WithDefaults()
 }
 
 // badSpec builds an ErrBadSpec-wrapped validation error.
@@ -123,7 +154,40 @@ func (sp Spec) Canonicalize() (Spec, error) {
 	} else {
 		c.Source = 0
 	}
+	phyModel, _, isPhy := gen.SplitPhySpec(c.Graph)
+	if isPhy && !knownPhyAlgo(c.Algo) {
+		return Spec{}, badSpec("algorithm %q cannot run under physical-layer spec %q (supported: %v)", c.Algo, c.Graph, PhyAlgorithms)
+	}
+	if isPhy && phyModel == "sinr" {
+		// Resolve the SINR parameters to their explicit defaults so every
+		// spelling of one physics shares one canonical form, and reject
+		// invalid physics up front.
+		if math.IsInf(c.Cutoff, 0) || math.IsNaN(c.Cutoff) {
+			return Spec{}, badSpec("cutoff %v must be finite (exact-interference mode is not a service scenario)", c.Cutoff)
+		}
+		p := c.SINRParams()
+		if err := p.Validate(); err != nil {
+			return Spec{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		if p.Noise == 0 {
+			// A noiseless channel has unbounded decode range: the SINR model
+			// falls back to its dense O(#tx·n) sweep and the connectivity
+			// skeleton is the complete graph — the same unbounded-work mode
+			// the finite-cutoff check above keeps out of the service. It
+			// stays an API-level capability only.
+			return Spec{}, badSpec("noise 0 (a noiseless channel, unbounded decode range) is not a service scenario; use a positive noise floor")
+		}
+		c.Beta, c.PathLoss, c.Cutoff = p.Beta, p.PathLoss, p.CutoffFactor
+		noise := p.Noise
+		c.Noise = &noise
+	} else {
+		// Only SINR scenarios observe the physical-layer parameters.
+		c.Beta, c.Noise, c.PathLoss, c.Cutoff = 0, nil, 0, 0
+	}
 	kind, _, dynamic := gen.SplitSpec(c.Graph)
+	if isPhy {
+		dynamic = false // phy specs are static scenarios
+	}
 	if c.Algo != "flood" {
 		// Only flood follows a dynamic schedule; every other algorithm runs
 		// on the epoch-0 skeleton and cannot observe these fields.
@@ -165,6 +229,15 @@ func knownAlgo(algo string) bool {
 	return false
 }
 
+func knownPhyAlgo(algo string) bool {
+	for _, a := range PhyAlgorithms {
+		if algo == a {
+			return true
+		}
+	}
+	return false
+}
+
 // usesSource reports whether algo reads Spec.Source.
 func usesSource(algo string) bool {
 	switch algo {
@@ -176,12 +249,26 @@ func usesSource(algo string) bool {
 
 // Canonical renders the stable serialization the content hash is computed
 // over: versioned, fixed field order, one key=value per line. Call only on
-// canonicalized specs.
+// canonicalized specs. SINR scenarios append their physics block — a
+// grammar extension, not a version bump: no pre-PHY scenario has a
+// "phy:" graph, so every pre-PHY hash is unchanged, while distinct SINR
+// parameters get distinct canonical bytes (and so distinct cache keys).
 func (sp Spec) Canonical() []byte {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "v1\nalgo=%s\ngraph=%s\nn=%d\nseed=%d\nreps=%d\nsource=%d\nepochs=%d\nepochlen=%d\nrate=%s\n",
 		sp.Algo, sp.Graph, sp.N, sp.Seed, sp.Reps, sp.Source,
 		sp.Epochs, sp.EpochLen, strconv.FormatFloat(sp.Rate, 'g', -1, 64))
+	if model, _, ok := gen.SplitPhySpec(sp.Graph); ok && model == "sinr" {
+		noise := 0.0
+		if sp.Noise != nil {
+			noise = *sp.Noise
+		}
+		fmt.Fprintf(&b, "beta=%s\nnoise=%s\npathloss=%s\ncutoff=%s\n",
+			strconv.FormatFloat(sp.Beta, 'g', -1, 64),
+			strconv.FormatFloat(noise, 'g', -1, 64),
+			strconv.FormatFloat(sp.PathLoss, 'g', -1, 64),
+			strconv.FormatFloat(sp.Cutoff, 'g', -1, 64))
+	}
 	return b.Bytes()
 }
 
