@@ -15,14 +15,22 @@
 // mode CI runs. With -out, the run's record is appended to a JSON tracking
 // file (BENCH_engine.json-style trajectory; timings are host-dependent, so
 // the file is a trail, not a gate).
+//
+// Transient failures — connection refused/reset, EOF, and 5xx responses
+// (the server's queue-full/draining 503s carry Retry-After) — are retried
+// with jittered exponential backoff, so a server restarting mid-run costs
+// retries, not a failed run; the retry count lands in the report and the
+// tracking record.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -30,6 +38,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/serve"
@@ -57,6 +66,34 @@ type runRecord struct {
 	Hits          int     `json:"hits"`
 	Coalesced     int     `json:"coalesced"`
 	Misses        int     `json:"misses"`
+	Retries       int     `json:"retries"`
+}
+
+// Transient-failure retry policy: a request is retried up to maxAttempts
+// times total, sleeping retryBase·2^attempt plus up to 50% random jitter
+// between tries (jitter keeps concurrent workers from re-converging on a
+// recovering server in lockstep).
+const (
+	maxAttempts = 5
+	retryBase   = 50 * time.Millisecond
+)
+
+// transientErr reports whether a request failed in a way a healthy-again
+// server would absorb: a connection-level failure (server down or
+// restarting) or a 5xx status (queue full, draining, internal hiccup).
+func transientErr(err error, status int) bool {
+	if err != nil {
+		return errors.Is(err, syscall.ECONNREFUSED) ||
+			errors.Is(err, syscall.ECONNRESET) ||
+			errors.Is(err, io.EOF) ||
+			errors.Is(err, io.ErrUnexpectedEOF)
+	}
+	return status >= 500
+}
+
+func backoff(attempt int) time.Duration {
+	d := retryBase << attempt
+	return d + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 func run(args []string, out io.Writer) error {
@@ -99,6 +136,7 @@ func run(args []string, out io.Writer) error {
 	statuses := make([]string, *requests)
 	errs := make([]error, *requests)
 	var next atomic.Int64
+	var retried atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < *concurrency; w++ {
@@ -117,24 +155,34 @@ func run(args []string, out io.Writer) error {
 					errs[i] = err
 					continue
 				}
-				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/simulate", "application/json", bytes.NewReader(body))
-				if err != nil {
-					errs[i] = err
-					continue
+				for attempt := 0; ; attempt++ {
+					t0 := time.Now()
+					resp, err := client.Post(base+"/v1/simulate", "application/json", bytes.NewReader(body))
+					var data []byte
+					status := 0
+					if err == nil {
+						status = resp.StatusCode
+						data, err = io.ReadAll(resp.Body)
+						resp.Body.Close()
+					}
+					// The recorded latency is the served attempt's, not the
+					// backoff sleeps — retries are reported separately.
+					latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+					if transientErr(err, status) && attempt+1 < maxAttempts {
+						retried.Add(1)
+						time.Sleep(backoff(attempt))
+						continue
+					}
+					switch {
+					case err != nil:
+						errs[i] = fmt.Errorf("request %d (%s): %w", i, sp, err)
+					case status != http.StatusOK:
+						errs[i] = fmt.Errorf("request %d (%s): status %d: %.200s", i, sp, status, data)
+					default:
+						statuses[i] = resp.Header.Get("X-Cache")
+					}
+					break
 				}
-				data, err := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				if resp.StatusCode != http.StatusOK {
-					errs[i] = fmt.Errorf("request %d (%s): status %d: %.200s", i, sp, resp.StatusCode, data)
-					continue
-				}
-				statuses[i] = resp.Header.Get("X-Cache")
 			}
 		}()
 	}
@@ -170,12 +218,16 @@ func run(args []string, out io.Writer) error {
 		Hits:          hits,
 		Coalesced:     coalesced,
 		Misses:        misses,
+		Retries:       int(retried.Load()),
 	}
 	fmt.Fprintf(out, "loadgen: %d requests in %.2fs — %.1f req/s (concurrency %d, mix %d scenarios × %d seeds)\n",
 		rec.Requests, elapsed.Seconds(), rec.ThroughputRPS, rec.Concurrency, len(mix), rec.Seeds)
 	fmt.Fprintf(out, "latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n", rec.P50Ms, rec.P95Ms, rec.P99Ms)
 	fmt.Fprintf(out, "cache: hit rate %.3f (%d hit + %d coalesced + %d miss)\n",
 		rec.CacheHitRate, rec.Hits, rec.Coalesced, rec.Misses)
+	if rec.Retries > 0 {
+		fmt.Fprintf(out, "retries: %d transient failures absorbed\n", rec.Retries)
+	}
 	if resp, err := client.Get(base + "/v1/stats"); err == nil {
 		var st serve.Stats
 		if json.NewDecoder(resp.Body).Decode(&st) == nil {
@@ -225,9 +277,12 @@ func parseMix(s string) ([]serve.Spec, error) {
 
 // appendRecord appends rec to the JSON array at path (creating it if
 // missing), BENCH_engine.json-style: the file is the perf trajectory
-// across runs.
+// across runs. Existing rows are kept as raw JSON, not re-parsed into
+// runRecord — the tracking file also carries rows other tools append
+// (e.g. the smoke script's restart-recovery records), and appending must
+// not strip their fields.
 func appendRecord(path string, rec runRecord) error {
-	var records []runRecord
+	var records []json.RawMessage
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &records); err != nil {
 			return fmt.Errorf("%s: existing tracking file is not a record array: %v", path, err)
@@ -235,7 +290,11 @@ func appendRecord(path string, rec runRecord) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	records = append(records, rec)
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	records = append(records, raw)
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		return err

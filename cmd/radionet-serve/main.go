@@ -7,16 +7,24 @@
 // Usage:
 //
 //	radionet-serve [-addr 127.0.0.1:8080] [-workers N] [-queue 64] [-cache 256] [-parallel 1]
+//	               [-data-dir DIR] [-job-retries 2] [-job-timeout 0] [-request-timeout 2m]
 //
 // Endpoints (see DESIGN.md §6 / README.md for the JSON schema, which is
 // shared with `radionet-bench -json`):
 //
-//	POST /v1/simulate       sync simulation (X-Cache: HIT|MISS|COALESCED)
+//	POST /v1/simulate       sync simulation (X-Cache: HIT|HIT-DURABLE|MISS|COALESCED)
 //	POST /v1/jobs           async submission → 202 + job record
 //	GET  /v1/jobs/{id}      job state + trial progress
 //	GET  /v1/results/{hash} content-addressed result fetch
 //	GET  /v1/stats          cache/queue/execution counters
 //	GET  /healthz           liveness
+//
+// With -data-dir the service is crash-safe (DESIGN.md §8): results persist
+// to a content-addressed store, async jobs are journaled with engine
+// checkpoints, and a restart on the same directory serves prior results as
+// durable cache hits and resumes interrupted jobs to byte-identical
+// completion. Saturation, drain, and deadline failures answer 503 with a
+// Retry-After hint.
 //
 // The listen address is printed on stdout once bound (use -addr
 // 127.0.0.1:0 for an ephemeral port; CI's smoke job parses the line).
@@ -57,22 +65,51 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	queue := fs.Int("queue", 64, "async job queue depth (backpressure bound)")
 	cacheEntries := fs.Int("cache", 256, "result cache capacity in entries")
 	parallel := fs.Int("parallel", 1, "per-job trial-runner workers (results are identical for every value)")
+	dataDir := fs.String("data-dir", "", "durable data directory (empty: ephemeral — no store, no journal)")
+	jobRetries := fs.Int("job-retries", 2, "retries for failed async jobs, with exponential backoff (0 disables)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock deadline; expiry fails the job terminally (0 = none)")
+	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request context deadline on the sync path (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	svc := serve.New(serve.Config{
+	retries := *jobRetries
+	if retries <= 0 {
+		retries = -1 // Config treats 0 as "default"; the flag's 0 means off
+	}
+	svc, err := serve.Open(serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheEntries,
 		Parallel:     *parallel,
+		DataDir:      *dataDir,
+		JobRetries:   retries,
+		JobTimeout:   *jobTimeout,
 	})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "radionet-serve: listening on http://%s\n", ln.Addr())
+	if *dataDir != "" {
+		st := svc.Stats()
+		fmt.Fprintf(out, "radionet-serve: durable data dir %s (recovered %d jobs, %d trials)\n",
+			*dataDir, st.RecoveredJobs, st.RecoveredTrials)
+	}
+	handler := serve.NewHandler(svc)
+	writeTimeout := time.Duration(0)
+	if *reqTimeout > 0 {
+		handler = withRequestDeadline(handler, *reqTimeout)
+		// The write window must outlast the request deadline: the handler
+		// answers every in-budget request (including the 503 the deadline
+		// produces); WriteTimeout only reaps connections that cannot make
+		// progress even then.
+		writeTimeout = *reqTimeout + 15*time.Second
+	}
 	srv := &http.Server{
-		Handler: serve.NewHandler(svc),
+		Handler: handler,
 		// Bound idle/slow connections the same way every server-side store
 		// is bounded: without these, a client that never completes its
 		// request (headers or dribbled body) pins a goroutine and fd
@@ -81,6 +118,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		// compute time.
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}
 	done := make(chan struct{})
@@ -105,4 +143,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "radionet-serve: shut down cleanly")
 	return nil
+}
+
+// withRequestDeadline bounds every request's context: a sync simulation
+// that outruns the budget gets 503 + Retry-After while its computation
+// finishes into the cache for the retry (serve.SimulateCtx).
+func withRequestDeadline(h http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
 }

@@ -1,0 +1,114 @@
+// Package chaos is the fault-injection layer behind the crash-safety test
+// suites (DESIGN.md §8). Production code threads a *Faults through its I/O
+// and execution sites and consults Check at each one; a nil *Faults is a
+// no-op, so the hot paths pay a single nil comparison when chaos is off.
+// Tests arm named sites with bounded failure windows — "fail the next two
+// store writes", "kill the worker at the third checkpoint", "stall every
+// trial 50ms" — and assert the system degrades, retries, or resumes instead
+// of corrupting state.
+//
+// Sites are plain strings owned by the instrumented package (e.g.
+// "store.put", "serve.trial", "checkpoint"). The registry is deliberately
+// dumb: no probabilities, no time dependence — deterministic countdown
+// windows keep chaos tests reproducible, in the same spirit as the engines'
+// seed-determinism contract.
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// rule is one armed failure window at a site.
+type rule struct {
+	skip  int           // successful passes remaining before the window opens
+	count int           // failures remaining in the window; < 0 = forever
+	err   error         // the injected error (nil with delay = slow, not fail)
+	delay time.Duration // injected latency, applied inside the window
+}
+
+// Faults is a registry of armed fault windows keyed by site name. The zero
+// value is ready to use; the nil *Faults injects nothing. Safe for
+// concurrent use.
+type Faults struct {
+	mu        sync.Mutex
+	rules     map[string][]*rule
+	triggered map[string]int
+}
+
+// New returns an empty registry.
+func New() *Faults { return &Faults{} }
+
+// Arm opens a failure window at site: after skip successful Check passes,
+// the next count calls fail with err (count < 0 = every call forever).
+// Multiple Arm calls on one site queue in order: a window is consumed
+// before the next one's skip countdown starts.
+func (f *Faults) Arm(site string, skip, count int, err error) {
+	f.arm(site, &rule{skip: skip, count: count, err: err})
+}
+
+// ArmDelay opens a latency window at site: after skip passes, the next
+// count calls sleep d before returning nil (count < 0 = forever). Combined
+// fail+delay windows can be built by arming both in sequence.
+func (f *Faults) ArmDelay(site string, skip, count int, d time.Duration) {
+	f.arm(site, &rule{skip: skip, count: count, delay: d})
+}
+
+func (f *Faults) arm(site string, r *rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rules == nil {
+		f.rules = make(map[string][]*rule)
+	}
+	f.rules[site] = append(f.rules[site], r)
+}
+
+// Check consults the registry at site: it returns the armed error (or
+// sleeps the armed delay and returns nil) when a window is open, and nil
+// when f is nil or nothing is armed. Instrumented code calls it at the top
+// of the operation and aborts on a non-nil return.
+func (f *Faults) Check(site string) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	rs := f.rules[site]
+	if len(rs) == 0 {
+		f.mu.Unlock()
+		return nil
+	}
+	r := rs[0]
+	if r.skip > 0 {
+		r.skip--
+		f.mu.Unlock()
+		return nil
+	}
+	// The window is open: consume one failure.
+	if f.triggered == nil {
+		f.triggered = make(map[string]int)
+	}
+	f.triggered[site]++
+	if r.count > 0 {
+		r.count--
+		if r.count == 0 {
+			f.rules[site] = rs[1:]
+		}
+	}
+	err, delay := r.err, r.delay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+// Triggered reports how many times site has injected a fault (failure or
+// delay). Nil-safe.
+func (f *Faults) Triggered(site string) int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.triggered[site]
+}

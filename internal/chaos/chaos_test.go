@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilFaultsAreNoOps(t *testing.T) {
+	var f *Faults
+	if err := f.Check("anything"); err != nil {
+		t.Fatalf("nil Faults injected %v", err)
+	}
+	if n := f.Triggered("anything"); n != 0 {
+		t.Fatalf("nil Faults triggered %d", n)
+	}
+}
+
+func TestSkipThenWindowThenClear(t *testing.T) {
+	f := New()
+	boom := errors.New("boom")
+	f.Arm("store.put", 2, 3, boom)
+	var got []error
+	for i := 0; i < 8; i++ {
+		got = append(got, f.Check("store.put"))
+	}
+	for i, err := range got {
+		wantFail := i >= 2 && i < 5
+		if (err != nil) != wantFail {
+			t.Fatalf("call %d: err=%v, want fail=%v", i, err, wantFail)
+		}
+		if wantFail && !errors.Is(err, boom) {
+			t.Fatalf("call %d: got %v, want boom", i, err)
+		}
+	}
+	if n := f.Triggered("store.put"); n != 3 {
+		t.Fatalf("triggered %d, want 3", n)
+	}
+}
+
+func TestForeverWindow(t *testing.T) {
+	f := New()
+	f.Arm("j", 0, -1, errors.New("dead"))
+	for i := 0; i < 10; i++ {
+		if f.Check("j") == nil {
+			t.Fatalf("call %d passed through a forever window", i)
+		}
+	}
+}
+
+func TestQueuedWindows(t *testing.T) {
+	f := New()
+	e1, e2 := errors.New("one"), errors.New("two")
+	f.Arm("s", 0, 1, e1)
+	f.Arm("s", 1, 1, e2)
+	if err := f.Check("s"); !errors.Is(err, e1) {
+		t.Fatalf("first window: %v", err)
+	}
+	if err := f.Check("s"); err != nil {
+		t.Fatalf("second window skip: %v", err)
+	}
+	if err := f.Check("s"); !errors.Is(err, e2) {
+		t.Fatalf("second window: %v", err)
+	}
+	if err := f.Check("s"); err != nil {
+		t.Fatalf("after all windows: %v", err)
+	}
+}
+
+func TestArmDelay(t *testing.T) {
+	f := New()
+	f.ArmDelay("trial", 0, 1, 30*time.Millisecond)
+	t0 := time.Now()
+	if err := f.Check("trial"); err != nil {
+		t.Fatalf("delay window failed: %v", err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("delay window slept only %v", d)
+	}
+	if n := f.Triggered("trial"); n != 1 {
+		t.Fatalf("triggered %d, want 1", n)
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	f := New()
+	f.Arm("a", 0, 1, errors.New("a"))
+	if err := f.Check("b"); err != nil {
+		t.Fatalf("site b affected by site a: %v", err)
+	}
+	if err := f.Check("a"); err == nil {
+		t.Fatal("site a window not open")
+	}
+}

@@ -9,6 +9,7 @@ package exp
 // -parallel value.
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -57,17 +58,60 @@ func (d *dynFloodNode) Deliver(step int, msg radio.Message) {
 
 func (d *dynFloodNode) Done() bool { return *d.stop || d.step >= d.budget }
 
+// dynFloodState is the wire size of a dynFloodNode snapshot: best (8) + has
+// (1) + step (8) + rng state (8). levels, budget, and the stop flag are
+// reconstructed by the factory and the FloodCheckpoint, not per node.
+const dynFloodState = 25
+
+// SnapshotState implements radio.Snapshotter, making flood runs resumable
+// from engine checkpoints (DESIGN.md §8).
+func (d *dynFloodNode) SnapshotState() []byte {
+	buf := make([]byte, 0, dynFloodState)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.best))
+	if d.has {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.step))
+	buf = binary.LittleEndian.AppendUint64(buf, d.rng.State())
+	return buf
+}
+
+// RestoreState implements radio.Snapshotter.
+func (d *dynFloodNode) RestoreState(data []byte) error {
+	if len(data) != dynFloodState {
+		return fmt.Errorf("exp: flood node state is %d bytes, want %d", len(data), dynFloodState)
+	}
+	d.best = int64(binary.LittleEndian.Uint64(data[0:8]))
+	d.has = data[8] == 1
+	d.step = int(binary.LittleEndian.Uint64(data[9:17]))
+	d.rng.SetState(binary.LittleEndian.Uint64(data[17:25]))
+	return nil
+}
+
 // FloodOutcome summarizes one dynamic flood run.
 type FloodOutcome struct {
 	// Complete is the first step after which every node held the target
 	// rank; -1 if the budget ran out first.
-	Complete int
+	Complete int `json:"complete"`
 	// InformedEnd is the number of nodes holding the target when the run
 	// ended.
-	InformedEnd int
+	InformedEnd int `json:"informedEnd"`
 	// InformedProbe is the number of nodes holding the target at the end
 	// of step probeStep (0 when probeStep < 0).
-	InformedProbe int
+	InformedProbe int `json:"informedProbe"`
+}
+
+// FloodCheckpoint is a resumable snapshot of an in-flight RunFlood: the
+// engine-level checkpoint (protocol states, active list, counters) plus the
+// harness-level partial outcome, which the engine cannot know about. Both
+// halves are captured at the same epoch boundary, so Partial covers exactly
+// the steps before Engine.Step. It is JSON-serializable for the serve
+// journal (DESIGN.md §8).
+type FloodCheckpoint struct {
+	Engine  *radio.Checkpoint `json:"engine"`
+	Partial FloodOutcome      `json:"partial"`
 }
 
 // FloodConfig parameterizes RunFlood.
@@ -86,6 +130,17 @@ type FloodConfig struct {
 	// target) after each step — radionet-sim's flood mode uses it for
 	// per-epoch progress.
 	OnStep func(step, informed int)
+	// OnCheckpoint, when non-nil, receives a resumable snapshot at every
+	// topology epoch boundary (dynamic runs only — a static flood has no
+	// boundaries and is simply re-run from scratch after a crash). A non-nil
+	// error aborts the run with that error, mirroring the
+	// radio.Options.Checkpoint contract.
+	OnCheckpoint func(cp *FloodCheckpoint) error
+	// Resume, when non-nil, continues the flood from the given snapshot
+	// instead of step 0. The caller must supply the same graph, topology,
+	// sources, and FloodConfig the snapshot was captured under; the outcome
+	// is then byte-identical to the uninterrupted run's.
+	Resume *FloodCheckpoint
 }
 
 // RunFlood floods the sources' ranks over topo (nil = static g) for at most
@@ -141,6 +196,22 @@ func RunFlood(g *graph.Graph, topo radio.Topology, sources map[int]int64, cfg Fl
 				stop = true
 			}
 		},
+	}
+	if cp := cfg.Resume; cp != nil {
+		// The engine restores per-node state; the harness half of the
+		// snapshot restores the outcome-so-far (a probe or completion step
+		// before the checkpoint never re-fires in the resumed run).
+		out = cp.Partial
+		stop = out.Complete >= 0
+		opts.Resume = cp.Engine
+	}
+	if cfg.OnCheckpoint != nil {
+		opts.Checkpoint = func(ecp *radio.Checkpoint) error {
+			// out is updated by OnStep after each step, so at a boundary it
+			// covers exactly the steps before ecp.Step — the two snapshot
+			// halves are consistent by construction.
+			return cfg.OnCheckpoint(&FloodCheckpoint{Engine: ecp, Partial: out})
+		}
 	}
 	if _, err := radio.Run(g, factory, opts); err != nil {
 		return FloodOutcome{}, err

@@ -59,6 +59,24 @@ type Config struct {
 	// results are unaffected. The serve subsystem surfaces async job
 	// progress through it.
 	OnTrialDone func(done, total int)
+	// Prefilled, when non-nil, maps trial declaration indices to samples
+	// already known from an earlier (interrupted) run: the runner installs
+	// them directly instead of executing those trials. Because every trial is
+	// a pure function of its derived seed, a prefilled sample is
+	// indistinguishable from re-running the trial, so the aggregate output
+	// stays byte-identical — this is what makes crash recovery in the serve
+	// journal trial-granular (DESIGN.md §8).
+	Prefilled map[int]Sample
+	// OnTrialSample, when non-nil, observes each freshly executed successful
+	// trial with its declaration index and sample — the journaling hook.
+	// Calls come from worker goroutines in completion order and must be
+	// concurrency-safe. Prefilled trials are not re-reported.
+	OnTrialSample func(i int, s Sample)
+	// Cancelled, when non-nil, is polled by workers between trials; once it
+	// returns true no further trials are claimed and Run returns
+	// ErrCancelled. In-flight trials still finish (and are still reported
+	// through OnTrialSample), so a drain can journal everything it paid for.
+	Cancelled func() bool
 }
 
 // Experiment is one reproducible claim-check.

@@ -11,6 +11,7 @@ package exp
 // for any Config.Parallel, any GOMAXPROCS, and any completion order.
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -20,6 +21,12 @@ import (
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
+
+// ErrCancelled is returned by Grid.Run when Config.Cancelled interrupted the
+// grid before every trial ran. The samples gathered up to that point have
+// been reported through Config.OnTrialSample but the partial slice is not
+// returned: a cancelled run has no deterministic aggregate.
+var ErrCancelled = errors.New("exp: run cancelled")
 
 // Sample is the typed record one trial produces. Values holds named scalar
 // measurements; booleans are encoded as 0/1 so every metric aggregates
@@ -128,23 +135,38 @@ func (g *Grid) Run(cfg Config) ([]Sample, error) {
 	out := make([]Sample, n)
 	errs := make([]error, n)
 	var next, completed atomic.Int64
-	var failed atomic.Bool
+	var failed, cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for !failed.Load() {
+				if cfg.Cancelled != nil && cfg.Cancelled() {
+					cancelled.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				t := g.trials[i]
+				if s, ok := cfg.Prefilled[i]; ok {
+					// Recovered from a journal: install without re-running.
+					s.Group = t.group
+					out[i] = s
+					if cfg.OnTrialDone != nil {
+						cfg.OnTrialDone(int(completed.Add(1)), n)
+					}
+					continue
+				}
 				s, err := t.fn(TrialSeed(cfg.Seed, g.id, i))
 				s.Group = t.group
 				out[i], errs[i] = s, err
 				if err != nil {
 					failed.Store(true)
+				} else if cfg.OnTrialSample != nil {
+					cfg.OnTrialSample(i, s)
 				}
 				if cfg.OnTrialDone != nil {
 					cfg.OnTrialDone(int(completed.Add(1)), n)
@@ -157,6 +179,9 @@ func (g *Grid) Run(cfg Config) ([]Sample, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s trial %d (%s): %w", g.id, i, g.trials[i].group, err)
 		}
+	}
+	if cancelled.Load() {
+		return nil, ErrCancelled
 	}
 	return out, nil
 }

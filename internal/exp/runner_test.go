@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -135,6 +137,95 @@ func TestHelpers(t *testing.T) {
 	}
 	if v := V("a", 1, "b", 2.5, "c", true, "d", false, "e", int64(9)); v["a"] != 1 || v["b"] != 2.5 || v["c"] != 1 || v["d"] != 0 || v["e"] != 9 {
 		t.Fatalf("V = %v", v)
+	}
+}
+
+// TestGridPrefilledSkipsExecution: the journal-recovery path. Samples
+// reported through OnTrialSample on one run, fed back as Prefilled on the
+// next, reproduce the full aggregate byte-for-byte while executing (and
+// re-reporting) only the missing trials.
+func TestGridPrefilledSkipsExecution(t *testing.T) {
+	const n = 12
+	build := func(executed *atomic.Int64) *Grid {
+		g := NewGrid("resume")
+		for i := 0; i < n; i++ {
+			g.Add(fmt.Sprintf("g%d", i%2), func(seed uint64) (Sample, error) {
+				if executed != nil {
+					executed.Add(1)
+				}
+				return Sample{Values: V("seed", float64(seed))}, nil
+			})
+		}
+		return g
+	}
+	full, err := build(nil).Run(Config{Seed: 3, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	journal := map[int]Sample{}
+	if _, err := build(nil).Run(Config{Seed: 3, Parallel: 4, OnTrialSample: func(i int, s Sample) {
+		mu.Lock()
+		journal[i] = s
+		mu.Unlock()
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(journal) != n {
+		t.Fatalf("journaled %d samples, want %d", len(journal), n)
+	}
+	// Simulate a crash that lost every third record.
+	pre := map[int]Sample{}
+	for i, s := range journal {
+		if i%3 != 0 {
+			pre[i] = s
+		}
+	}
+	var executed atomic.Int64
+	rereported := map[int]bool{}
+	out, err := build(&executed).Run(Config{Seed: 3, Parallel: 4, Prefilled: pre, OnTrialSample: func(i int, s Sample) {
+		mu.Lock()
+		rereported[i] = true
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, full) {
+		t.Fatal("recovered run diverged from the uninterrupted run")
+	}
+	if want := int64(n - len(pre)); executed.Load() != want {
+		t.Fatalf("executed %d trials, want %d", executed.Load(), want)
+	}
+	for i := range pre {
+		if rereported[i] {
+			t.Fatalf("prefilled trial %d was re-reported", i)
+		}
+	}
+}
+
+// TestGridCancelled: a drain signal stops workers from claiming new trials
+// and surfaces as ErrCancelled.
+func TestGridCancelled(t *testing.T) {
+	var ran, polls atomic.Int64
+	g := NewGrid("cancel")
+	for i := 0; i < 100; i++ {
+		g.Add("x", func(seed uint64) (Sample, error) {
+			ran.Add(1)
+			return Sample{Values: V("ok", true)}, nil
+		})
+	}
+	out, err := g.Run(Config{Seed: 1, Parallel: 2, Cancelled: func() bool {
+		return polls.Add(1) > 6
+	}})
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled run returned a partial aggregate")
+	}
+	if ran.Load() >= 100 {
+		t.Fatal("cancellation did not stop the grid")
 	}
 }
 

@@ -66,14 +66,16 @@ func newEngine(g *graph.Graph, nodes []Protocol, opts Options) (*engine, error) 
 
 // epochSync installs the topology in force at step when step crosses the
 // next epoch boundary, re-syncing the PHY model (geometric models refresh
-// their positions here). Between boundaries it is a single comparison, so
-// the per-step delivery cost stays amortized; the Topology query, the model
-// re-sync, and any allocation inside either happen once per epoch. Both
-// engines call it at the top of the step, before the act phase, so the
-// epoch's first step already delivers over the new topology.
-func (e *engine) epochSync(step int) {
+// their positions here), and reports whether a boundary was crossed — the
+// points where the engines capture checkpoints (Options.Checkpoint).
+// Between boundaries it is a single comparison, so the per-step delivery
+// cost stays amortized; the Topology query, the model re-sync, and any
+// allocation inside either happen once per epoch. Both engines call it at
+// the top of the step, before the act phase, so the epoch's first step
+// already delivers over the new topology.
+func (e *engine) epochSync(step int) bool {
 	if e.nextEpoch < 0 || step < e.nextEpoch {
-		return
+		return false
 	}
 	csr, next := e.topo.EpochAt(step)
 	if csr.N() != len(e.nodes) {
@@ -88,6 +90,7 @@ func (e *engine) epochSync(step int) {
 		// Topology/PositionSource contract broke under the engine.
 		panic(fmt.Sprintf("radio: %s model rejected the epoch at step %d: %v", e.model.Name(), step, err))
 	}
+	return true
 }
 
 // actScan runs one step's act phase over a compacting active list: dormant

@@ -99,13 +99,51 @@ func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 	}()
 
 	var res Result
-	for step := 0; step < opts.MaxSteps; step++ {
+	start := 0
+	if cp := opts.Resume; cp != nil {
+		if err := e.restore(cp); err != nil {
+			return Result{}, err
+		}
+		res = cp.Partial
+		start = cp.Step
+		// Redistribute the checkpointed active list over the shard ranges;
+		// within a shard it stays ascending, so the merged transcript is
+		// unchanged from the capturing engine's.
+		for i, s := range p.shards {
+			lo, hi := int32(i*n/nw), int32((i+1)*n/nw)
+			s.active = s.active[:0]
+			for _, v := range cp.Active {
+				if v >= lo && v < hi {
+					s.active = append(s.active, v)
+				}
+			}
+		}
+	}
+	// combined merges shard active lists for checkpoint capture; shard
+	// ranges are contiguous and ascending, so the concatenation equals the
+	// sequential engine's active list at the same step (checkpoints are
+	// engine-portable). Allocated only when checkpointing is on.
+	var combined []int32
+	if opts.Checkpoint != nil {
+		combined = make([]int32, 0, n)
+	}
+	for step := start; step < opts.MaxSteps; step++ {
 		st := StepStats{Step: step}
 		// Epoch boundary: the coordinator swaps the CSR between barriers,
 		// where no worker touches shared engine state. Workers never read
 		// the topology (act/deliver phases poll protocols only), so no
 		// extra synchronization is needed beyond the existing barriers.
-		p.e.epochSync(step)
+		// Checkpoints are captured here too — workers are parked, so the
+		// coordinator reads protocol state with the barrier's ordering.
+		if p.e.epochSync(step) && opts.Checkpoint != nil {
+			combined = combined[:0]
+			for _, s := range p.shards {
+				combined = append(combined, s.active...)
+			}
+			if err := p.e.checkpoint(step, combined, res); err != nil {
+				return Result{}, err
+			}
+		}
 		p.barrier(step, phaseAct)
 		remaining := 0
 		for _, s := range p.shards {

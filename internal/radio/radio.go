@@ -147,6 +147,23 @@ type Options struct {
 	// this interface; see DESIGN.md §5 for the epoch semantics and the
 	// determinism contract.
 	Topology Topology
+	// Checkpoint, when non-nil, receives a resumable engine snapshot at
+	// every topology epoch boundary (dynamic runs only — static runs have
+	// no boundaries), captured before the boundary step's act phase. A
+	// non-nil error aborts the run immediately with that error: a run must
+	// not outpace a journal that failed to record it (and the chaos suite
+	// injects worker death here). Requires every protocol to implement
+	// Snapshotter. Nil — the default — adds zero allocations and one
+	// comparison per epoch to the step loop (DESIGN.md §8).
+	Checkpoint func(cp *Checkpoint) error
+	// Resume, when non-nil, starts the run from the given checkpoint
+	// instead of step 0: protocol states are restored, the active list and
+	// cumulative counters are reinstated, and the loop continues at
+	// Resume.Step. The caller must supply the same graph, factory, seed,
+	// topology, and PHY configuration the checkpoint was captured under;
+	// the final Result is then byte-identical to the uninterrupted run's.
+	// Checkpoints are engine-portable (sequential ↔ worker pool).
+	Resume *Checkpoint
 	// PHY selects the physical-layer reception model (DESIGN.md §7). Nil
 	// selects phy.NewCollision(), the paper's graph model (§1.1) — or
 	// phy.NewCollisionCD() when the legacy CollisionDetection flag is set.
@@ -222,6 +239,16 @@ func Run(g *graph.Graph, factory Factory, opts Options) (Result, error) {
 		}
 	} else if opts.CollisionDetection {
 		return Result{}, fmt.Errorf("radio: CollisionDetection is folded into the PHY model; pass phy.NewCollisionCD() as Options.PHY instead of setting both")
+	}
+	if opts.Checkpoint != nil || opts.Resume != nil {
+		if err := requireSnapshotters(nodes); err != nil {
+			return Result{}, err
+		}
+	}
+	if cp := opts.Resume; cp != nil {
+		if cp.Step < 0 || cp.Step >= opts.MaxSteps {
+			return Result{}, fmt.Errorf("radio: resume step %d outside [0, MaxSteps=%d)", cp.Step, opts.MaxSteps)
+		}
 	}
 	if opts.Concurrent {
 		return runPool(g, nodes, opts)

@@ -16,10 +16,25 @@ func runSequential(g *graph.Graph, nodes []Protocol, opts Options) (Result, erro
 	}
 	active := e.newActive()
 	var res Result
-	for step := 0; step < opts.MaxSteps; step++ {
+	start := 0
+	if cp := opts.Resume; cp != nil {
+		if err := e.restore(cp); err != nil {
+			return Result{}, err
+		}
+		active = append(active[:0], cp.Active...)
+		res = cp.Partial
+		start = cp.Step
+	}
+	for step := start; step < opts.MaxSteps; step++ {
 		st := StepStats{Step: step}
-		// Epoch boundary: swap in the topology in force at this step.
-		e.epochSync(step)
+		// Epoch boundary: swap in the topology in force at this step, and
+		// capture a checkpoint there when the hook is armed (on resume the
+		// boundary re-fires at cp.Step, re-syncing the PHY model).
+		if e.epochSync(step) && opts.Checkpoint != nil {
+			if err := e.checkpoint(step, active, res); err != nil {
+				return Result{}, err
+			}
+		}
 		// Act phase: retire done nodes, poll the rest.
 		active, e.txList, st.Transmits = e.actScan(active, step, e.txList)
 		if len(active) == 0 {

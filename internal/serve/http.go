@@ -9,11 +9,18 @@ package serve
 //	GET  /v1/stats         — service counters
 //	GET  /healthz          — liveness
 //
-// Simulate and results responses carry X-Cache (HIT | MISS | COALESCED)
-// and X-Spec-Hash headers so load generators can measure cache behavior
-// client-side.
+// Simulate and results responses carry X-Cache (HIT | HIT-DURABLE | MISS |
+// COALESCED) and X-Spec-Hash headers so load generators can measure cache
+// behavior client-side.
+//
+// Failure modes are retryable-vs-not (README "failure modes"): 400 means
+// the spec is wrong (don't retry), 503 + Retry-After means the service is
+// saturated (queue full, admission control), shutting down (draining), or
+// out of request budget (deadline) — retry after the indicated delay; 500
+// is an internal failure.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -31,7 +38,7 @@ func NewHandler(s *Service) http.Handler {
 		if !ok {
 			return
 		}
-		data, hash, status, err := s.Simulate(sp)
+		data, hash, status, err := s.SimulateCtx(r.Context(), sp)
 		if err != nil {
 			writeSimError(w, err)
 			return
@@ -51,7 +58,8 @@ func NewHandler(s *Service) http.Handler {
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrQueueFull):
-				writeErr(w, http.StatusTooManyRequests, err.Error())
+				// Backpressure, not a client error: say when to come back.
+				writeRetryErr(w, "1", err.Error())
 			case errors.Is(err, ErrClosed):
 				writeErr(w, http.StatusServiceUnavailable, err.Error())
 			default:
@@ -110,15 +118,19 @@ func decodeSpec(w http.ResponseWriter, r *http.Request) (Spec, bool) {
 	return sp, true
 }
 
-// writeSimError maps spec-validation failures to 400, sync-path
-// backpressure to 503, and everything else (engine/generator failures)
-// to 500.
+// writeSimError maps spec-validation failures to 400, transient conditions
+// (backpressure, drain, request deadline) to 503 + Retry-After, and
+// everything else (engine/generator failures) to 500.
 func writeSimError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrBadSpec):
 		writeErr(w, http.StatusBadRequest, err.Error())
-	case errors.Is(err, ErrBusy):
-		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
+		writeRetryErr(w, "1", err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The request's context expired; the computation keeps running and
+		// lands in the cache, so an immediate-ish retry is cheap.
+		writeRetryErr(w, "1", err.Error())
 	default:
 		writeErr(w, http.StatusInternalServerError, err.Error())
 	}
@@ -128,6 +140,8 @@ func cacheHeader(status CacheStatus) string {
 	switch status {
 	case StatusHit:
 		return "HIT"
+	case StatusDurableHit:
+		return "HIT-DURABLE"
 	case StatusCoalesced:
 		return "COALESCED"
 	default:
@@ -145,4 +159,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeRetryErr is a 503 with a Retry-After hint — the shape of every
+// transient, client-retryable failure.
+func writeRetryErr(w http.ResponseWriter, retryAfter, msg string) {
+	w.Header().Set("Retry-After", retryAfter)
+	writeErr(w, http.StatusServiceUnavailable, msg)
 }

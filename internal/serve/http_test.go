@@ -2,11 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -178,8 +180,76 @@ func TestHTTPQueueFull(t *testing.T) {
 	<-running
 	post(t, ts.URL+"/v1/jobs", `{"graph":"grid","n":16,"algo":"mis","seed":2}`)
 	resp, body := post(t, ts.URL+"/v1/jobs", `{"graph":"grid","n":16,"algo":"mis","seed":3}`)
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("status %d (%s), want 429", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("queue-full response lacks Retry-After")
+	}
+	if !strings.Contains(string(body), "queue full") {
+		t.Fatalf("body %s does not name the condition", body)
+	}
+}
+
+// Degraded mode over HTTP: a draining service serves cached and durable
+// results but answers computation with 503 + Retry-After.
+func TestHTTPDrainingAndDurableHit(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{Workers: 2, CacheEntries: 1, DataDir: dir})
+	body := `{"graph":"grid","n":16,"algo":"mis","seed":1}`
+	if r, b := post(t, ts.URL+"/v1/simulate", body); r.StatusCode != http.StatusOK {
+		t.Fatalf("cold compute: %d %s", r.StatusCode, b)
+	}
+	// Evict seed=1 from the single-entry LRU; it stays durable on disk.
+	if r, b := post(t, ts.URL+"/v1/simulate", `{"graph":"grid","n":16,"algo":"mis","seed":2}`); r.StatusCode != http.StatusOK {
+		t.Fatalf("evicting compute: %d %s", r.StatusCode, b)
+	}
+	s.Close()
+	r1, _ := post(t, ts.URL+"/v1/simulate", body)
+	if r1.StatusCode != http.StatusOK || r1.Header.Get("X-Cache") != "HIT-DURABLE" {
+		t.Fatalf("drained durable read: status %d X-Cache %q, want 200 HIT-DURABLE", r1.StatusCode, r1.Header.Get("X-Cache"))
+	}
+	r2, b2 := post(t, ts.URL+"/v1/simulate", `{"graph":"grid","n":16,"algo":"mis","seed":3}`)
+	if r2.StatusCode != http.StatusServiceUnavailable || r2.Header.Get("Retry-After") == "" {
+		t.Fatalf("drained compute: status %d Retry-After %q (%s), want 503 with Retry-After", r2.StatusCode, r2.Header.Get("Retry-After"), b2)
+	}
+}
+
+// A request whose context deadline expires mid-computation gets 503 +
+// Retry-After; the detached computation lands, so the retry is a hit.
+func TestHTTPRequestDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, CacheEntries: 8})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookExecuting = func(Spec) { once.Do(func() { <-release }) }
+	body := `{"graph":"grid","n":16,"algo":"mis","seed":9}`
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/simulate", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, rerr := http.DefaultClient.Do(req)
+	if rerr == nil {
+		// The handler answered before the client gave up: it must be the
+		// 503 + Retry-After shape.
+		if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("deadline response: %d Retry-After %q, want 503 with Retry-After", resp.StatusCode, resp.Header.Get("Retry-After"))
+		}
+		resp.Body.Close()
+	}
+	close(release)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, _ := post(t, ts.URL+"/v1/simulate", body)
+		if r.StatusCode == http.StatusOK && r.Header.Get("X-Cache") == "HIT" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("detached computation never became a cache hit")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -44,6 +44,33 @@ func (r *Result) JSON() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// ExecOptions parameterizes ExecuteWith beyond the plain Execute path —
+// the crash-safety hooks the journaled job runner threads through
+// (DESIGN.md §8). The zero value reproduces Execute's behavior.
+type ExecOptions struct {
+	// Parallel caps the trial-runner workers (≤ 0 selects 1).
+	Parallel int
+	// OnTrial observes progress as trials complete (exp.Config.OnTrialDone).
+	OnTrial func(done, total int)
+	// OnSample observes each freshly executed trial's sample with its
+	// declaration index — the journaling hook (exp.Config.OnTrialSample).
+	OnSample func(i int, s exp.Sample)
+	// Prefilled maps trial indices to samples recovered from the journal;
+	// those trials are installed without re-running.
+	Prefilled map[int]exp.Sample
+	// Cancelled is polled between trials; once true the run stops with
+	// exp.ErrCancelled (drain, deadline, injected kill).
+	Cancelled func() bool
+	// OnCheckpoint, when non-nil and the spec is a dynamic flood, receives
+	// each trial's engine checkpoints (trial declaration index, snapshot).
+	// A non-nil return aborts the run — a run must not outpace its journal.
+	OnCheckpoint func(trial int, cp *exp.FloodCheckpoint) error
+	// Resume, when non-nil, resumes trial ResumeTrial from the snapshot
+	// instead of step 0 (the trial interrupted mid-flight at the crash).
+	ResumeTrial int
+	Resume      *exp.FloodCheckpoint
+}
+
 // Execute canonicalizes sp and runs it: Reps independent trials fan out
 // over min(parallel, Reps) runner workers (parallel ≤ 0 selects 1 — the
 // service keeps per-job parallelism capped so concurrent jobs share cores
@@ -53,17 +80,47 @@ func (r *Result) JSON() ([]byte, error) {
 // declaration order, so Execute(sp) is byte-stable across calls, worker
 // counts, and hosts.
 func Execute(sp Spec, parallel int, onTrial func(done, total int)) (*Result, error) {
+	return ExecuteWith(sp, ExecOptions{Parallel: parallel, OnTrial: onTrial})
+}
+
+// ExecuteWith is Execute with the crash-safety hooks attached. Prefilled
+// trials and checkpoint resume do not change the result bytes — the
+// determinism contract makes a recovered run indistinguishable from an
+// uninterrupted one.
+func ExecuteWith(sp Spec, o ExecOptions) (*Result, error) {
 	c, err := sp.Canonicalize()
 	if err != nil {
 		return nil, err
 	}
+	parallel := o.Parallel
 	if parallel <= 0 {
 		parallel = 1
 	}
 	grid := exp.NewGrid(c.GridID())
-	grid.AddReps(c.Algo, c.Reps, trialFunc(c))
+	tf := trialFunc(c)
+	checkpointed := c.Algo == "flood" && (o.OnCheckpoint != nil || o.Resume != nil)
+	for i := 0; i < c.Reps; i++ {
+		if !checkpointed {
+			grid.Add(c.Algo, tf)
+			continue
+		}
+		i := i
+		grid.Add(c.Algo, func(seed uint64) (exp.Sample, error) {
+			var onCkpt func(cp *exp.FloodCheckpoint) error
+			if o.OnCheckpoint != nil {
+				onCkpt = func(cp *exp.FloodCheckpoint) error { return o.OnCheckpoint(i, cp) }
+			}
+			var resume *exp.FloodCheckpoint
+			if o.Resume != nil && i == o.ResumeTrial {
+				resume = o.Resume
+			}
+			return floodTrial(c, seed, onCkpt, resume)
+		})
+	}
 	samples, err := grid.Run(exp.Config{
-		Scale: exp.Quick, Seed: c.Seed, Parallel: parallel, OnTrialDone: onTrial,
+		Scale: exp.Quick, Seed: c.Seed, Parallel: parallel,
+		OnTrialDone: o.OnTrial, OnTrialSample: o.OnSample,
+		Prefilled: o.Prefilled, Cancelled: o.Cancelled,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: %s: %w", c, err)
@@ -86,7 +143,7 @@ func Execute(sp Spec, parallel int, onTrial func(done, total int)) (*Result, err
 func trialFunc(sp Spec) exp.TrialFunc {
 	return func(seed uint64) (exp.Sample, error) {
 		if sp.Algo == "flood" {
-			return floodTrial(sp, seed)
+			return floodTrial(sp, seed, nil, nil)
 		}
 		if _, _, isPhy := gen.SplitPhySpec(sp.Graph); isPhy {
 			return phyTrial(sp, seed)
@@ -202,7 +259,10 @@ func phyTrial(sp Spec, seed uint64) (exp.Sample, error) {
 // floodTrial runs the dynamic-topology flood (exp.RunFlood — the same
 // runner E17–E21 and radionet-sim use) for one replica. On a phy: spec the
 // schedule is static and the flood runs under the spec's reception model.
-func floodTrial(sp Spec, seed uint64) (exp.Sample, error) {
+// onCkpt and resume thread the crash-safety hooks into the flood run;
+// both are nil outside journaled jobs (a static schedule has no epoch
+// boundaries, so they are inert there).
+func floodTrial(sp Spec, seed uint64, onCkpt func(cp *exp.FloodCheckpoint) error, resume *exp.FloodCheckpoint) (exp.Sample, error) {
 	sched, err := gen.ScheduleByName(sp.Graph, sp.N, sp.Epochs, sp.EpochLen, sp.Rate, seed)
 	if err != nil {
 		return exp.Sample{}, err
@@ -214,7 +274,10 @@ func floodTrial(sp Spec, seed uint64) (exp.Sample, error) {
 	n := sched.N()
 	budget := max(sched.LastStart()+sp.EpochLen, 4*sp.EpochLen)
 	g := sched.CSR(0).Graph()
-	out, err := exp.RunFlood(g, sched, map[int]int64{sp.Source % n: 1}, exp.FloodConfig{Budget: budget, ProbeStep: -1, Seed: seed, PHY: model})
+	out, err := exp.RunFlood(g, sched, map[int]int64{sp.Source % n: 1}, exp.FloodConfig{
+		Budget: budget, ProbeStep: -1, Seed: seed, PHY: model,
+		OnCheckpoint: onCkpt, Resume: resume,
+	})
 	if err != nil {
 		return exp.Sample{}, err
 	}

@@ -1,15 +1,23 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/exp"
+	"repro/internal/store"
 )
 
 // ErrQueueFull is returned by SubmitJob when the bounded job queue is at
-// capacity — the service's backpressure signal (HTTP 429).
+// capacity — the service's backpressure signal (HTTP 503 + Retry-After).
 var ErrQueueFull = errors.New("job queue full")
 
 // ErrClosed is returned by SubmitJob after Close.
@@ -20,6 +28,15 @@ var ErrClosed = errors.New("service closed")
 // ErrQueueFull (HTTP 503), so a burst of distinct-spec sync requests
 // cannot park unboundedly many goroutines on the execution semaphore.
 var ErrBusy = errors.New("server busy: too many simulations in flight")
+
+// ErrDraining is returned for work that would start a new computation while
+// the service is shutting down. Cache and durable-store hits are still
+// served — degraded mode reads, but does not compute (DESIGN.md §8).
+var ErrDraining = errors.New("service draining: serving cached results only")
+
+// ErrJobDeadline is the terminal error of a job whose Config.JobTimeout
+// expired; it is not retried.
+var ErrJobDeadline = errors.New("job deadline exceeded")
 
 // Config sizes a Service.
 type Config struct {
@@ -40,6 +57,24 @@ type Config struct {
 	// long-lived server's memory stays bounded; a 404 on a previously-done
 	// job means "fetch the result by its hash instead".
 	MaxJobs int
+	// DataDir, when non-empty, makes the service crash-safe (DESIGN.md §8):
+	// results persist to a content-addressed store under DataDir/store and
+	// async jobs are journaled to DataDir/journal.jsonl. On Open the journal
+	// is replayed — terminal jobs keep their IDs and interrupted jobs are
+	// re-enqueued with completed trials prefilled and the last engine
+	// checkpoint resumed. Empty (the default) keeps the service ephemeral.
+	DataDir string
+	// JobRetries is how many times a failed job execution is retried with
+	// exponential backoff before the job turns terminally failed
+	// (default 2; negative disables retry).
+	JobRetries int
+	// JobTimeout, when positive, bounds each job's wall-clock execution
+	// (all attempts together); past it the job fails terminally with
+	// ErrJobDeadline. Zero means no deadline.
+	JobTimeout time.Duration
+	// RetryBackoff is the first retry's delay, doubling per attempt
+	// (default 100ms).
+	RetryBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +92,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
+	}
+	if c.JobRetries == 0 {
+		c.JobRetries = 2
+	} else if c.JobRetries < 0 {
+		c.JobRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
 	}
 	return c
 }
@@ -84,6 +127,13 @@ type job struct {
 	total    int
 	errMsg   string
 	cacheHit bool
+
+	// Recovery state from the journal (nil/zero for fresh jobs): completed
+	// trials to prefill and the checkpoint of the trial that was mid-flight.
+	recTrials map[int]exp.Sample
+	ckptTrial int
+	ckpt      *exp.FloodCheckpoint
+	recovered bool
 }
 
 // JobView is the externally visible snapshot of a job (the GET
@@ -99,6 +149,8 @@ type JobView struct {
 	Error    string `json:"error,omitempty"`
 	// Result is the relative URL of the result once the job is done.
 	Result string `json:"result,omitempty"`
+	// Recovered marks jobs restored from the journal after a restart.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // Stats is the service-wide counter snapshot (GET /v1/stats).
@@ -115,20 +167,47 @@ type Stats struct {
 	QueueLen   int    `json:"queue_len"`
 	QueueCap   int    `json:"queue_cap"`
 	Workers    int    `json:"workers"`
+	// Durable reports whether a DataDir backs the service; the Store*
+	// counters mirror the durable tier (store.Counters) when it does.
+	Durable          bool   `json:"durable"`
+	StoreHits        uint64 `json:"store_hits,omitempty"`
+	StoreMisses      uint64 `json:"store_misses,omitempty"`
+	StorePuts        uint64 `json:"store_puts,omitempty"`
+	StoreQuarantined uint64 `json:"store_quarantined,omitempty"`
+	StoreEntries     int    `json:"store_entries,omitempty"`
+	// RecoveredJobs / RecoveredTrials count journal-replay work at the last
+	// Open: interrupted jobs re-enqueued and completed trials prefilled.
+	RecoveredJobs   uint64 `json:"recovered_jobs,omitempty"`
+	RecoveredTrials uint64 `json:"recovered_trials,omitempty"`
+	// Retries counts job execution retry attempts; JournalErrors counts
+	// non-fatal journal append failures (durability degraded, service up).
+	Retries       uint64 `json:"retries,omitempty"`
+	JournalErrors uint64 `json:"journal_errors,omitempty"`
+	// Draining is true once shutdown began: reads are served, computation
+	// is refused.
+	Draining bool `json:"draining"`
 }
 
-// Service ties the pieces together: the result cache and singleflight
-// group in front, the bounded queue and worker pool behind. One Service
-// instance backs the whole HTTP API.
+// Service ties the pieces together: the LRU + durable store + singleflight
+// group in front, the bounded queue and worker pool behind, and the job
+// journal underneath. One Service instance backs the whole HTTP API.
 type Service struct {
 	cfg         Config
 	cache       *Cache
+	st          *store.Store // nil when ephemeral
+	jr          *journal     // nil when ephemeral
 	sf          flightGroup
 	slots       chan struct{} // execution semaphore, capacity cfg.Workers
 	queue       chan *job
 	syncPending atomic.Int64 // admitted non-cache-hit sync requests
 	execs       atomic.Uint64
 	coalesced   atomic.Uint64
+	retries     atomic.Uint64
+	journalErrs atomic.Uint64
+	recJobs     atomic.Uint64
+	recTrials   atomic.Uint64
+	draining    atomic.Bool
+	killed      atomic.Bool
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -143,25 +222,101 @@ type Service struct {
 	testHookExecuting func(sp Spec)
 }
 
-// New starts a Service with cfg's workers running.
+// New starts an ephemeral Service (no DataDir persistence errors are
+// possible, so no error to return); use Open for a durable one.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		// Only reachable with a DataDir that failed to open; callers who
+		// set one should use Open and handle the error.
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a Service with cfg's workers running. With cfg.DataDir set it
+// opens the durable store, replays and compacts the job journal, re-registers
+// finished jobs, and re-enqueues interrupted ones before accepting traffic.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:   cfg,
 		cache: NewCache(cfg.CacheEntries),
 		slots: make(chan struct{}, cfg.Workers),
-		queue: make(chan *job, cfg.QueueDepth),
 		jobs:  make(map[string]*job),
+	}
+	var recovered []*recoveredJob
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: data dir: %w", err)
+		}
+		st, err := store.Open(filepath.Join(cfg.DataDir, "store"))
+		if err != nil {
+			return nil, err
+		}
+		jr, jobs, maxSeq, err := openJournal(filepath.Join(cfg.DataDir, "journal.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		s.st, s.jr, s.seq = st, jr, maxSeq
+		recovered = jobs
+	}
+	interrupted := 0
+	for _, r := range recovered {
+		if r.state == JobQueued {
+			interrupted++
+		}
+	}
+	// The queue must absorb every re-enqueued job even when it exceeds
+	// QueueDepth — recovery cannot drop work the journal promised.
+	s.queue = make(chan *job, cfg.QueueDepth+interrupted)
+	for _, r := range recovered {
+		j := &job{
+			id: r.id, spec: r.spec, hash: r.spec.Hash(),
+			state: r.state, total: r.spec.Reps, errMsg: r.errMsg,
+			recovered: true,
+		}
+		switch r.state {
+		case JobDone:
+			j.done = j.total
+		case JobFailed:
+			// Terminal failure: error preserved across the restart.
+		default:
+			j.state = JobQueued
+			j.done = len(r.trials)
+			j.recTrials = r.trials
+			j.ckptTrial, j.ckpt = r.ckptIdx, r.ckpt
+			s.recJobs.Add(1)
+			s.recTrials.Add(uint64(len(r.trials)))
+			s.queue <- j
+		}
+		s.mu.Lock()
+		s.registerLocked(j)
+		s.mu.Unlock()
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
-// Close stops accepting jobs, drains the queue, and waits for workers.
-// In-flight sync Simulate calls are unaffected.
+// SetFaults installs a chaos fault registry on the durable layers (the
+// "store.get"/"store.put"/"serve.journal" sites). Call before serving
+// traffic; test-only by convention.
+func (s *Service) SetFaults(f *chaos.Faults) {
+	if s.st != nil {
+		s.st.SetFaults(f)
+	}
+	if s.jr != nil {
+		s.jr.faults = f
+	}
+}
+
+// Close stops accepting new work, fails queued-but-unstarted jobs in
+// memory (the journal keeps them resumable for the next Open), waits for
+// in-flight executions, and closes the journal. In-flight sync Simulate
+// calls are unaffected.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -170,25 +325,50 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.draining.Store(true)
 	close(s.queue)
 	s.wg.Wait()
+	s.jr.close()
+}
+
+// Kill simulates kill -9 for the chaos suite: the journal is frozen (every
+// later append fails, aborting checkpointed runs exactly the way a dead
+// process would), in-flight grids are cancelled, and nothing is marked
+// failed on disk — the data dir is left precisely as a crash would leave
+// it, for the next Open to recover.
+func (s *Service) Kill() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.draining.Store(true)
+	s.killed.Store(true)
+	s.jr.freeze()
+	close(s.queue)
+	s.wg.Wait()
+	s.jr.close()
 }
 
 // CacheStatus classifies how a sync request was satisfied.
 type CacheStatus string
 
-// Simulate outcomes: served from cache, computed fresh, or coalesced onto
-// a concurrent identical execution.
+// Simulate outcomes: served from the in-memory cache, from the durable
+// store (populating the cache), computed fresh, or coalesced onto a
+// concurrent identical execution.
 const (
-	StatusHit       CacheStatus = "hit"
-	StatusMiss      CacheStatus = "miss"
-	StatusCoalesced CacheStatus = "coalesced"
+	StatusHit        CacheStatus = "hit"
+	StatusDurableHit CacheStatus = "durable"
+	StatusMiss       CacheStatus = "miss"
+	StatusCoalesced  CacheStatus = "coalesced"
 )
 
-// Simulate is the sync path: canonicalize, consult the cache, otherwise
-// execute exactly once across all concurrent identical requests. The
-// returned bytes are the deterministic Result JSON; callers must not
-// mutate them.
+// Simulate is the sync path: canonicalize, consult the cache, then the
+// durable store, otherwise execute exactly once across all concurrent
+// identical requests. The returned bytes are the deterministic Result
+// JSON; callers must not mutate them.
 func (s *Service) Simulate(raw Spec) (data []byte, hash string, status CacheStatus, err error) {
 	sp, err := raw.Canonicalize()
 	if err != nil {
@@ -197,6 +377,15 @@ func (s *Service) Simulate(raw Spec) (data []byte, hash string, status CacheStat
 	hash = sp.Hash()
 	if b, ok := s.cache.Get(hash); ok {
 		return b, hash, StatusHit, nil
+	}
+	if b, ok := s.storeGet(hash); ok {
+		s.cache.Put(hash, b)
+		return b, hash, StatusDurableHit, nil
+	}
+	// Degraded mode: once shutdown begins, reads above still work but new
+	// computations are refused with a retryable signal.
+	if s.draining.Load() {
+		return nil, hash, "", ErrDraining
 	}
 	// Admission control for the sync path: cache hits above cost nothing,
 	// but every admitted request below parks on the execution semaphore
@@ -238,9 +427,61 @@ func (s *Service) Simulate(raw Spec) (data []byte, hash string, status CacheStat
 	}
 }
 
+// SimulateCtx is Simulate bounded by ctx (the per-request deadline). On
+// expiry it returns ctx's error; the underlying computation — shared with
+// every coalesced waiter — is NOT abandoned: it finishes, lands in the
+// cache and store, and a retried request becomes a cheap hit. Admission
+// control bounds how many such detached computations can exist.
+func (s *Service) SimulateCtx(ctx context.Context, raw Spec) (data []byte, hash string, status CacheStatus, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, "", "", err
+	}
+	type outcome struct {
+		data   []byte
+		hash   string
+		status CacheStatus
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		d, h, st, e := s.Simulate(raw)
+		ch <- outcome{d, h, st, e}
+	}()
+	select {
+	case o := <-ch:
+		return o.data, o.hash, o.status, o.err
+	case <-ctx.Done():
+		return nil, "", "", fmt.Errorf("%w (the computation continues; retry to collect the cached result)", ctx.Err())
+	}
+}
+
+// storeGet reads the durable tier; errors (I/O, injected faults, corrupt
+// entries) degrade to a miss — the caller recomputes.
+func (s *Service) storeGet(hash string) ([]byte, bool) {
+	if s.st == nil {
+		return nil, false
+	}
+	b, ok, err := s.st.Get(hash)
+	if err != nil || !ok {
+		return nil, false
+	}
+	return b, true
+}
+
+// storePut writes the durable tier. A write failure is a real error: the
+// service must not report a durable job done when its result is not on
+// disk (the job layer retries).
+func (s *Service) storePut(hash string, b []byte) error {
+	if s.st == nil {
+		return nil
+	}
+	return s.st.Put(hash, b)
+}
+
 // execute runs one simulation under the worker semaphore and publishes the
-// result bytes to the cache; fromCache reports that the result had already
-// landed and nothing ran. Callers hold the singleflight slot for hash.
+// result bytes to the store and cache; fromCache reports that the result
+// had already landed and nothing ran. Callers hold the singleflight slot
+// for hash.
 func (s *Service) execute(sp Spec, hash string, onTrial func(done, total int)) (b []byte, fromCache bool, err error) {
 	s.slots <- struct{}{}
 	defer func() { <-s.slots }()
@@ -248,6 +489,10 @@ func (s *Service) execute(sp Spec, hash string, onTrial func(done, total int)) (
 	// for a slot (e.g. a sync request computed the same spec) — serve it.
 	// peek, not Get: this internal re-check must not distort the stats.
 	if b, ok := s.cache.peek(hash); ok {
+		return b, true, nil
+	}
+	if b, ok := s.storeGet(hash); ok {
+		s.cache.Put(hash, b)
 		return b, true, nil
 	}
 	if hook := s.testHookExecuting; hook != nil {
@@ -262,14 +507,17 @@ func (s *Service) execute(sp Spec, hash string, onTrial func(done, total int)) (
 	if err != nil {
 		return nil, false, err
 	}
+	if err := s.storePut(hash, b); err != nil {
+		return nil, false, err
+	}
 	s.cache.Put(hash, b)
 	return b, false, nil
 }
 
-// SubmitJob is the async path: canonicalize, register a job, and either
-// satisfy it from the cache immediately or enqueue it. ErrQueueFull
-// signals backpressure; the caller should retry later or fall back to the
-// sync endpoint.
+// SubmitJob is the async path: canonicalize, register and journal a job,
+// and either satisfy it from the cache immediately or enqueue it.
+// ErrQueueFull signals backpressure; the caller should retry later or fall
+// back to the sync endpoint.
 func (s *Service) SubmitJob(raw Spec) (JobView, error) {
 	sp, err := raw.Canonicalize()
 	if err != nil {
@@ -294,14 +542,32 @@ func (s *Service) SubmitJob(raw Spec) (JobView, error) {
 	if cached {
 		j.state, j.done, j.cacheHit = JobDone, sp.Reps, true
 		s.registerLocked(j)
+		s.journalSubmit(j)
+		s.journalAppend(journalRecord{Op: opDone, Job: j.id})
 		return s.viewLocked(j), nil
 	}
 	select {
 	case s.queue <- j:
 		s.registerLocked(j)
+		s.journalSubmit(j)
 		return s.viewLocked(j), nil
 	default:
 		return JobView{}, ErrQueueFull
+	}
+}
+
+// journalSubmit appends j's submit record. Journal append failures outside
+// checkpoints are non-fatal (counted; the service keeps working with
+// degraded durability) — only a checkpointed run must not outpace its
+// journal, and that path aborts through the checkpoint hook instead.
+func (s *Service) journalSubmit(j *job) {
+	spec := j.spec
+	s.journalAppend(journalRecord{Op: opSubmit, Job: j.id, Spec: &spec})
+}
+
+func (s *Service) journalAppend(rec journalRecord) {
+	if err := s.jr.append(rec); err != nil {
+		s.journalErrs.Add(1)
 	}
 }
 
@@ -333,48 +599,153 @@ func (s *Service) registerLocked(j *job) {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		// After Close, fail queued-but-unstarted jobs instead of draining
-		// them: shutdown must be bounded by in-flight work only, not by a
-		// full queue of heavy simulations (a supervisor would SIGKILL long
-		// before a 64-deep queue drains).
+		// After Close, fail queued-but-unstarted jobs in memory instead of
+		// draining them: shutdown must be bounded by in-flight work only,
+		// not by a full queue of heavy simulations (a supervisor would
+		// SIGKILL long before a 64-deep queue drains). No failed record is
+		// journaled — on disk they stay interrupted, so the next Open
+		// resumes them.
 		if s.isClosed() {
 			s.updateJob(j, func(j *job) { j.state, j.errMsg = JobFailed, ErrClosed.Error() })
 			continue
 		}
-		s.updateJob(j, func(j *job) { j.state = JobRunning })
-		// The progress listener is attached whether this worker executes or
-		// coalesces onto an in-flight identical execution, so polling
-		// clients see trial progress either way. Completion counts arrive
-		// from concurrent runner goroutines (and the coalescing catch-up
-		// replay) out of order, so the write is kept monotone.
-		onProgress := func(done, total int) {
-			s.updateJob(j, func(j *job) {
-				if done > j.done {
-					j.done = done
-				}
-				j.total = total
-			})
+		s.runJob(j)
+	}
+}
+
+// runJob is one job's full lifecycle: attempts with exponential backoff up
+// to cfg.JobRetries retries, a terminal deadline, and journaled completion.
+func (s *Service) runJob(j *job) {
+	s.updateJob(j, func(j *job) { j.state = JobRunning })
+	var deadline time.Time
+	if s.cfg.JobTimeout > 0 {
+		deadline = time.Now().Add(s.cfg.JobTimeout)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.JobRetries; attempt++ {
+		if attempt > 0 {
+			s.retries.Add(1)
+			time.Sleep(s.cfg.RetryBackoff << (attempt - 1))
 		}
-		var fromCache bool
-		_, err, shared := s.sf.Do(j.hash, onProgress, func(report func(done, total int)) ([]byte, error) {
-			b, hit, err := s.execute(j.spec, j.hash, report)
-			fromCache = hit
-			return b, err
-		})
-		if shared {
-			s.coalesced.Add(1)
+		err := s.attemptJob(j, deadline)
+		if err == nil {
+			s.journalAppend(journalRecord{Op: opDone, Job: j.id})
+			return
 		}
+		lastErr = err
+		if errors.Is(err, errJournalFrozen) || s.killed.Load() {
+			// Simulated crash: leave the job exactly as the journal has it;
+			// the next Open recovers it.
+			return
+		}
+		if errors.Is(err, ErrJobDeadline) || errors.Is(err, ErrBadSpec) {
+			break // terminal: retrying cannot help
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			lastErr = fmt.Errorf("%w: %w", ErrJobDeadline, err)
+			break
+		}
+	}
+	s.updateJob(j, func(j *job) { j.state, j.errMsg = JobFailed, lastErr.Error() })
+	s.journalAppend(journalRecord{Op: opFailed, Job: j.id, Error: lastErr.Error()})
+}
+
+// attemptJob runs one execution attempt through the singleflight group,
+// updating the job on success.
+func (s *Service) attemptJob(j *job, deadline time.Time) error {
+	// The progress listener is attached whether this worker executes or
+	// coalesces onto an in-flight identical execution, so polling clients
+	// see trial progress either way. Completion counts arrive from
+	// concurrent runner goroutines (and the coalescing catch-up replay)
+	// out of order, so the write is kept monotone.
+	onProgress := func(done, total int) {
 		s.updateJob(j, func(j *job) {
-			if err != nil {
-				j.state, j.errMsg = JobFailed, err.Error()
-				return
+			if done > j.done {
+				j.done = done
 			}
-			j.state, j.done = JobDone, j.total
-			// The result may have landed (via a sync request for the same
-			// spec) while this job sat in the queue; keep CacheHit honest.
-			j.cacheHit = j.cacheHit || fromCache
+			j.total = total
 		})
 	}
+	var fromCache bool
+	_, err, shared := s.sf.Do(j.hash, onProgress, func(report func(done, total int)) ([]byte, error) {
+		b, hit, eerr := s.executeJob(j, deadline, report)
+		fromCache = hit
+		return b, eerr
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	if err != nil {
+		return err
+	}
+	s.updateJob(j, func(j *job) {
+		j.state, j.done = JobDone, j.total
+		// The result may have landed (via a sync request for the same
+		// spec) while this job sat in the queue; keep CacheHit honest.
+		j.cacheHit = j.cacheHit || fromCache
+	})
+	return nil
+}
+
+// executeJob is execute with the job's crash-safety hooks attached:
+// journaled trial samples and flood checkpoints, recovered-trial prefill,
+// checkpoint resume, and cancellation (kill, deadline).
+func (s *Service) executeJob(j *job, deadline time.Time, report func(done, total int)) ([]byte, bool, error) {
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+	if b, ok := s.cache.peek(j.hash); ok {
+		return b, true, nil
+	}
+	if b, ok := s.storeGet(j.hash); ok {
+		s.cache.Put(j.hash, b)
+		return b, true, nil
+	}
+	if hook := s.testHookExecuting; hook != nil {
+		hook(j.spec)
+	}
+	s.execs.Add(1)
+	o := ExecOptions{
+		Parallel:  s.cfg.Parallel,
+		OnTrial:   report,
+		Prefilled: j.recTrials,
+		Cancelled: func() bool {
+			return s.killed.Load() || (!deadline.IsZero() && time.Now().After(deadline))
+		},
+	}
+	if s.jr != nil {
+		o.OnSample = func(i int, smp exp.Sample) {
+			sample := smp
+			s.journalAppend(journalRecord{Op: opTrial, Job: j.id, Index: i, Sample: &sample})
+		}
+		o.OnCheckpoint = func(trial int, cp *exp.FloodCheckpoint) error {
+			// A checkpointed run must not outpace its journal: the append
+			// error aborts the run (and the chaos suite injects worker
+			// death here).
+			return s.jr.append(journalRecord{Op: opCkpt, Job: j.id, Index: trial, Ckpt: cp})
+		}
+		if j.ckpt != nil {
+			o.ResumeTrial, o.Resume = j.ckptTrial, j.ckpt
+		}
+	}
+	res, err := ExecuteWith(j.spec, o)
+	if err != nil {
+		if errors.Is(err, exp.ErrCancelled) {
+			if s.killed.Load() {
+				return nil, false, errJournalFrozen
+			}
+			return nil, false, fmt.Errorf("%w after %v", ErrJobDeadline, s.cfg.JobTimeout)
+		}
+		return nil, false, err
+	}
+	b, err := res.JSON()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := s.storePut(j.hash, b); err != nil {
+		return nil, false, err
+	}
+	s.cache.Put(j.hash, b)
+	return b, false, nil
 }
 
 // updateJob applies fn to j under the service lock.
@@ -412,6 +783,7 @@ func (s *Service) viewLocked(j *job) JobView {
 		TrialsTotal: j.total,
 		CacheHit:    j.cacheHit,
 		Error:       j.errMsg,
+		Recovered:   j.recovered,
 	}
 	if j.state == JobDone {
 		v.Result = "/v1/results/" + j.hash
@@ -419,10 +791,19 @@ func (s *Service) viewLocked(j *job) JobView {
 	return v
 }
 
-// ResultByHash serves the content-addressed endpoint straight from the
-// cache. A miss means "not computed yet, or evicted — request it again".
+// ResultByHash serves the content-addressed endpoint: the in-memory cache
+// first, then the durable store (read-through — a store hit repopulates
+// the cache). A miss means "not computed yet, or evicted and not durable —
+// request it again".
 func (s *Service) ResultByHash(hash string) ([]byte, bool) {
-	return s.cache.Get(hash)
+	if b, ok := s.cache.Get(hash); ok {
+		return b, true
+	}
+	if b, ok := s.storeGet(hash); ok {
+		s.cache.Put(hash, b)
+		return b, true
+	}
+	return nil, false
 }
 
 // Stats snapshots the service counters.
@@ -431,15 +812,30 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	jobs := len(s.jobs)
 	s.mu.Unlock()
-	return Stats{
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		CacheEntries: s.cache.Len(),
-		Executions:   s.execs.Load(),
-		Coalesced:    s.coalesced.Load(),
-		Jobs:         jobs,
-		QueueLen:     len(s.queue),
-		QueueCap:     cap(s.queue),
-		Workers:      s.cfg.Workers,
+	st := Stats{
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEntries:    s.cache.Len(),
+		Executions:      s.execs.Load(),
+		Coalesced:       s.coalesced.Load(),
+		Jobs:            jobs,
+		QueueLen:        len(s.queue),
+		QueueCap:        cap(s.queue),
+		Workers:         s.cfg.Workers,
+		RecoveredJobs:   s.recJobs.Load(),
+		RecoveredTrials: s.recTrials.Load(),
+		Retries:         s.retries.Load(),
+		JournalErrors:   s.journalErrs.Load(),
+		Draining:        s.draining.Load(),
 	}
+	if s.st != nil {
+		st.Durable = true
+		c := s.st.Counters()
+		st.StoreHits, st.StoreMisses = c.Hits, c.Misses
+		st.StorePuts, st.StoreQuarantined = c.Puts, c.Quarantined
+		if n, err := s.st.Len(); err == nil {
+			st.StoreEntries = n
+		}
+	}
+	return st
 }

@@ -28,6 +28,17 @@ func New(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State exposes the generator's full internal state — one word, by
+// SplitMix64's construction — for checkpointing. A generator restored with
+// SetState(State()) produces the identical future stream, which is what
+// lets engine checkpoints (radio.Checkpoint) capture per-node randomness
+// exactly.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's state with a value previously
+// obtained from State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // mix64 is the SplitMix64 output function.
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

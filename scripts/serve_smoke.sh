@@ -2,14 +2,18 @@
 # End-to-end smoke of the simulation service (CI's serve-smoke job, also
 # runnable locally): boot radionet-serve on an ephemeral port, exercise the
 # sync path, the async job path, the cache-hit path, and the load
-# generator, then shut down cleanly via SIGTERM.
+# generator; then the crash-safety path (DESIGN.md §8) — kill -9 a durable
+# server mid-job, restart it on the same data dir, and assert
+# restart-recovery cache hits and byte-identical resumed-job completion.
+# Restart-recovery and resume-overhead timings are appended to the
+# BENCH_serve.json trail next to the loadgen record.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
 cleanup() {
   if [[ -n "${server_pid:-}" ]] && kill -0 "$server_pid" 2>/dev/null; then
-    kill "$server_pid" 2>/dev/null || true
+    kill -9 "$server_pid" 2>/dev/null || true
   fi
   rm -rf "$workdir"
 }
@@ -18,17 +22,25 @@ trap cleanup EXIT
 go build -o "$workdir/radionet-serve" ./cmd/radionet-serve
 go build -o "$workdir/radionet-loadgen" ./cmd/radionet-loadgen
 
+# wait_addr LOGFILE: print the server's announced base URL once it appears.
+wait_addr() {
+  local log=$1 base=""
+  for _ in $(seq 100); do
+    base=$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$log" | head -1)
+    [[ -n "$base" ]] && { echo "$base"; return 0; }
+    kill -0 "$server_pid" || { echo "server died:" >&2; cat "$log" >&2; return 1; }
+    sleep 0.1
+  done
+  echo "server never announced its address" >&2
+  cat "$log" >&2
+  return 1
+}
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
 "$workdir/radionet-serve" -addr 127.0.0.1:0 -workers 2 >"$workdir/serve.out" 2>&1 &
 server_pid=$!
-
-base=""
-for _ in $(seq 100); do
-  base=$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$workdir/serve.out" | head -1)
-  [[ -n "$base" ]] && break
-  kill -0 "$server_pid" || { echo "server died:"; cat "$workdir/serve.out"; exit 1; }
-  sleep 0.1
-done
-[[ -n "$base" ]] || { echo "server never announced its address"; cat "$workdir/serve.out"; exit 1; }
+base=$(wait_addr "$workdir/serve.out")
 echo "server at $base"
 
 curl -fsS "$base/healthz" | grep -q '"ok":true'
@@ -78,3 +90,89 @@ wait "$server_pid"
 grep -q 'shut down cleanly' "$workdir/serve.out"
 unset server_pid
 echo "serve smoke OK"
+
+# 5. Crash safety (DESIGN.md §8): durable server, kill -9 mid-job, restart
+# on the same data dir.
+datadir="$workdir/data"
+"$workdir/radionet-serve" -addr 127.0.0.1:0 -workers 1 -data-dir "$datadir" \
+  >"$workdir/serve2.out" 2>&1 &
+server_pid=$!
+base2=$(wait_addr "$workdir/serve2.out")
+echo "durable server at $base2 (data dir $datadir)"
+
+# A computed result that must survive the crash...
+dspec='{"graph":"grid","n":49,"algo":"mis","seed":9,"reps":2}'
+curl -fsS -D "$workdir/h5" -o "$workdir/r5" -d "$dspec" "$base2/v1/simulate"
+grep -qi '^x-cache: MISS' "$workdir/h5"
+
+# ...and a heavy journaled job to die in the middle of.
+jspec='{"graph":"churn:grid","n":196,"algo":"flood","seed":11,"reps":32,"epochs":8,"epoch_len":32,"rate":0.4}'
+job2=$(curl -fsS -d "$jspec" "$base2/v1/jobs")
+jid2=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$job2")
+[[ -n "$jid2" ]] || { echo "no job id in: $job2"; exit 1; }
+
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+unset server_pid
+echo "killed -9 with job $jid2 in flight"
+
+t_restart=$(now_ms)
+"$workdir/radionet-serve" -addr 127.0.0.1:0 -workers 1 -data-dir "$datadir" \
+  >"$workdir/serve3.out" 2>&1 &
+server_pid=$!
+base3=$(wait_addr "$workdir/serve3.out")
+grep -q 'recovered 1 jobs' "$workdir/serve3.out" || {
+  echo "restart did not recover the interrupted job:"; cat "$workdir/serve3.out"; exit 1; }
+
+# Restart recovery: the pre-crash sync result is served from the durable
+# store, byte-identical, without recomputing.
+t0=$(now_ms)
+curl -fsS -D "$workdir/h6" -o "$workdir/r6" -d "$dspec" "$base3/v1/simulate"
+t1=$(now_ms)
+grep -qi '^x-cache: HIT-DURABLE' "$workdir/h6"
+cmp "$workdir/r5" "$workdir/r6"
+durable_hit_ms=$((t1 - t0))
+echo "restart-recovery durable hit OK (${durable_hit_ms}ms)"
+
+# Resumed job: same ID, completes, flagged recovered.
+state=""
+for _ in $(seq 600); do
+  poll=$(curl -fsS "$base3/v1/jobs/$jid2")
+  state=$(sed -n 's/.*"state":"\([^"]*\)".*/\1/p' <<<"$poll")
+  [[ "$state" == done ]] && break
+  [[ "$state" == failed ]] && { echo "resumed job failed: $poll"; exit 1; }
+  sleep 0.1
+done
+[[ "$state" == done ]] || { echo "resumed job stuck: $poll"; exit 1; }
+grep -q '"recovered":true' <<<"$poll" || { echo "job not marked recovered: $poll"; exit 1; }
+t_resumed=$(now_ms)
+resumed_ms=$((t_resumed - t_restart))
+hash2=$(sed -n 's/.*"spec_hash":"\([^"]*\)".*/\1/p' <<<"$poll")
+curl -fsS -o "$workdir/r7" "$base3/v1/results/$hash2"
+curl -fsS "$base3/v1/stats" | grep -q '"recovered_jobs":1'
+kill "$server_pid"; wait "$server_pid"; unset server_pid
+
+# Byte-identity of the resumed job: a fresh ephemeral server computing the
+# same spec from scratch must produce the same bytes.
+"$workdir/radionet-serve" -addr 127.0.0.1:0 -workers 1 >"$workdir/serve4.out" 2>&1 &
+server_pid=$!
+base4=$(wait_addr "$workdir/serve4.out")
+t0=$(now_ms)
+curl -fsS -o "$workdir/r8" --max-time 300 -d "$jspec" "$base4/v1/simulate"
+t1=$(now_ms)
+fresh_ms=$((t1 - t0))
+cmp "$workdir/r7" "$workdir/r8" || { echo "resumed job result differs from fresh computation"; exit 1; }
+kill "$server_pid"; wait "$server_pid"; unset server_pid
+echo "resumed job byte-identical to fresh computation OK (resumed ${resumed_ms}ms vs fresh ${fresh_ms}ms)"
+
+# 6. Record the crash-safety timings next to the loadgen row.
+jq --argjson hit "$durable_hit_ms" --argjson resumed "$resumed_ms" --argjson fresh "$fresh_ms" \
+  '. += [
+     {kind: "restart-recovery", durable_hit_ms: $hit},
+     {kind: "resume-overhead", resumed_job_ms: $resumed, fresh_job_ms: $fresh}
+   ]' "$workdir/BENCH_serve.json" >"$workdir/BENCH_serve.json.new"
+mv "$workdir/BENCH_serve.json.new" "$workdir/BENCH_serve.json"
+grep -q 'restart-recovery' "$workdir/BENCH_serve.json"
+grep -q 'resume-overhead' "$workdir/BENCH_serve.json"
+cat "$workdir/BENCH_serve.json"
+echo "crash-safety smoke OK"
