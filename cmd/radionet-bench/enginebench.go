@@ -24,11 +24,14 @@ import (
 // engines (dense-scan delivery, goroutine-per-node concurrency) for
 // comparison.
 
-// EngineBenchResult is one benchmark row of BENCH_engine.json.
+// EngineBenchResult is one benchmark row of BENCH_engine.json. Procs is
+// the GOMAXPROCS override the row ran under (0 = the process default, see
+// the report's gomaxprocs field).
 type EngineBenchResult struct {
 	Name            string  `json:"name"`
 	Nodes           int     `json:"nodes"`
 	StepsPerOp      int     `json:"steps_per_op"`
+	Procs           int     `json:"procs,omitempty"`
 	NsPerOp         float64 `json:"ns_per_op"`
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 	BytesPerOp      int64   `json:"bytes_per_op"`
@@ -65,17 +68,53 @@ func (c *benchNode) Act(step int) radio.Action {
 func (c *benchNode) Deliver(step int, msg radio.Message) { c.step = step + 1 }
 func (c *benchNode) Done() bool                          { return c.dead || c.step >= c.budget }
 
+// timerArmer restarts the benchmark timer (and its alloc counters) exactly
+// once, at the first Act call of a run — the first moment after the engine
+// has finished constructing itself. The per-step benches hand the whole run
+// to radio.Run, so a b.ResetTimer() placed before the call leaves engine
+// construction (node states, CSR views, delivery scratch — thousands of
+// one-time allocations at n=4096) inside the timed region, where it divides
+// by b.N and masquerades as a handful of per-step allocs/op whenever b.N
+// lands small. Only the sequential benches use this: their Act calls run on
+// the benchmark goroutine, so the reset is race-free.
+type timerArmer struct {
+	b     *testing.B
+	armed bool
+}
+
+func (a *timerArmer) fire() {
+	if !a.armed {
+		a.armed = true
+		a.b.ResetTimer()
+	}
+}
+
+// resetOnFirstAct wraps a node protocol to fire the run's shared armer at
+// its first Act. Every node is wrapped (a dynamic schedule may leave any
+// particular node inactive at step 0, so no single node can own the reset);
+// the wrapper allocations land during construction, outside the measured
+// window.
+type resetOnFirstAct struct {
+	radio.Protocol
+	arm *timerArmer
+}
+
+func (r *resetOnFirstAct) Act(step int) radio.Action {
+	r.arm.fire()
+	return r.Protocol.Act(step)
+}
+
 // benchSequentialSteps measures one engine step per op on an rows×cols grid
 // where the first liveCount nodes stay live (0 = all).
 func benchSequentialSteps(rows, cols, liveCount int) func(b *testing.B) {
 	return func(b *testing.B) {
 		g := gen.Grid(rows, cols)
 		g.Freeze()
+		arm := &timerArmer{b: b}
 		factory := func(info radio.NodeInfo) radio.Protocol {
 			dead := liveCount > 0 && info.Index >= liveCount
-			return &benchNode{rng: info.RNG, budget: b.N, dead: dead}
+			return &resetOnFirstAct{Protocol: &benchNode{rng: info.RNG, budget: b.N, dead: dead}, arm: arm}
 		}
-		b.ResetTimer()
 		if _, err := radio.Run(g, factory, radio.Options{MaxSteps: b.N, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
@@ -96,10 +135,10 @@ func benchDynSteps(rows, cols, epochLen int) func(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		arm := &timerArmer{b: b}
 		factory := func(info radio.NodeInfo) radio.Protocol {
-			return &benchNode{rng: info.RNG, budget: b.N}
+			return &resetOnFirstAct{Protocol: &benchNode{rng: info.RNG, budget: b.N}, arm: arm}
 		}
-		b.ResetTimer()
 		opts := radio.Options{MaxSteps: b.N, Seed: 1, Topology: sched}
 		if _, err := radio.Run(g, factory, opts); err != nil {
 			b.Fatal(err)
@@ -146,10 +185,10 @@ func benchSINRSteps(n int) func(b *testing.B) {
 		}
 		g := gen.SINRConnectivity(pts, model.Params())
 		g.Freeze()
+		arm := &timerArmer{b: b}
 		factory := func(info radio.NodeInfo) radio.Protocol {
-			return &sinrNode{rng: info.RNG, budget: b.N}
+			return &resetOnFirstAct{Protocol: &sinrNode{rng: info.RNG, budget: b.N}, arm: arm}
 		}
-		b.ResetTimer()
 		if _, err := radio.Run(g, factory, radio.Options{MaxSteps: b.N, Seed: 1, PHY: model}); err != nil {
 			b.Fatal(err)
 		}
@@ -260,22 +299,33 @@ func benchPoolRun(rows, cols int) func(b *testing.B) {
 	}
 }
 
-// engineBenchSpecs defines the tracked engine micro-benches.
+// engineBenchSpecs defines the tracked engine micro-benches. procs > 0
+// pins GOMAXPROCS for that row (restored afterwards): the pool engine
+// shards per P, so the p2/p4/p8 rows are what make its parallel scaling
+// visible in the trajectory — on a host with fewer cores they still run
+// (the Ps timeshare), they just can't show a speedup there.
 var engineBenchSpecs = []struct {
 	name       string
 	nodes      int
 	stepsPerOp int
+	procs      int
 	fn         func(b *testing.B)
 }{
-	{"seq_dense_n1024", 1024, 1, benchSequentialSteps(32, 32, 0)},
-	{"seq_sparse_n4096_live64", 4096, 1, benchSequentialSteps(64, 64, 64)},
-	{"seq_dyn_churn_n1024", 1024, 1, benchDynSteps(32, 32, 64)},
-	{"pool_n256_64steps", 256, 64, benchPoolRun(16, 16)},
-	{"pool_n1024_64steps", 1024, 64, benchPoolRun(32, 32)},
-	{"seq_sinr_n1024", 1024, 1, benchSINRSteps(1024)},
-	{"pool_sinr_n1024", 1024, 64, benchPoolSINRRun(1024)},
-	{"seq_sinr_n4096", 4096, 1, benchSINRSteps(4096)},
-	{"sinr_dense_ref_n4096", 4096, 1, benchSINRDenseRef(4096)},
+	{"seq_dense_n1024", 1024, 1, 0, benchSequentialSteps(32, 32, 0)},
+	{"seq_sparse_n4096_live64", 4096, 1, 0, benchSequentialSteps(64, 64, 64)},
+	{"seq_dyn_churn_n1024", 1024, 1, 0, benchDynSteps(32, 32, 64)},
+	{"pool_n256_64steps", 256, 64, 0, benchPoolRun(16, 16)},
+	{"pool_n1024_64steps", 1024, 64, 0, benchPoolRun(32, 32)},
+	{"pool_n1024_64steps_p2", 1024, 64, 2, benchPoolRun(32, 32)},
+	{"pool_n1024_64steps_p4", 1024, 64, 4, benchPoolRun(32, 32)},
+	{"pool_n1024_64steps_p8", 1024, 64, 8, benchPoolRun(32, 32)},
+	{"seq_sinr_n1024", 1024, 1, 0, benchSINRSteps(1024)},
+	{"pool_sinr_n1024", 1024, 64, 0, benchPoolSINRRun(1024)},
+	{"pool_sinr_n1024_p2", 1024, 64, 2, benchPoolSINRRun(1024)},
+	{"pool_sinr_n1024_p4", 1024, 64, 4, benchPoolSINRRun(1024)},
+	{"pool_sinr_n1024_p8", 1024, 64, 8, benchPoolSINRRun(1024)},
+	{"seq_sinr_n4096", 4096, 1, 0, benchSINRSteps(4096)},
+	{"sinr_dense_ref_n4096", 4096, 1, 0, benchSINRDenseRef(4096)},
 }
 
 // seedBaseline is the same workload set measured at PR 1 on the seed's
@@ -300,7 +350,14 @@ func measureEngineBench() (EngineBenchReport, error) {
 		BaselineNote: "seed engines (dense-scan delivery, goroutine-per-node concurrency) measured at PR 1 on the hardware of the first committed report",
 	}
 	for _, spec := range engineBenchSpecs {
-		r := testing.Benchmark(spec.fn)
+		var r testing.BenchmarkResult
+		if spec.procs > 0 {
+			prev := runtime.GOMAXPROCS(spec.procs)
+			r = testing.Benchmark(spec.fn)
+			runtime.GOMAXPROCS(prev)
+		} else {
+			r = testing.Benchmark(spec.fn)
+		}
 		if r.N == 0 {
 			return report, fmt.Errorf("engine bench %s did not run", spec.name)
 		}
@@ -309,6 +366,7 @@ func measureEngineBench() (EngineBenchReport, error) {
 			Name:            spec.name,
 			Nodes:           spec.nodes,
 			StepsPerOp:      spec.stepsPerOp,
+			Procs:           spec.procs,
 			NsPerOp:         ns,
 			AllocsPerOp:     r.AllocsPerOp(),
 			BytesPerOp:      r.AllocedBytesPerOp(),

@@ -16,6 +16,16 @@
 // file (BENCH_engine.json-style trajectory; timings are host-dependent, so
 // the file is a trail, not a gate).
 //
+// -sweep N switches the tool into the parameter-sweep drill (DESIGN.md §9):
+// it boots two in-process servers — one ephemeral (no snapshot cache) and
+// one durable — and runs the same N flood variants, identical except for
+// their Epochs tail, against both. The ephemeral pass is the cold baseline;
+// on the durable server the first variant seeds the prefix-snapshot cache
+// and the rest resume from it (X-Cache: HIT-PREFIX). The drill asserts
+// every warm response is byte-identical to its cold counterpart, reports
+// prefix hit rate and cold/warm speedup, and fails if the speedup lands
+// below -sweep-min-speedup (the serve-side bench-regression gate).
+//
 // Transient failures — connection refused/reset, EOF, and 5xx responses
 // (the server's queue-full/draining 503s carry Retry-After) — are retried
 // with jittered exponential backoff, so a server restarting mid-run costs
@@ -105,8 +115,16 @@ func run(args []string, out io.Writer) error {
 	mixFlag := fs.String("mix", "mis@grid/49,broadcast@path/32,flood@churn:grid/36,mis@phy:sinr/36",
 		"comma-separated algo@graph/n scenario mix")
 	outPath := fs.String("out", "", "append this run's record to a JSON tracking file")
+	sweep := fs.Int("sweep", 0, "run the prefix-cache sweep drill with this many Epochs variants instead of the scenario mix")
+	sweepMin := fs.Float64("sweep-min-speedup", 0, "fail the sweep drill if cold/warm speedup is below this (0: report only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sweep > 0 {
+		if *addr != "" {
+			return fmt.Errorf("-sweep boots its own ephemeral and durable servers; it cannot target -addr")
+		}
+		return runSweep(*sweep, *sweepMin, *outPath, out)
 	}
 	if *requests < 1 || *concurrency < 1 || *seeds < 1 {
 		return fmt.Errorf("requests, concurrency, and seeds must be ≥ 1")
@@ -245,6 +263,179 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// sweepRecord is the tracking-file entry for one prefix-cache sweep drill
+// (-sweep); the kind field keeps it distinguishable from loadgen runRecords
+// and the smoke script's crash-drill rows in the shared tracking file.
+type sweepRecord struct {
+	Kind              string  `json:"kind"`
+	Base              string  `json:"base"`
+	Variants          int     `json:"variants"`
+	EpochsMin         int     `json:"epochs_min"`
+	EpochsMax         int     `json:"epochs_max"`
+	ColdMs            float64 `json:"cold_ms"`
+	WarmMs            float64 `json:"warm_ms"`
+	SweepSpeedup      float64 `json:"sweep_speedup"`
+	PrefixHitRate     float64 `json:"prefix_hit_rate"`
+	PrefixEpochsSaved uint64  `json:"prefix_epochs_saved"`
+}
+
+// sweepVariants is the drill's parameter sweep: n flood variants identical
+// up to their Epochs tail, so every prefix epoch their schedules share is
+// snapshot-reusable. Epochs starts at 9, so even the shortest variant
+// spans an 8-epoch shareable prefix; n=1024 with 64-step epochs keeps
+// engine work (what the snapshot cache actually skips) large relative to
+// the per-request fixed costs the cache cannot skip — schedule and graph
+// generation, snapshot decode, HTTP and result encoding — so the measured
+// speedup reflects the cache, not the noise floor.
+func sweepVariants(n int) []serve.Spec {
+	specs := make([]serve.Spec, n)
+	for i := range specs {
+		specs[i] = serve.Spec{Algo: "flood", Graph: "churn:grid", N: 1024, Seed: 11,
+			Reps: 2, Epochs: 9 + i, EpochLen: 64, Rate: 0.4}
+	}
+	return specs
+}
+
+// bootServer serves svc's API on an ephemeral loopback port.
+func bootServer(svc *serve.Service) (base string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: serve.NewHandler(svc)}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// postSpec issues one synchronous simulate and returns the response body
+// and X-Cache header.
+func postSpec(client *http.Client, base string, sp serve.Spec) ([]byte, string, error) {
+	body, err := json.Marshal(sp)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := client.Post(base+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("%s: status %d: %.200s", sp, resp.StatusCode, data)
+	}
+	return data, resp.Header.Get("X-Cache"), nil
+}
+
+// runSweep is the -sweep drill: the same Epochs sweep against an ephemeral
+// server (cold baseline — no snapshot store, every variant computed from
+// scratch) and a durable one (warm — variant 0 seeds the prefix-snapshot
+// cache, the rest resume from it). Correctness is absolute: every warm
+// response must be byte-identical to its cold counterpart, and every
+// variant past the first must report X-Cache: HIT-PREFIX. Performance is
+// gated only when minSpeedup > 0.
+func runSweep(variants int, minSpeedup float64, outPath string, out io.Writer) error {
+	if variants < 2 {
+		return fmt.Errorf("-sweep needs at least 2 variants to share a prefix")
+	}
+	specs := sweepVariants(variants)
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	coldSvc := serve.New(serve.Config{})
+	coldBase, coldStop, err := bootServer(coldSvc)
+	if err != nil {
+		coldSvc.Close()
+		return err
+	}
+	cold := make([][]byte, variants)
+	t0 := time.Now()
+	for i, sp := range specs {
+		body, xc, err := postSpec(client, coldBase, sp)
+		if err != nil {
+			coldStop()
+			coldSvc.Close()
+			return fmt.Errorf("cold pass variant %d: %w", i, err)
+		}
+		if xc != "MISS" {
+			coldStop()
+			coldSvc.Close()
+			return fmt.Errorf("cold pass variant %d: X-Cache %s, want MISS", i, xc)
+		}
+		cold[i] = body
+	}
+	coldDur := time.Since(t0)
+	coldStop()
+	coldSvc.Close()
+
+	dir, err := os.MkdirTemp("", "loadgen-sweep-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	warmSvc, err := serve.Open(serve.Config{DataDir: dir})
+	if err != nil {
+		return err
+	}
+	defer warmSvc.Close()
+	warmBase, warmStop, err := bootServer(warmSvc)
+	if err != nil {
+		return err
+	}
+	defer warmStop()
+	prefixHits := 0
+	t0 = time.Now()
+	for i, sp := range specs {
+		body, xc, err := postSpec(client, warmBase, sp)
+		if err != nil {
+			return fmt.Errorf("warm pass variant %d: %w", i, err)
+		}
+		switch {
+		case i == 0 && xc != "MISS":
+			return fmt.Errorf("warm pass variant 0 should seed the cache cold: X-Cache %s, want MISS", xc)
+		case i > 0 && xc != "HIT-PREFIX":
+			return fmt.Errorf("warm pass variant %d: X-Cache %s, want HIT-PREFIX", i, xc)
+		}
+		if xc == "HIT-PREFIX" {
+			prefixHits++
+		}
+		if !bytes.Equal(body, cold[i]) {
+			return fmt.Errorf("variant %d (epochs=%d): warm result differs from cold — prefix resume broke determinism", i, sp.Epochs)
+		}
+	}
+	warmDur := time.Since(t0)
+	st := warmSvc.Stats()
+
+	rec := sweepRecord{
+		Kind:              "sweep",
+		Base:              "flood@churn:grid/1024 seed=11 reps=2 epoch_len=64 rate=0.4",
+		Variants:          variants,
+		EpochsMin:         specs[0].Epochs,
+		EpochsMax:         specs[variants-1].Epochs,
+		ColdMs:            float64(coldDur.Microseconds()) / 1000,
+		WarmMs:            float64(warmDur.Microseconds()) / 1000,
+		SweepSpeedup:      coldDur.Seconds() / warmDur.Seconds(),
+		PrefixHitRate:     float64(prefixHits) / float64(variants),
+		PrefixEpochsSaved: st.PrefixEpochsSaved,
+	}
+	fmt.Fprintf(out, "sweep: %d variants (epochs %d..%d), all byte-identical to cold baseline\n",
+		rec.Variants, rec.EpochsMin, rec.EpochsMax)
+	fmt.Fprintf(out, "sweep: cold %.1f ms, warm %.1f ms — %.2fx speedup, prefix hit rate %.3f, %d epochs saved\n",
+		rec.ColdMs, rec.WarmMs, rec.SweepSpeedup, rec.PrefixHitRate, rec.PrefixEpochsSaved)
+	if outPath != "" {
+		if err := appendRecord(outPath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "record appended to %s\n", outPath)
+	}
+	if minSpeedup > 0 && rec.SweepSpeedup < minSpeedup {
+		return fmt.Errorf("sweep speedup %.2fx below the %.2fx gate — the prefix cache is not paying for itself",
+			rec.SweepSpeedup, minSpeedup)
+	}
+	return nil
+}
+
 // parseMix parses "algo@graph/n" entries. graph may itself contain ':'
 // (dynamic specs), so the separators are '@' (first) and '/' (last).
 func parseMix(s string) ([]serve.Spec, error) {
@@ -281,7 +472,7 @@ func parseMix(s string) ([]serve.Spec, error) {
 // runRecord — the tracking file also carries rows other tools append
 // (e.g. the smoke script's restart-recovery records), and appending must
 // not strip their fields.
-func appendRecord(path string, rec runRecord) error {
+func appendRecord(path string, rec any) error {
 	var records []json.RawMessage
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &records); err != nil {

@@ -136,6 +136,13 @@ type FloodConfig struct {
 	// error aborts the run with that error, mirroring the
 	// radio.Options.Checkpoint contract.
 	OnCheckpoint func(cp *FloodCheckpoint) error
+	// OnSnapshot, when non-nil, observes the same epoch-boundary snapshots
+	// advisorily: the hook cannot abort the run, mirroring the
+	// radio.Options.Snapshot contract. The serve layer publishes these into
+	// its prefix-snapshot cache (DESIGN.md §9). When both hooks are armed
+	// they observe distinct FloodCheckpoint wrappers around the same engine
+	// checkpoint; receivers must not mutate it.
+	OnSnapshot func(cp *FloodCheckpoint)
 	// Resume, when non-nil, continues the flood from the given snapshot
 	// instead of step 0. The caller must supply the same graph, topology,
 	// sources, and FloodConfig the snapshot was captured under; the outcome
@@ -211,6 +218,11 @@ func RunFlood(g *graph.Graph, topo radio.Topology, sources map[int]int64, cfg Fl
 			// covers exactly the steps before ecp.Step — the two snapshot
 			// halves are consistent by construction.
 			return cfg.OnCheckpoint(&FloodCheckpoint{Engine: ecp, Partial: out})
+		}
+	}
+	if cfg.OnSnapshot != nil {
+		opts.Snapshot = func(ecp *radio.Checkpoint) {
+			cfg.OnSnapshot(&FloodCheckpoint{Engine: ecp, Partial: out})
 		}
 	}
 	if _, err := radio.Run(g, factory, opts); err != nil {

@@ -53,11 +53,9 @@ func requireSnapshotters(nodes []Protocol) error {
 	return nil
 }
 
-// checkpoint snapshots the run at the boundary of step and hands it to the
-// Checkpoint hook. A hook error aborts the run — a checkpoint that cannot
-// be persisted must not let the run race ahead of its journal, and the
-// chaos harness injects worker death here.
-func (e *engine) checkpoint(step int, active []int32, partial Result) error {
+// capture snapshots the run at the boundary of step: the active list is
+// copied, every node's protocol state is serialized.
+func (e *engine) capture(step int, active []int32, partial Result) *Checkpoint {
 	cp := &Checkpoint{
 		Step:    step,
 		Partial: partial,
@@ -67,8 +65,25 @@ func (e *engine) checkpoint(step int, active []int32, partial Result) error {
 	for v, nd := range e.nodes {
 		cp.Nodes[v] = nd.(Snapshotter).SnapshotState()
 	}
-	if err := e.opts.Checkpoint(cp); err != nil {
-		return fmt.Errorf("radio: checkpoint at step %d aborted the run: %w", step, err)
+	return cp
+}
+
+// boundary fires the epoch-boundary hooks off a single capture. Snapshot is
+// advisory — its receiver publishes into a cache, and losing a publication
+// costs future resume depth, never correctness — so it cannot abort the run.
+// A Checkpoint hook error aborts the run: a checkpoint that cannot be
+// persisted must not let the run race ahead of its journal, and the chaos
+// harness injects worker death here. When both hooks are armed they observe
+// the same *Checkpoint value and must treat it as immutable.
+func (e *engine) boundary(step int, active []int32, partial Result) error {
+	cp := e.capture(step, active, partial)
+	if e.opts.Snapshot != nil {
+		e.opts.Snapshot(cp)
+	}
+	if e.opts.Checkpoint != nil {
+		if err := e.opts.Checkpoint(cp); err != nil {
+			return fmt.Errorf("radio: checkpoint at step %d aborted the run: %w", step, err)
+		}
 	}
 	return nil
 }

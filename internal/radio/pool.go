@@ -32,6 +32,13 @@ type pool struct {
 	shards []*shard
 	cmds   []chan int     // per-worker phase commands: step<<1 | phase
 	phase  sync.WaitGroup // coordinator waits for all workers per phase
+	// inline is set when the pool degenerates to a single worker
+	// (GOMAXPROCS=1 or Shards=1): the coordinator runs both phases itself
+	// and no goroutines or barriers exist. Without this, a one-worker pool
+	// paid two channel round-trips per step for no parallelism — slower
+	// than the sequential engine on the same workload. The transcript is
+	// unchanged: phases run in the same order over the same single shard.
+	inline bool
 }
 
 const (
@@ -62,8 +69,8 @@ func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	p := &pool{e: e}
 	nw := workerCount(&opts, n)
+	p := &pool{e: e, inline: nw == 1}
 	var workers sync.WaitGroup
 	for i := 0; i < nw; i++ {
 		lo, hi := i*n/nw, (i+1)*n/nw
@@ -74,8 +81,11 @@ func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 		for v := lo; v < hi; v++ {
 			s.active = append(s.active, int32(v))
 		}
-		cmd := make(chan int, 1)
 		p.shards = append(p.shards, s)
+		if p.inline {
+			continue
+		}
+		cmd := make(chan int, 1)
 		p.cmds = append(p.cmds, cmd)
 		workers.Add(1)
 		go func() {
@@ -122,9 +132,10 @@ func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 	// combined merges shard active lists for checkpoint capture; shard
 	// ranges are contiguous and ascending, so the concatenation equals the
 	// sequential engine's active list at the same step (checkpoints are
-	// engine-portable). Allocated only when checkpointing is on.
+	// engine-portable). Allocated only when a boundary hook is on.
+	hooked := opts.Checkpoint != nil || opts.Snapshot != nil
 	var combined []int32
-	if opts.Checkpoint != nil {
+	if hooked {
 		combined = make([]int32, 0, n)
 	}
 	for step := start; step < opts.MaxSteps; step++ {
@@ -135,12 +146,12 @@ func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 		// extra synchronization is needed beyond the existing barriers.
 		// Checkpoints are captured here too — workers are parked, so the
 		// coordinator reads protocol state with the barrier's ordering.
-		if p.e.epochSync(step) && opts.Checkpoint != nil {
+		if p.e.epochSync(step) && hooked {
 			combined = combined[:0]
 			for _, s := range p.shards {
 				combined = append(combined, s.active...)
 			}
-			if err := p.e.checkpoint(step, combined, res); err != nil {
+			if err := p.e.boundary(step, combined, res); err != nil {
 				return Result{}, err
 			}
 		}
@@ -186,8 +197,18 @@ func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 
 // barrier dispatches one phase to every worker and waits for completion.
 // Channel sends and the WaitGroup give the happens-before edges that make
-// the coordinator's scratch writes visible to workers and vice versa.
+// the coordinator's scratch writes visible to workers and vice versa. With
+// a single worker there is nothing to synchronize: the coordinator runs the
+// phase inline.
 func (p *pool) barrier(step, ph int) {
+	if p.inline {
+		if ph == phaseAct {
+			p.actPhase(p.shards[0], step)
+		} else {
+			p.deliverPhase(p.shards[0], step)
+		}
+		return
+	}
 	p.phase.Add(len(p.cmds))
 	for _, cmd := range p.cmds {
 		cmd <- step<<1 | ph

@@ -156,6 +156,15 @@ type Options struct {
 	// Snapshotter. Nil — the default — adds zero allocations and one
 	// comparison per epoch to the step loop (DESIGN.md §8).
 	Checkpoint func(cp *Checkpoint) error
+	// Snapshot, when non-nil, observes the same epoch-boundary engine
+	// snapshots as Checkpoint, but advisorily: the hook returns nothing and
+	// cannot abort the run. It exists for snapshot publication — seeding a
+	// prefix cache (DESIGN.md §9) — where a failed publication costs future
+	// resume depth, never correctness. When both Snapshot and Checkpoint are
+	// armed they receive the same *Checkpoint value per boundary (one
+	// capture serves both) and must treat it as immutable. Requires every
+	// protocol to implement Snapshotter, like Checkpoint.
+	Snapshot func(cp *Checkpoint)
 	// Resume, when non-nil, starts the run from the given checkpoint
 	// instead of step 0: protocol states are restored, the active list and
 	// cumulative counters are reinstated, and the loop continues at
@@ -240,7 +249,7 @@ func Run(g *graph.Graph, factory Factory, opts Options) (Result, error) {
 	} else if opts.CollisionDetection {
 		return Result{}, fmt.Errorf("radio: CollisionDetection is folded into the PHY model; pass phy.NewCollisionCD() as Options.PHY instead of setting both")
 	}
-	if opts.Checkpoint != nil || opts.Resume != nil {
+	if opts.Checkpoint != nil || opts.Snapshot != nil || opts.Resume != nil {
 		if err := requireSnapshotters(nodes); err != nil {
 			return Result{}, err
 		}

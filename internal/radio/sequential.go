@@ -30,8 +30,8 @@ func runSequential(g *graph.Graph, nodes []Protocol, opts Options) (Result, erro
 		// Epoch boundary: swap in the topology in force at this step, and
 		// capture a checkpoint there when the hook is armed (on resume the
 		// boundary re-fires at cp.Step, re-syncing the PHY model).
-		if e.epochSync(step) && opts.Checkpoint != nil {
-			if err := e.checkpoint(step, active, res); err != nil {
+		if e.epochSync(step) && (opts.Checkpoint != nil || opts.Snapshot != nil) {
+			if err := e.boundary(step, active, res); err != nil {
 				return Result{}, err
 			}
 		}

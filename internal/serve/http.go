@@ -9,9 +9,9 @@ package serve
 //	GET  /v1/stats         — service counters
 //	GET  /healthz          — liveness
 //
-// Simulate and results responses carry X-Cache (HIT | HIT-DURABLE | MISS |
-// COALESCED) and X-Spec-Hash headers so load generators can measure cache
-// behavior client-side.
+// Simulate and results responses carry X-Cache (HIT | HIT-DURABLE |
+// HIT-PREFIX | MISS | COALESCED) and X-Spec-Hash headers so load
+// generators can measure cache behavior client-side.
 //
 // Failure modes are retryable-vs-not (README "failure modes"): 400 means
 // the spec is wrong (don't retry), 503 + Retry-After means the service is
@@ -144,6 +144,8 @@ func cacheHeader(status CacheStatus) string {
 		return "HIT-DURABLE"
 	case StatusCoalesced:
 		return "COALESCED"
+	case StatusPrefixHit:
+		return "HIT-PREFIX"
 	default:
 		return "MISS"
 	}

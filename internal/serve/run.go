@@ -69,6 +69,19 @@ type ExecOptions struct {
 	// instead of step 0 (the trial interrupted mid-flight at the crash).
 	ResumeTrial int
 	Resume      *exp.FloodCheckpoint
+	// ResumeFrom maps trial indices to prefix-cache snapshots (DESIGN.md
+	// §9): each listed trial starts from its snapshot instead of step 0.
+	// Unlike Resume — a crash-recovery artifact of this exact spec —
+	// ResumeFrom snapshots may come from a *different* spec sharing this
+	// one's prefix, which is sound because the trial seed and every epoch
+	// up to the snapshot step are prefix-determined. Resume wins for its
+	// trial when both are set. Snapshots that don't fit the run (step past
+	// the budget, wrong node count) are dropped, degrading to a cold trial.
+	ResumeFrom map[int]*exp.FloodCheckpoint
+	// OnSnapshot, when non-nil and the spec is a dynamic flood, observes
+	// each trial's epoch-boundary snapshots advisorily (cannot abort the
+	// run) — the prefix-cache publication hook.
+	OnSnapshot func(trial int, cp *exp.FloodCheckpoint)
 }
 
 // Execute canonicalizes sp and runs it: Reps independent trials fan out
@@ -98,9 +111,10 @@ func ExecuteWith(sp Spec, o ExecOptions) (*Result, error) {
 	}
 	grid := exp.NewGrid(c.GridID())
 	tf := trialFunc(c)
-	checkpointed := c.Algo == "flood" && (o.OnCheckpoint != nil || o.Resume != nil)
+	hooked := c.Algo == "flood" &&
+		(o.OnCheckpoint != nil || o.Resume != nil || o.OnSnapshot != nil || len(o.ResumeFrom) > 0)
 	for i := 0; i < c.Reps; i++ {
-		if !checkpointed {
+		if !hooked {
 			grid.Add(c.Algo, tf)
 			continue
 		}
@@ -110,11 +124,15 @@ func ExecuteWith(sp Spec, o ExecOptions) (*Result, error) {
 			if o.OnCheckpoint != nil {
 				onCkpt = func(cp *exp.FloodCheckpoint) error { return o.OnCheckpoint(i, cp) }
 			}
-			var resume *exp.FloodCheckpoint
+			var onSnap func(cp *exp.FloodCheckpoint)
+			if o.OnSnapshot != nil {
+				onSnap = func(cp *exp.FloodCheckpoint) { o.OnSnapshot(i, cp) }
+			}
+			resume := o.ResumeFrom[i]
 			if o.Resume != nil && i == o.ResumeTrial {
 				resume = o.Resume
 			}
-			return floodTrial(c, seed, onCkpt, resume)
+			return floodTrial(c, seed, onCkpt, onSnap, resume)
 		})
 	}
 	samples, err := grid.Run(exp.Config{
@@ -143,7 +161,7 @@ func ExecuteWith(sp Spec, o ExecOptions) (*Result, error) {
 func trialFunc(sp Spec) exp.TrialFunc {
 	return func(seed uint64) (exp.Sample, error) {
 		if sp.Algo == "flood" {
-			return floodTrial(sp, seed, nil, nil)
+			return floodTrial(sp, seed, nil, nil, nil)
 		}
 		if _, _, isPhy := gen.SplitPhySpec(sp.Graph); isPhy {
 			return phyTrial(sp, seed)
@@ -259,10 +277,15 @@ func phyTrial(sp Spec, seed uint64) (exp.Sample, error) {
 // floodTrial runs the dynamic-topology flood (exp.RunFlood — the same
 // runner E17–E21 and radionet-sim use) for one replica. On a phy: spec the
 // schedule is static and the flood runs under the spec's reception model.
-// onCkpt and resume thread the crash-safety hooks into the flood run;
-// both are nil outside journaled jobs (a static schedule has no epoch
-// boundaries, so they are inert there).
-func floodTrial(sp Spec, seed uint64, onCkpt func(cp *exp.FloodCheckpoint) error, resume *exp.FloodCheckpoint) (exp.Sample, error) {
+// onCkpt, onSnap, and resume thread the crash-safety and prefix-cache
+// hooks into the flood run; all are nil outside journaled jobs and prefix
+// runs (a static schedule has no epoch boundaries, so they are inert
+// there). A resume snapshot that doesn't fit this run — captured past the
+// budget (possible when it came from a longer sweep variant) or with a
+// different node count (a corrupted or mismatched cache entry that slipped
+// the checksum) — is dropped, not an error: the trial runs cold, which is
+// always correct.
+func floodTrial(sp Spec, seed uint64, onCkpt func(cp *exp.FloodCheckpoint) error, onSnap func(cp *exp.FloodCheckpoint), resume *exp.FloodCheckpoint) (exp.Sample, error) {
 	sched, err := gen.ScheduleByName(sp.Graph, sp.N, sp.Epochs, sp.EpochLen, sp.Rate, seed)
 	if err != nil {
 		return exp.Sample{}, err
@@ -273,10 +296,15 @@ func floodTrial(sp Spec, seed uint64, onCkpt func(cp *exp.FloodCheckpoint) error
 	}
 	n := sched.N()
 	budget := max(sched.LastStart()+sp.EpochLen, 4*sp.EpochLen)
+	if resume != nil {
+		if e := resume.Engine; e == nil || e.Step <= 0 || e.Step >= budget || len(e.Nodes) != n {
+			resume = nil
+		}
+	}
 	g := sched.CSR(0).Graph()
 	out, err := exp.RunFlood(g, sched, map[int]int64{sp.Source % n: 1}, exp.FloodConfig{
 		Budget: budget, ProbeStep: -1, Seed: seed, PHY: model,
-		OnCheckpoint: onCkpt, Resume: resume,
+		OnCheckpoint: onCkpt, OnSnapshot: onSnap, Resume: resume,
 	})
 	if err != nil {
 		return exp.Sample{}, err

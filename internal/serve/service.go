@@ -163,10 +163,15 @@ type Stats struct {
 	// in-flight identical execution.
 	Executions uint64 `json:"executions"`
 	Coalesced  uint64 `json:"coalesced"`
-	Jobs       int    `json:"jobs"`
-	QueueLen   int    `json:"queue_len"`
-	QueueCap   int    `json:"queue_cap"`
-	Workers    int    `json:"workers"`
+	// PrefixHits counts computations that resumed from cached prefix
+	// snapshots (X-Cache: HIT-PREFIX); PrefixEpochsSaved totals the epochs
+	// those resumes skipped, summed over trials (DESIGN.md §9).
+	PrefixHits        uint64 `json:"prefix_hits,omitempty"`
+	PrefixEpochsSaved uint64 `json:"prefix_epochs_saved,omitempty"`
+	Jobs              int    `json:"jobs"`
+	QueueLen          int    `json:"queue_len"`
+	QueueCap          int    `json:"queue_cap"`
+	Workers           int    `json:"workers"`
 	// Durable reports whether a DataDir backs the service; the Store*
 	// counters mirror the durable tier (store.Counters) when it does.
 	Durable          bool   `json:"durable"`
@@ -175,6 +180,16 @@ type Stats struct {
 	StorePuts        uint64 `json:"store_puts,omitempty"`
 	StoreQuarantined uint64 `json:"store_quarantined,omitempty"`
 	StoreEntries     int    `json:"store_entries,omitempty"`
+	// Snap* mirror the prefix-snapshot keyspace (DataDir/snap): puts are
+	// publications, hits are probe finds, quarantined are corrupt entries
+	// degraded to cold runs. SnapErrors counts failed publications
+	// (advisory — the run proceeds).
+	SnapHits        uint64 `json:"snap_hits,omitempty"`
+	SnapMisses      uint64 `json:"snap_misses,omitempty"`
+	SnapPuts        uint64 `json:"snap_puts,omitempty"`
+	SnapQuarantined uint64 `json:"snap_quarantined,omitempty"`
+	SnapEntries     int    `json:"snap_entries,omitempty"`
+	SnapErrors      uint64 `json:"snap_errors,omitempty"`
 	// RecoveredJobs / RecoveredTrials count journal-replay work at the last
 	// Open: interrupted jobs re-enqueued and completed trials prefilled.
 	RecoveredJobs   uint64 `json:"recovered_jobs,omitempty"`
@@ -192,22 +207,27 @@ type Stats struct {
 // group in front, the bounded queue and worker pool behind, and the job
 // journal underneath. One Service instance backs the whole HTTP API.
 type Service struct {
-	cfg         Config
-	cache       *Cache
-	st          *store.Store // nil when ephemeral
-	jr          *journal     // nil when ephemeral
-	sf          flightGroup
-	slots       chan struct{} // execution semaphore, capacity cfg.Workers
-	queue       chan *job
-	syncPending atomic.Int64 // admitted non-cache-hit sync requests
-	execs       atomic.Uint64
-	coalesced   atomic.Uint64
-	retries     atomic.Uint64
-	journalErrs atomic.Uint64
-	recJobs     atomic.Uint64
-	recTrials   atomic.Uint64
-	draining    atomic.Bool
-	killed      atomic.Bool
+	cfg          Config
+	cache        *Cache
+	st           *store.Store // nil when ephemeral
+	snaps        *store.Store // prefix-snapshot keyspace; nil when ephemeral
+	jr           *journal     // nil when ephemeral
+	sf           flightGroup
+	pf           flightGroup   // prefix leaders, keyed by PrefixHash
+	slots        chan struct{} // execution semaphore, capacity cfg.Workers
+	queue        chan *job
+	syncPending  atomic.Int64 // admitted non-cache-hit sync requests
+	execs        atomic.Uint64
+	coalesced    atomic.Uint64
+	prefixHits   atomic.Uint64
+	prefixEpochs atomic.Uint64
+	snapErrs     atomic.Uint64
+	retries      atomic.Uint64
+	journalErrs  atomic.Uint64
+	recJobs      atomic.Uint64
+	recTrials    atomic.Uint64
+	draining     atomic.Bool
+	killed       atomic.Bool
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -254,11 +274,19 @@ func Open(cfg Config) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The snapshot keyspace gets its own store root (DataDir/snap) with
+		// the same atomic-write + hash-verified-read + quarantine discipline
+		// as results, but separate counters and no entanglement with the
+		// result namespace.
+		snaps, err := store.Open(filepath.Join(cfg.DataDir, "snap"))
+		if err != nil {
+			return nil, err
+		}
 		jr, jobs, maxSeq, err := openJournal(filepath.Join(cfg.DataDir, "journal.jsonl"))
 		if err != nil {
 			return nil, err
 		}
-		s.st, s.jr, s.seq = st, jr, maxSeq
+		s.st, s.snaps, s.jr, s.seq = st, snaps, jr, maxSeq
 		recovered = jobs
 	}
 	interrupted := 0
@@ -363,6 +391,9 @@ const (
 	StatusDurableHit CacheStatus = "durable"
 	StatusMiss       CacheStatus = "miss"
 	StatusCoalesced  CacheStatus = "coalesced"
+	// StatusPrefixHit marks a computation that resumed from cached
+	// prefix snapshots instead of running every epoch cold (DESIGN.md §9).
+	StatusPrefixHit CacheStatus = "prefix"
 )
 
 // Simulate is the sync path: canonicalize, consult the cache, then the
@@ -397,15 +428,15 @@ func (s *Service) Simulate(raw Spec) (data []byte, hash string, status CacheStat
 		return nil, hash, "", ErrBusy
 	}
 	defer s.syncPending.Add(-1)
-	// fromCache is written only when this caller is the executor (the
-	// closure runs synchronously inside Do then), covering the race where
-	// an identical in-flight execution completed between the Get above and
-	// the flight registration: the response was really served from cache
-	// and must not be labeled a miss.
-	var fromCache bool
+	// fromCache/viaPrefix are written only when this caller is the executor
+	// (the closure runs synchronously inside Do then), covering the race
+	// where an identical in-flight execution completed between the Get
+	// above and the flight registration: the response was really served
+	// from cache and must not be labeled a miss.
+	var fromCache, viaPrefix bool
 	b, err, shared := s.sf.Do(hash, nil, func(report func(done, total int)) ([]byte, error) {
-		eb, hit, eerr := s.execute(sp, hash, report)
-		fromCache = hit
+		eb, hit, via, eerr := s.execute(sp, hash, report)
+		fromCache, viaPrefix = hit, via
 		return eb, eerr
 	})
 	// Count coalescing before the error check so the counter means the
@@ -422,6 +453,8 @@ func (s *Service) Simulate(raw Spec) (data []byte, hash string, status CacheStat
 		return b, hash, StatusCoalesced, nil
 	case fromCache:
 		return b, hash, StatusHit, nil
+	case viaPrefix:
+		return b, hash, StatusPrefixHit, nil
 	default:
 		return b, hash, StatusMiss, nil
 	}
@@ -478,11 +511,20 @@ func (s *Service) storePut(hash string, b []byte) error {
 	return s.st.Put(hash, b)
 }
 
-// execute runs one simulation under the worker semaphore and publishes the
-// result bytes to the store and cache; fromCache reports that the result
-// had already landed and nothing ran. Callers hold the singleflight slot
-// for hash.
-func (s *Service) execute(sp Spec, hash string, onTrial func(done, total int)) (b []byte, fromCache bool, err error) {
+// execute runs one simulation through the prefix-cache protocol and the
+// worker semaphore, publishing the result bytes to the store and cache;
+// fromCache reports that the result had already landed and nothing ran,
+// viaPrefix that the computation resumed from prefix snapshots. Callers
+// hold the singleflight slot for hash.
+func (s *Service) execute(sp Spec, hash string, onTrial func(done, total int)) (b []byte, fromCache, viaPrefix bool, err error) {
+	return s.runPrefixed(sp, func(plan *prefixPlan) ([]byte, bool, error) {
+		return s.executeSlot(sp, hash, onTrial, plan)
+	})
+}
+
+// executeSlot is the slot-holding half of execute: re-check the caches,
+// then run with the prefix plan's resume snapshots (nil plan = cold).
+func (s *Service) executeSlot(sp Spec, hash string, onTrial func(done, total int), plan *prefixPlan) (b []byte, fromCache bool, err error) {
 	s.slots <- struct{}{}
 	defer func() { <-s.slots }()
 	// The result may have landed while this request waited in the queue or
@@ -499,7 +541,9 @@ func (s *Service) execute(sp Spec, hash string, onTrial func(done, total int)) (
 		hook(sp)
 	}
 	s.execs.Add(1)
-	res, err := Execute(sp, s.cfg.Parallel, onTrial)
+	o := ExecOptions{Parallel: s.cfg.Parallel, OnTrial: onTrial}
+	s.armPrefix(sp, plan, &o)
+	res, err := ExecuteWith(sp, o)
 	if err != nil {
 		return nil, false, err
 	}
@@ -668,7 +712,7 @@ func (s *Service) attemptJob(j *job, deadline time.Time) error {
 	}
 	var fromCache bool
 	_, err, shared := s.sf.Do(j.hash, onProgress, func(report func(done, total int)) ([]byte, error) {
-		b, hit, eerr := s.executeJob(j, deadline, report)
+		b, hit, _, eerr := s.executeJob(j, deadline, report)
 		fromCache = hit
 		return b, eerr
 	})
@@ -689,8 +733,16 @@ func (s *Service) attemptJob(j *job, deadline time.Time) error {
 
 // executeJob is execute with the job's crash-safety hooks attached:
 // journaled trial samples and flood checkpoints, recovered-trial prefill,
-// checkpoint resume, and cancellation (kill, deadline).
-func (s *Service) executeJob(j *job, deadline time.Time, report func(done, total int)) ([]byte, bool, error) {
+// checkpoint resume, and cancellation (kill, deadline). Jobs ride the
+// prefix cache too — sweeps submitted async warm and consume the same
+// snapshot keyspace as sync requests.
+func (s *Service) executeJob(j *job, deadline time.Time, report func(done, total int)) ([]byte, bool, bool, error) {
+	return s.runPrefixed(j.spec, func(plan *prefixPlan) ([]byte, bool, error) {
+		return s.executeJobSlot(j, deadline, report, plan)
+	})
+}
+
+func (s *Service) executeJobSlot(j *job, deadline time.Time, report func(done, total int), plan *prefixPlan) ([]byte, bool, error) {
 	s.slots <- struct{}{}
 	defer func() { <-s.slots }()
 	if b, ok := s.cache.peek(j.hash); ok {
@@ -712,6 +764,7 @@ func (s *Service) executeJob(j *job, deadline time.Time, report func(done, total
 			return s.killed.Load() || (!deadline.IsZero() && time.Now().After(deadline))
 		},
 	}
+	s.armPrefix(j.spec, plan, &o)
 	if s.jr != nil {
 		o.OnSample = func(i int, smp exp.Sample) {
 			sample := smp
@@ -813,20 +866,22 @@ func (s *Service) Stats() Stats {
 	jobs := len(s.jobs)
 	s.mu.Unlock()
 	st := Stats{
-		CacheHits:       hits,
-		CacheMisses:     misses,
-		CacheEntries:    s.cache.Len(),
-		Executions:      s.execs.Load(),
-		Coalesced:       s.coalesced.Load(),
-		Jobs:            jobs,
-		QueueLen:        len(s.queue),
-		QueueCap:        cap(s.queue),
-		Workers:         s.cfg.Workers,
-		RecoveredJobs:   s.recJobs.Load(),
-		RecoveredTrials: s.recTrials.Load(),
-		Retries:         s.retries.Load(),
-		JournalErrors:   s.journalErrs.Load(),
-		Draining:        s.draining.Load(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEntries:      s.cache.Len(),
+		Executions:        s.execs.Load(),
+		Coalesced:         s.coalesced.Load(),
+		PrefixHits:        s.prefixHits.Load(),
+		PrefixEpochsSaved: s.prefixEpochs.Load(),
+		Jobs:              jobs,
+		QueueLen:          len(s.queue),
+		QueueCap:          cap(s.queue),
+		Workers:           s.cfg.Workers,
+		RecoveredJobs:     s.recJobs.Load(),
+		RecoveredTrials:   s.recTrials.Load(),
+		Retries:           s.retries.Load(),
+		JournalErrors:     s.journalErrs.Load(),
+		Draining:          s.draining.Load(),
 	}
 	if s.st != nil {
 		st.Durable = true
@@ -835,6 +890,15 @@ func (s *Service) Stats() Stats {
 		st.StorePuts, st.StoreQuarantined = c.Puts, c.Quarantined
 		if n, err := s.st.Len(); err == nil {
 			st.StoreEntries = n
+		}
+	}
+	if s.snaps != nil {
+		c := s.snaps.Counters()
+		st.SnapHits, st.SnapMisses = c.Hits, c.Misses
+		st.SnapPuts, st.SnapQuarantined = c.Puts, c.Quarantined
+		st.SnapErrors = s.snapErrs.Load()
+		if n, err := s.snaps.Len(); err == nil {
+			st.SnapEntries = n
 		}
 	}
 	return st

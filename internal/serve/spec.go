@@ -253,6 +253,10 @@ func usesSource(algo string) bool {
 // grammar extension, not a version bump: no pre-PHY scenario has a
 // "phy:" graph, so every pre-PHY hash is unchanged, while distinct SINR
 // parameters get distinct canonical bytes (and so distinct cache keys).
+// Prefix-cacheable scenarios append a trialseed marker: their per-trial
+// seeds now derive from the spec *prefix* (see GridID), which changes
+// their results relative to pre-§9 builds — the marker moves their hashes
+// so stale durable entries become unreachable rather than wrong.
 func (sp Spec) Canonical() []byte {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "v1\nalgo=%s\ngraph=%s\nn=%d\nseed=%d\nreps=%d\nsource=%d\nepochs=%d\nepochlen=%d\nrate=%s\n",
@@ -269,7 +273,50 @@ func (sp Spec) Canonical() []byte {
 			strconv.FormatFloat(sp.PathLoss, 'g', -1, 64),
 			strconv.FormatFloat(sp.Cutoff, 'g', -1, 64))
 	}
+	if sp.PrefixCacheable() {
+		b.WriteString("trialseed=prefix\n")
+	}
 	return b.Bytes()
+}
+
+// PrefixCacheable reports whether a canonicalized spec participates in
+// prefix caching (DESIGN.md §9): a dynamic (epoch-scheduled) flood with no
+// phy: layer. Those are exactly the scenarios with epoch boundaries —
+// the only steps at which engine state is capturable — whose schedule
+// generators draw per-epoch randomness sequentially, so two specs sharing
+// a PrefixCanonical agree on every shared epoch regardless of Epochs/Reps.
+func (sp Spec) PrefixCacheable() bool {
+	if sp.Algo != "flood" {
+		return false
+	}
+	if _, _, isPhy := gen.SplitPhySpec(sp.Graph); isPhy {
+		return false
+	}
+	_, _, dynamic := gen.SplitSpec(sp.Graph)
+	return dynamic
+}
+
+// PrefixCanonical is the stable serialization of a spec's *prefix*: every
+// field the simulation's per-step evolution observes — graph, schedule,
+// seed, source, epoch geometry — and none it cannot observe until the run
+// ends (Epochs bounds the budget, Reps the replica count; neither changes
+// what any shared epoch computes). Two specs with equal PrefixCanonical
+// bytes run byte-identical trials through every epoch both reach, which is
+// what makes engine snapshots shareable between them. Call only on
+// canonicalized, PrefixCacheable specs.
+func (sp Spec) PrefixCanonical() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "p1\nalgo=%s\ngraph=%s\nn=%d\nseed=%d\nsource=%d\nepochlen=%d\nrate=%s\n",
+		sp.Algo, sp.Graph, sp.N, sp.Seed, sp.Source,
+		sp.EpochLen, strconv.FormatFloat(sp.Rate, 'g', -1, 64))
+	return b.Bytes()
+}
+
+// PrefixHash content-addresses the spec prefix — the first half of the
+// (prefix, epoch) snapshot key.
+func (sp Spec) PrefixHash() string {
+	sum := sha256.Sum256(sp.PrefixCanonical())
+	return hex.EncodeToString(sum[:])
 }
 
 // String renders the canonical form on one line for titles and logs.
@@ -285,9 +332,16 @@ func (sp Spec) Hash() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// GridID is the exp trial-grid ID for this spec — a short FNV-1a digest of
-// the canonical bytes, so per-replica seeds never collide across distinct
-// scenarios yet stay pure functions of the spec.
+// GridID is the exp trial-grid ID for this spec — a short FNV-1a digest,
+// so per-replica seeds never collide across distinct scenarios yet stay
+// pure functions of the spec. For prefix-cacheable specs the digest is of
+// the prefix canonical bytes: trial i of a sweep variant then draws the
+// same seed no matter the variant's Epochs or Reps, which is what lets one
+// variant's epoch-E snapshot resume another's trial i. Everything else
+// digests the full canonical bytes as before.
 func (sp Spec) GridID() string {
+	if sp.PrefixCacheable() {
+		return fmt.Sprintf("serve:%016x", trace.FNV1a(sp.PrefixCanonical()))
+	}
 	return fmt.Sprintf("serve:%016x", trace.FNV1a(sp.Canonical()))
 }

@@ -110,6 +110,22 @@ func validKey(key string) error {
 // identical). On return the entry survives a crash of the process or the
 // machine (modulo the filesystem honoring fsync).
 func (s *Store) Put(key string, data []byte) error {
+	return s.put(key, data, true)
+}
+
+// PutRelaxed stores data under key with the same atomicity (stage in tmp/,
+// rename into place) and the same checksum framing as Put, but without
+// fsync. It is for recompute-hint keyspaces — prefix snapshots (DESIGN.md
+// §9) — whose loss costs a cold recomputation, never correctness: a process
+// crash cannot tear the entry (rename is atomic in the kernel's namespace),
+// and a machine crash that corrupts it is caught by the checksum on read
+// and quarantined. Skipping the two flushes keeps snapshot publication off
+// the hot path's latency budget.
+func (s *Store) PutRelaxed(key string, data []byte) error {
+	return s.put(key, data, false)
+}
+
+func (s *Store) put(key string, data []byte, durable bool) error {
 	if err := validKey(key); err != nil {
 		return err
 	}
@@ -135,9 +151,11 @@ func (s *Store) Put(key string, data []byte) error {
 		cleanup()
 		return fmt.Errorf("store: put %s: %w", key, err)
 	}
-	if err := f.Sync(); err != nil {
-		cleanup()
-		return fmt.Errorf("store: put %s: %w", key, err)
+	if durable {
+		if err := f.Sync(); err != nil {
+			cleanup()
+			return fmt.Errorf("store: put %s: %w", key, err)
+		}
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(staged)
@@ -147,8 +165,10 @@ func (s *Store) Put(key string, data []byte) error {
 		os.Remove(staged)
 		return fmt.Errorf("store: put %s: %w", key, err)
 	}
-	if err := syncDir(filepath.Join(s.dir, "results")); err != nil {
-		return fmt.Errorf("store: put %s: %w", key, err)
+	if durable {
+		if err := syncDir(filepath.Join(s.dir, "results")); err != nil {
+			return fmt.Errorf("store: put %s: %w", key, err)
+		}
 	}
 	s.mu.Lock()
 	s.puts++

@@ -4,8 +4,10 @@
 # sync path, the async job path, the cache-hit path, and the load
 # generator; then the crash-safety path (DESIGN.md §8) — kill -9 a durable
 # server mid-job, restart it on the same data dir, and assert
-# restart-recovery cache hits and byte-identical resumed-job completion.
-# Restart-recovery and resume-overhead timings are appended to the
+# restart-recovery cache hits and byte-identical resumed-job completion;
+# then the prefix-cache sweep drill (DESIGN.md §9) — 16 flood variants
+# sharing a prefix must run ≥2× faster warm than cold, byte-identically.
+# Restart-recovery, resume-overhead, and sweep rows are appended to the
 # BENCH_serve.json trail next to the loadgen record.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,11 +27,11 @@ go build -o "$workdir/radionet-loadgen" ./cmd/radionet-loadgen
 # wait_addr LOGFILE: print the server's announced base URL once it appears.
 wait_addr() {
   local log=$1 base=""
-  for _ in $(seq 100); do
+  for _ in $(seq 500); do
     base=$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$log" | head -1)
     [[ -n "$base" ]] && { echo "$base"; return 0; }
     kill -0 "$server_pid" || { echo "server died:" >&2; cat "$log" >&2; return 1; }
-    sleep 0.1
+    sleep 0.02
   done
   echo "server never announced its address" >&2
   cat "$log" >&2
@@ -111,6 +113,18 @@ job2=$(curl -fsS -d "$jspec" "$base2/v1/jobs")
 jid2=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$job2")
 [[ -n "$jid2" ]] || { echo "no job id in: $job2"; exit 1; }
 
+# Die in the MIDDLE: wait until the journal shows real progress (trial
+# records land unfsynced but are visible the moment they are written), so
+# the resumed job has completed trials to skip — killing at submit time
+# would make "resume" recompute everything and the resume-overhead row
+# below would measure nothing but a full recompute plus restart costs.
+for _ in $(seq 500); do
+  trials=$(grep -c '"op":"trial"' "$datadir/journal.jsonl" 2>/dev/null || true)
+  [[ "${trials:-0}" -ge 8 ]] && break
+  sleep 0.01
+done
+[[ "${trials:-0}" -ge 1 ]] || { echo "job recorded no trials to kill in the middle of"; exit 1; }
+
 kill -9 "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 unset server_pid
@@ -134,14 +148,15 @@ cmp "$workdir/r5" "$workdir/r6"
 durable_hit_ms=$((t1 - t0))
 echo "restart-recovery durable hit OK (${durable_hit_ms}ms)"
 
-# Resumed job: same ID, completes, flagged recovered.
+# Resumed job: same ID, completes, flagged recovered. Tight polling — the
+# resumed_ms measurement below should reflect the job, not poll quantization.
 state=""
-for _ in $(seq 600); do
+for _ in $(seq 3000); do
   poll=$(curl -fsS "$base3/v1/jobs/$jid2")
   state=$(sed -n 's/.*"state":"\([^"]*\)".*/\1/p' <<<"$poll")
   [[ "$state" == done ]] && break
   [[ "$state" == failed ]] && { echo "resumed job failed: $poll"; exit 1; }
-  sleep 0.1
+  sleep 0.02
 done
 [[ "$state" == done ]] || { echo "resumed job stuck: $poll"; exit 1; }
 grep -q '"recovered":true' <<<"$poll" || { echo "job not marked recovered: $poll"; exit 1; }
@@ -174,5 +189,20 @@ jq --argjson hit "$durable_hit_ms" --argjson resumed "$resumed_ms" --argjson fre
 mv "$workdir/BENCH_serve.json.new" "$workdir/BENCH_serve.json"
 grep -q 'restart-recovery' "$workdir/BENCH_serve.json"
 grep -q 'resume-overhead' "$workdir/BENCH_serve.json"
-cat "$workdir/BENCH_serve.json"
 echo "crash-safety smoke OK"
+
+# 7. Prefix-cache sweep drill (DESIGN.md §9): 16 flood variants identical
+# except for their Epochs tail, run cold (ephemeral server) and warm
+# (durable server whose snapshot cache the first variant seeds). The drill
+# asserts every warm response is byte-identical to cold and carries
+# X-Cache: HIT-PREFIX, and -sweep-min-speedup fails it if the shared
+# prefix isn't bought at least 2× — the serve-side bench gate.
+"$workdir/radionet-loadgen" -sweep 16 -sweep-min-speedup 2 \
+  -out "$workdir/BENCH_serve.json" | tee "$workdir/sweep.out"
+grep -q 'prefix hit rate' "$workdir/sweep.out"
+jq -e '[.[] | select(.kind == "sweep")] | length == 1 and
+       (.[0].prefix_hit_rate > 0.9) and (.[0].sweep_speedup >= 2)' \
+  "$workdir/BENCH_serve.json" >/dev/null || {
+  echo "sweep row missing or below gate:"; cat "$workdir/BENCH_serve.json"; exit 1; }
+cat "$workdir/BENCH_serve.json"
+echo "prefix sweep drill OK"
