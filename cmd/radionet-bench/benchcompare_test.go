@@ -50,6 +50,18 @@ func TestCompareEngineBench(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
 		t.Fatalf("want allocs regression error, got %v", err)
 	}
+	// Alloc-exact rows tolerate nothing: +1 alloc/op over the baseline
+	// fails even though it is far inside the generic slack, and a decrease
+	// still passes (shrinking is not a regression).
+	exactBase := withAllocs(report("seq", 1000.0, "pool", 5000.0), 3, 550)
+	exactBase.Benchmarks[0].AllocExact = true
+	err = compareEngineBench(withAllocs(report("seq", 1000.0, "pool", 5000.0), 4, 550), exactBase, 0.25, &log)
+	if err == nil || !strings.Contains(err.Error(), "alloc-exact") {
+		t.Fatalf("want alloc-exact regression error, got %v", err)
+	}
+	if err := compareEngineBench(withAllocs(report("seq", 1000.0, "pool", 5000.0), 2, 550), exactBase, 0.25, &log); err != nil {
+		t.Fatalf("alloc decrease on exact row must pass: %v", err)
+	}
 
 	// Benchmarks missing from the baseline never fail.
 	if err := compareEngineBench(report("brand-new", 1e9), baseline, 0.25, &log); err != nil {

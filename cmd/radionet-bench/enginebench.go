@@ -26,7 +26,10 @@ import (
 
 // EngineBenchResult is one benchmark row of BENCH_engine.json. Procs is
 // the GOMAXPROCS override the row ran under (0 = the process default, see
-// the report's gomaxprocs field).
+// the report's gomaxprocs field). AllocExact marks rows whose timed region
+// is a steady-state step loop with no construction inside it: allocs/op is
+// deterministic there, so the regression gate compares it exactly — any
+// increase over the committed baseline fails, with no slack.
 type EngineBenchResult struct {
 	Name            string  `json:"name"`
 	Nodes           int     `json:"nodes"`
@@ -36,6 +39,7 @@ type EngineBenchResult struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 	BytesPerOp      int64   `json:"bytes_per_op"`
 	NodeStepsPerSec float64 `json:"node_steps_per_sec"`
+	AllocExact      bool    `json:"alloc_exact,omitempty"`
 }
 
 // EngineBenchReport is the BENCH_engine.json document.
@@ -309,23 +313,26 @@ var engineBenchSpecs = []struct {
 	nodes      int
 	stepsPerOp int
 	procs      int
+	allocExact bool
 	fn         func(b *testing.B)
 }{
-	{"seq_dense_n1024", 1024, 1, 0, benchSequentialSteps(32, 32, 0)},
-	{"seq_sparse_n4096_live64", 4096, 1, 0, benchSequentialSteps(64, 64, 64)},
-	{"seq_dyn_churn_n1024", 1024, 1, 0, benchDynSteps(32, 32, 64)},
-	{"pool_n256_64steps", 256, 64, 0, benchPoolRun(16, 16)},
-	{"pool_n1024_64steps", 1024, 64, 0, benchPoolRun(32, 32)},
-	{"pool_n1024_64steps_p2", 1024, 64, 2, benchPoolRun(32, 32)},
-	{"pool_n1024_64steps_p4", 1024, 64, 4, benchPoolRun(32, 32)},
-	{"pool_n1024_64steps_p8", 1024, 64, 8, benchPoolRun(32, 32)},
-	{"seq_sinr_n1024", 1024, 1, 0, benchSINRSteps(1024)},
-	{"pool_sinr_n1024", 1024, 64, 0, benchPoolSINRRun(1024)},
-	{"pool_sinr_n1024_p2", 1024, 64, 2, benchPoolSINRRun(1024)},
-	{"pool_sinr_n1024_p4", 1024, 64, 4, benchPoolSINRRun(1024)},
-	{"pool_sinr_n1024_p8", 1024, 64, 8, benchPoolSINRRun(1024)},
-	{"seq_sinr_n4096", 4096, 1, 0, benchSINRSteps(4096)},
-	{"sinr_dense_ref_n4096", 4096, 1, 0, benchSINRDenseRef(4096)},
+	{"seq_dense_n1024", 1024, 1, 0, true, benchSequentialSteps(32, 32, 0)},
+	{"seq_sparse_n4096_live64", 4096, 1, 0, true, benchSequentialSteps(64, 64, 64)},
+	{"seq_dyn_churn_n1024", 1024, 1, 0, true, benchDynSteps(32, 32, 64)},
+	{"pool_n256_64steps", 256, 64, 0, false, benchPoolRun(16, 16)},
+	{"pool_n1024_64steps", 1024, 64, 0, false, benchPoolRun(32, 32)},
+	{"pool_n1024_64steps_p2", 1024, 64, 2, false, benchPoolRun(32, 32)},
+	{"pool_n1024_64steps_p4", 1024, 64, 4, false, benchPoolRun(32, 32)},
+	{"pool_n1024_64steps_p8", 1024, 64, 8, false, benchPoolRun(32, 32)},
+	{"seq_sinr_n1024", 1024, 1, 0, true, benchSINRSteps(1024)},
+	{"pool_sinr_n1024", 1024, 64, 0, false, benchPoolSINRRun(1024)},
+	{"pool_sinr_n1024_p2", 1024, 64, 2, false, benchPoolSINRRun(1024)},
+	{"pool_sinr_n1024_p4", 1024, 64, 4, false, benchPoolSINRRun(1024)},
+	{"pool_sinr_n1024_p8", 1024, 64, 8, false, benchPoolSINRRun(1024)},
+	{"seq_sinr_n4096", 4096, 1, 0, true, benchSINRSteps(4096)},
+	{"seq_sinr_n65536", 65536, 1, 0, true, benchSINRSteps(65536)},
+	{"pool_sinr_n65536_p4", 65536, 64, 4, false, benchPoolSINRRun(65536)},
+	{"sinr_dense_ref_n4096", 4096, 1, 0, true, benchSINRDenseRef(4096)},
 }
 
 // seedBaseline is the same workload set measured at PR 1 on the seed's
@@ -371,6 +378,7 @@ func measureEngineBench() (EngineBenchReport, error) {
 			AllocsPerOp:     r.AllocsPerOp(),
 			BytesPerOp:      r.AllocedBytesPerOp(),
 			NodeStepsPerSec: float64(spec.nodes*spec.stepsPerOp) / (ns * 1e-9),
+			AllocExact:      spec.allocExact,
 		})
 	}
 	return report, nil
@@ -397,12 +405,16 @@ func allocSlack(baseline int64) int64 {
 // compareEngineBench checks fresh results against a previously recorded
 // report (the CI bench-regression gate) on two axes: ns/op beyond the
 // fractional tolerance (wide, because baseline and runner may be different
-// hardware) and allocs/op beyond a small slack (hardware-independent —
-// this is the check that catches a step loop that started allocating).
-// Benchmarks absent from the baseline are reported as new but
-// never fail, so adding a bench doesn't require regenerating the baseline
-// in the same change. Speedups only produce a note — refreshing the
-// committed baseline is a deliberate act, not a gate.
+// hardware) and allocs/op (hardware-independent — this is the check that
+// catches a step loop that started allocating). Rows the baseline marks
+// AllocExact are steady-state step loops whose alloc count is
+// deterministic: any allocs/op increase at all fails. Other rows (the
+// pool benches, whose per-op construction allocs scale with GOMAXPROCS)
+// get the proportional allocSlack. Benchmarks absent from the baseline
+// are reported as new but never fail, so adding a bench doesn't require
+// regenerating the baseline in the same change. Speedups only produce a
+// note — refreshing the committed baseline is a deliberate act, not a
+// gate.
 func compareEngineBench(fresh, baseline EngineBenchReport, tolerance float64, log io.Writer) error {
 	base := make(map[string]EngineBenchResult, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {
@@ -422,7 +434,12 @@ func compareEngineBench(fresh, baseline EngineBenchReport, tolerance float64, lo
 			regressed = append(regressed, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
 				f.Name, f.NsPerOp, b.NsPerOp, (ratio-1)*100, tolerance*100))
 		}
-		if slack := allocSlack(b.AllocsPerOp); f.AllocsPerOp > b.AllocsPerOp+slack {
+		if b.AllocExact {
+			if f.AllocsPerOp > b.AllocsPerOp {
+				regressed = append(regressed, fmt.Sprintf("%s: %d allocs/op vs baseline %d (alloc-exact row: no increase allowed)",
+					f.Name, f.AllocsPerOp, b.AllocsPerOp))
+			}
+		} else if slack := allocSlack(b.AllocsPerOp); f.AllocsPerOp > b.AllocsPerOp+slack {
 			regressed = append(regressed, fmt.Sprintf("%s: %d allocs/op vs baseline %d (slack %d)",
 				f.Name, f.AllocsPerOp, b.AllocsPerOp, slack))
 		}

@@ -140,8 +140,14 @@ func UniformPoints(n, dim int, side float64, rng *xrand.RNG) []Point {
 }
 
 // UDG builds the unit disk graph on pts with connection radius radius:
-// an edge {u,v} iff Euclidean distance ≤ radius.
+// an edge {u,v} iff Euclidean distance ≤ radius. Finite 2-D deployments
+// take a grid-bucketed O(n + m) path that is list-for-list identical to
+// the naive scan; everything else (other dimensions, non-finite inputs,
+// degenerate radii) falls back to the quadratic reference.
 func UDG(pts []Point, radius float64) *graph.Graph {
+	if g, ok := udgGrid2D(pts, radius); ok {
+		return g
+	}
 	return thresholdGraph(pts, radius, Point.Dist)
 }
 

@@ -1,0 +1,16 @@
+package phy
+
+// grow reslices buf to n elements, reallocating only when capacity is
+// insufficient — the arena-style reuse discipline every per-epoch scratch
+// buffer in this package follows. Buffers grow monotonically across a run's
+// epochs and are never freed, so Sync allocates at most once per size
+// high-water mark and the step loop itself allocates nothing. A freshly
+// grown buffer is zeroed (make semantics); a reused one keeps its contents,
+// which is exactly what the between-steps all-zero invariant requires —
+// whoever dirtied an entry re-zeroed it before the step ended.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,63 @@
+package phy
+
+// Frontier is one step's transmitter set in the two forms the batched
+// reception kernels want: a bitset for O(1) membership tests and the
+// ascending id list for ordered iteration. The engines own one Frontier per
+// run and rebuild it every step on the coordinator side — the worker-pool
+// engine merges its shard transmitter lists into it in ascending global
+// order between barriers, so a model receives one canonical frontier no
+// matter how the act phase was sharded. (The bitset is deliberately not
+// written from worker goroutines: two shards setting bits in one shared
+// uint64 word would race, while the per-shard []int32 lists they produce
+// are disjoint.)
+type Frontier struct {
+	bits []uint64
+	list []int32
+}
+
+// Resize prepares the frontier for node ids in [0, n), preserving the
+// grow-only arena discipline: capacity only ever increases, so per-epoch
+// Resize calls allocate nothing once the run's node count has been seen.
+// The frontier must be empty (Clear) when Resize is called.
+func (f *Frontier) Resize(n int) {
+	words := (n + 63) / 64
+	if cap(f.bits) < words {
+		f.bits = make([]uint64, words)
+	} else {
+		f.bits = f.bits[:words]
+	}
+	if f.list == nil {
+		f.list = make([]int32, 0, n)
+	}
+}
+
+// Add appends one batch of transmitters, ascending within the batch and
+// after every id already added — the engines feed shard batches in
+// ascending global order, so the accumulated list stays globally ascending.
+func (f *Frontier) Add(tx []int32) {
+	for _, v := range tx {
+		f.bits[uint32(v)>>6] |= 1 << (uint32(v) & 63)
+	}
+	f.list = append(f.list, tx...)
+}
+
+// Has reports whether v transmits this step.
+func (f *Frontier) Has(v int32) bool {
+	return f.bits[uint32(v)>>6]&(1<<(uint32(v)&63)) != 0
+}
+
+// List returns this step's transmitters in ascending order. The slice is
+// owned by the frontier and valid until the next Clear.
+func (f *Frontier) List() []int32 { return f.list }
+
+// Len returns the number of transmitters this step.
+func (f *Frontier) Len() int { return len(f.list) }
+
+// Clear re-zeroes the frontier at cost proportional to the transmitters
+// added, restoring the between-steps all-zero invariant.
+func (f *Frontier) Clear() {
+	for _, v := range f.list {
+		f.bits[uint32(v)>>6] = 0
+	}
+	f.list = f.list[:0]
+}

@@ -11,10 +11,10 @@
 // so every protocol, experiment, topology schedule and service scenario in
 // this repository composes with every reception model. A Model instance is
 // stateful per run: the engine calls Sync at the start of the run and at
-// every topology epoch boundary, then per step one or more Observe calls
-// (one ascending batch per engine shard, shards in ascending global order)
-// followed by exactly one Resolve and one Clear. Instances must not be
-// shared between concurrent runs.
+// every topology epoch boundary, then per step exactly one Resolve — fed
+// the step's transmitter Frontier, which the engine assembles on the
+// coordinator side from its shard transmit lists in ascending global order
+// — and one Clear. Instances must not be shared between concurrent runs.
 package phy
 
 import "repro/internal/graph"
@@ -63,20 +63,19 @@ type Model interface {
 	// not. Geometric models ignore csr's edges and refresh their positions
 	// for the epoch instead.
 	Sync(step int, csr *graph.CSR) error
-	// Observe accumulates one batch of this step's transmitters, in
-	// ascending node order. It may be called several times per step (once
-	// per worker-pool shard), batches arriving in ascending global order;
-	// models that accumulate floating-point interference must do so in this
-	// fixed transmitter-index order so the sequential and worker-pool
-	// engines stay transcript-identical.
-	Observe(tx []int32)
-	// Resolve decides reception for the accumulated transmitter set,
-	// appending into out (which arrives reset). Cost must be proportional
-	// to the transmitters and the listeners they can reach, not to n.
-	Resolve(out *Outcome)
-	// Clear re-zeroes the per-step scratch dirtied by Observe/Resolve,
-	// restoring the between-steps all-zero invariant at cost proportional
-	// to the entries dirtied.
+	// Resolve decides reception for the step's transmitter frontier,
+	// appending into out (which arrives reset). f.List() is ascending —
+	// the engines merge their shard transmit lists in ascending global
+	// order — and models that accumulate floating-point interference must
+	// sum each listener's contributions in that fixed transmitter-index
+	// order, so the sequential and worker-pool engines stay transcript-
+	// identical. The frontier is read-only to the model and owned by the
+	// engine, which clears it after Clear. Cost must be proportional to
+	// the transmitters and the listeners they can reach, not to n.
+	Resolve(f *Frontier, out *Outcome)
+	// Clear re-zeroes any per-step scratch dirtied by Resolve, restoring
+	// the between-steps all-zero invariant at cost proportional to the
+	// entries dirtied.
 	Clear()
 }
 
@@ -90,8 +89,6 @@ type Collision struct {
 	marker  bool    // CollisionCD delivers the marker instead of silence
 	counts  []int8  // transmitting-neighbor count, saturated at 2
 	from    []int32 // some transmitting neighbor (valid when counts==1)
-	isTx    []bool  // isTx[v]: v transmits this step
-	txAll   []int32 // this step's transmitters, ascending
 	touched []int32 // nodes with ≥1 transmitting neighbor this step
 }
 
@@ -121,20 +118,21 @@ func (c *Collision) Sync(step int, csr *graph.CSR) error {
 	if n := csr.N(); len(c.counts) < n {
 		c.counts = make([]int8, n)
 		c.from = make([]int32, n)
-		c.isTx = make([]bool, n)
-		c.txAll = make([]int32, 0, n)
 		c.touched = make([]int32, 0, n)
 	}
 	return nil
 }
 
-// Observe implements Model: for every neighbor w of a transmitter, counts[w]
-// rises (saturating at 2), from[w] records a transmitting neighbor, and w is
-// recorded in touched on first contact.
-func (c *Collision) Observe(tx []int32) {
-	for _, v := range tx {
-		c.isTx[v] = true
-		c.txAll = append(c.txAll, v)
+// Resolve implements Model: one pass over the frontier marks every neighbor
+// of every transmitter — counts[w] rises (saturating at 2), from[w] records
+// a transmitting neighbor, touched records first contact — then the
+// exactly-one-transmitting-neighbor rule runs over the touched set, the
+// frontier bitset answering the half-duplex test. Transmitters hear
+// nothing; retirement and wake state are the engine's concern — every
+// touched listener is reported, matching the model's global view of the
+// medium.
+func (c *Collision) Resolve(f *Frontier, out *Outcome) {
+	for _, v := range f.List() {
 		for _, w := range c.csr.Neighbors(int(v)) {
 			switch c.counts[w] {
 			case 0:
@@ -146,16 +144,9 @@ func (c *Collision) Observe(tx []int32) {
 			}
 		}
 	}
-}
-
-// Resolve implements Model: the exactly-one-transmitting-neighbor rule over
-// the touched set. Transmitters hear nothing (half-duplex); retirement and
-// wake state are the engine's concern — every touched listener is reported,
-// matching the model's global view of the medium.
-func (c *Collision) Resolve(out *Outcome) {
 	out.Marker = c.marker
 	for _, u := range c.touched {
-		if c.isTx[u] {
+		if f.Has(u) {
 			continue
 		}
 		if c.counts[u] == 1 {
@@ -171,9 +162,5 @@ func (c *Collision) Clear() {
 	for _, u := range c.touched {
 		c.counts[u] = 0
 	}
-	for _, v := range c.txAll {
-		c.isTx[v] = false
-	}
 	c.touched = c.touched[:0]
-	c.txAll = c.txAll[:0]
 }

@@ -21,17 +21,20 @@ func resolveOnce(t *testing.T, m Model, csr *graph.CSR, tx []int32) Outcome {
 	if err := m.Sync(0, csr); err != nil {
 		t.Fatal(err)
 	}
-	m.Observe(tx)
+	var f Frontier
+	f.Resize(csr.N())
+	f.Add(tx)
 	var out Outcome
-	m.Resolve(&out)
+	m.Resolve(&f, &out)
 	snap := Outcome{Marker: out.Marker}
 	snap.Decoded = append(snap.Decoded, out.Decoded...)
 	snap.Collided = append(snap.Collided, out.Collided...)
 	m.Clear()
+	f.Clear()
 	// The all-zero between-steps invariant: an empty follow-up step must
 	// resolve to nothing.
 	out.Reset()
-	m.Resolve(&out)
+	m.Resolve(&f, &out)
 	if len(out.Decoded) != 0 || len(out.Collided) != 0 {
 		t.Fatalf("%s: scratch not cleared, empty step resolved to %+v", m.Name(), out)
 	}
@@ -72,19 +75,21 @@ func TestCollisionModelRule(t *testing.T) {
 	}
 }
 
-func TestCollisionObserveInShardBatches(t *testing.T) {
-	// Observing {1}, then {2} (two pool shards) must equal observing {1, 2}.
+func TestCollisionFrontierInShardBatches(t *testing.T) {
+	// Adding {1}, then {2} (two pool shards) must equal adding {1, 2}.
 	csr := star(4)
 	m := NewCollisionCD()
 	if err := m.Sync(0, csr); err != nil {
 		t.Fatal(err)
 	}
-	m.Observe([]int32{1})
-	m.Observe([]int32{2})
+	var f Frontier
+	f.Resize(csr.N())
+	f.Add([]int32{1})
+	f.Add([]int32{2})
 	var out Outcome
-	m.Resolve(&out)
+	m.Resolve(&f, &out)
 	if len(out.Decoded) != 0 || len(out.Collided) != 1 || out.Collided[0] != 0 {
-		t.Fatalf("batched observe: %+v", out)
+		t.Fatalf("batched frontier: %+v", out)
 	}
 }
 

@@ -1,0 +1,34 @@
+package phy
+
+import "math"
+
+// powNegPathLoss computes d^-α exactly as math.Pow(d, -α) does — the batched
+// SINR kernels are required to be bit-identical to the exact-mode reference
+// loop, which uses math.Pow, so a faster path is only admissible when it
+// produces the same bits.
+//
+// For the default α = 4 that is possible: math.Pow's integer-exponent path
+// is binary exponentiation on the Frexp mantissa (square, square, invert),
+// and scaling by powers of two commutes with float64 rounding, so
+// 1/((d·d)·(d·d)) performs the same two squarings and one inversion with the
+// same roundings — provided no intermediate over- or underflows, which the
+// (1e-38, 1e38) window guarantees (d² and d⁴ stay normal and finite). A
+// property test pins the equality bit for bit across the window and at its
+// edges; outside the window, and for every other α, the call falls through
+// to math.Pow itself.
+//
+// pow4 reports whether the resolved params select the fast path.
+func (p SINRParams) pow4() bool { return p.PathLoss == 4 }
+
+// recvPow returns the received power pu·d^-α with the exact arithmetic of
+// the pre-batch kernels: the d^-α factor rounds first, the pu product
+// second. fast4 must be p.pow4() for the params in force — passed as an
+// argument so the hot loops hoist the flag into a register.
+func recvPow(pu, d float64, pathLoss float64, fast4 bool) float64 {
+	if fast4 && d > 1e-38 && d < 1e38 {
+		q := d * d
+		q *= q
+		return pu * (1 / q)
+	}
+	return pu * math.Pow(d, -pathLoss)
+}

@@ -1,0 +1,45 @@
+package phy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestRecvPowFast4BitIdentity pins the admissibility claim in pow.go: inside
+// the (1e-38, 1e38) window, 1/((d·d)·(d·d)) is bit-for-bit math.Pow(d, -4),
+// so the batched kernels may use it without perturbing the exact-mode
+// reference differential. Sampled log-uniformly across the whole window plus
+// the edges and the d == 0 → 1e-9 substitute the kernels feed it.
+func TestRecvPowFast4BitIdentity(t *testing.T) {
+	rng := xrand.New(99)
+	check := func(pu, d float64) {
+		t.Helper()
+		got := recvPow(pu, d, 4, true)
+		want := pu * math.Pow(d, -4)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("recvPow(%v, %v) = %x, math.Pow reference %x", pu, d, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+	for i := 0; i < 200000; i++ {
+		// d log-uniform in (1e-38, 1e38), pu log-uniform in [1e-3, 1e3].
+		d := math.Pow(10, -38+76*rng.Float64())
+		pu := math.Pow(10, -3+6*rng.Float64())
+		check(pu, d)
+	}
+	for _, d := range []float64{
+		1e-9,                                              // the co-located substitute distance
+		math.Nextafter(1e-38, 1), math.Nextafter(1e38, 0), // window interior edges
+		1e-38, 1e38, math.Nextafter(1e-38, 0), math.Nextafter(1e38, 2e38), // window exterior: Pow fallback
+		5e-324, math.MaxFloat64, // denormal min and float max, far outside
+		1, 2, 0.5, // powers of two: exact d^-4
+	} {
+		check(1, d)
+		check(0.75, d)
+	}
+	// Non-4 path loss always takes the Pow fallback, trivially identical.
+	if got, want := recvPow(2, 3, 2.5, false), 2*math.Pow(3, -2.5); got != want {
+		t.Fatalf("generic path loss: %v vs %v", got, want)
+	}
+}

@@ -7,12 +7,29 @@ package phy
 //
 // For Beta ≥ 1 at most one transmitter can clear the threshold, so delivery
 // is unambiguous. Transmitters hear nothing (half-duplex, as in the graph
-// model). Unlike the pre-PHY internal/sinr loop — O(#tx·n) per step, every
-// listener summing every transmitter — this implementation buckets node
-// positions into a uniform grid with cell size equal to the largest decode
-// range and sweeps, per transmitter, only the cells within the far-field
-// cutoff. Per-step cost is O(#tx · nodes-within-cutoff), near-sparse on
-// spread-out deployments.
+// model).
+//
+// The implementation is batch-oriented (DESIGN.md §7): node positions and
+// powers live in structure-of-arrays form (flat xs/ys/pw float64 slices,
+// uint32 ids in the kernel arrays), positions are bucketed into a uniform
+// grid with cell size equal to the largest decode range, and each step
+// resolves receiver-bucket by receiver-bucket — a CSR-style candidate table
+// maps every bucket to the transmitters within the far-field cutoff ring,
+// built in ascending transmitter order, and one fused pass per bucket
+// accumulates interference and applies the threshold with per-listener
+// state held in registers. Per-step cost is O(#tx · nodes-within-cutoff),
+// near-sparse on spread-out deployments, and the scratch is arena-style
+// per-epoch buffers so the step loop performs zero heap allocations.
+//
+// Bit-exactness is a hard constraint, not a nicety: every kernel
+// accumulates each listener's interference in ascending transmitter order
+// with the exact arithmetic of the pre-batch code (Dist's summation order,
+// math.Pow's rounding — see pow.go — and the d==0 clamp), so the float
+// sums, and hence every decode decision, are identical whether the step ran
+// through the batched kernels, the per-transmitter fallback sweep, or the
+// dense exact-mode loop, and identical however the engines sharded the act
+// phase. That is what keeps the committed golden digests and the
+// old-vs-new reference differential valid across this layout change.
 //
 // The far-field cutoff is the one deliberate approximation: interference
 // from transmitters farther than CutoffFactor decode ranges is dropped. A
@@ -146,20 +163,39 @@ type SINR struct {
 	pts      []Point
 	maxRange float64 // largest per-node decode range
 	cutoff   float64 // absolute far-field cutoff distance (may be +Inf)
+	fast4    bool    // PathLoss == 4: the bit-exact fast d^-α path (pow.go)
 
-	// Uniform grid over the epoch's positions: cellNodes holds node indices
-	// bucketed by cell in CSR layout. dense is the fallback (non-2D points,
-	// unbounded range) that sweeps every node.
+	// Structure-of-arrays node state, rebuilt per epoch in Sync: positions
+	// as flat coordinate slices (soa is false when the deployment is not
+	// 2-D, forcing the generic Point fallback) and resolved per-node powers.
+	xs, ys []float64
+	pw     []float64
+	soa    bool
+
+	// Uniform grid over the epoch's positions: cellNodes holds node ids
+	// bucketed by cell in CSR layout, nodeCell the inverse map. dense is
+	// the fallback (non-2D points, unbounded range, infinite cutoff) that
+	// sweeps every listener against every transmitter.
 	dense      bool
 	cellSize   float64
 	cols, rows int
 	minX, minY float64
 	cellStart  []int32
-	cellNodes  []int32
+	cellNodes  []uint32
+	nodeCell   []int32
 
-	// Per-step scratch, all-zero between steps (see Model.Clear).
-	isTx     []bool
-	txAll    []int32
+	// Per-step candidate table for the bucketed kernel (all-zero between
+	// steps): candU[candStart[c]-candCnt[c]:candStart[c]] lists, ascending,
+	// the transmitters whose cutoff ring covers receiver cell c; rcCells
+	// tracks the cells dirtied this step. candU's length is the arena
+	// budget — a step whose rings overflow it resolves through the
+	// per-transmitter fallback sweep instead of allocating.
+	candU     []uint32
+	candCnt   []int32
+	candStart []int32
+	rcCells   []int32
+
+	// Fallback-sweep scratch (all-zero between steps, cleared via touched).
 	acc      []float64 // total received power per touched listener
 	bestPow  []float64 // strongest single signal per touched listener
 	bestFrom []int32   // its transmitter (valid when seen)
@@ -210,17 +246,10 @@ func (s *SINR) Params() SINRParams { return s.params }
 // Name implements Model.
 func (s *SINR) Name() string { return "sinr" }
 
-// powerOf returns node v's transmission power.
-func (s *SINR) powerOf(v int32) float64 {
-	if s.params.Powers != nil {
-		return s.params.Powers[v]
-	}
-	return s.params.Power
-}
-
-// Sync implements Model: fetch the epoch's positions (mobile runs), size
-// the scratch, and rebuild the grid buckets. Runs once per epoch, never per
-// step, so the allocations here stay off the hot path.
+// Sync implements Model: fetch the epoch's positions (mobile runs), rebuild
+// the structure-of-arrays state and the grid buckets, and size the arenas.
+// Runs once per epoch, never per step, so the allocations here stay off the
+// hot path.
 func (s *SINR) Sync(step int, csr *graph.CSR) error {
 	if s.src != nil {
 		s.pts = s.src.PositionsAt(step)
@@ -235,9 +264,20 @@ func (s *SINR) Sync(step int, csr *graph.CSR) error {
 	if s.params.Powers != nil && len(s.params.Powers) != n {
 		return fmt.Errorf("phy: %d per-node powers for %d nodes", len(s.params.Powers), n)
 	}
+	s.fast4 = s.params.pow4()
+	// Positions into SoA form; powers resolved per node so the kernels
+	// never branch on the uniform-vs-heterogeneous distinction.
+	s.xs, s.ys, s.soa = splitXYInto(s.pts, s.xs, s.ys)
+	s.pw = grow(s.pw, n)
+	if s.params.Powers != nil {
+		copy(s.pw, s.params.Powers)
+	} else {
+		for i := range s.pw {
+			s.pw[i] = s.params.Power
+		}
+	}
+	// Fallback-sweep scratch, all-zero between steps.
 	if len(s.acc) < n {
-		s.isTx = make([]bool, n)
-		s.txAll = make([]int32, 0, n)
 		s.acc = make([]float64, n)
 		s.bestPow = make([]float64, n)
 		s.bestFrom = make([]int32, n)
@@ -258,6 +298,31 @@ func (s *SINR) Sync(step int, csr *graph.CSR) error {
 	return nil
 }
 
+// SplitXY converts a 2-D deployment to structure-of-arrays coordinate
+// slices. ok is false (and the slices nil) when any point is not 2-D —
+// callers fall back to the generic Point path. This is the shared SoA
+// handoff between the generators and the reception kernels: gen's bucketed
+// graph builders and the SINR model split the same way, so the two layers
+// agree on which deployments take the flat-slice fast paths.
+func SplitXY(pts []Point) (xs, ys []float64, ok bool) {
+	return splitXYInto(pts, nil, nil)
+}
+
+// splitXYInto is SplitXY reusing caller-owned arena buffers.
+func splitXYInto(pts []Point, xbuf, ybuf []float64) (xs, ys []float64, ok bool) {
+	for _, p := range pts {
+		if len(p) != 2 {
+			return nil, nil, false
+		}
+	}
+	xs = grow(xbuf, len(pts))
+	ys = grow(ybuf, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p[0], p[1]
+	}
+	return xs, ys, true
+}
+
 // buildGrid buckets the positions into a uniform grid with cell size equal
 // to the largest decode range (so one cell ring covers a decode disk), or
 // falls back to a dense sweep when the geometry does not bucket: unbounded
@@ -266,21 +331,24 @@ func (s *SINR) Sync(step int, csr *graph.CSR) error {
 // points.
 func (s *SINR) buildGrid() {
 	s.dense = true
-	if math.IsInf(s.maxRange, 1) || s.maxRange <= 0 || math.IsInf(s.cutoff, 1) {
+	if math.IsInf(s.maxRange, 1) || s.maxRange <= 0 || math.IsInf(s.cutoff, 1) || !s.soa {
 		return
-	}
-	for _, p := range s.pts {
-		if len(p) != 2 {
-			return
-		}
 	}
 	minX, minY := math.Inf(1), math.Inf(1)
 	maxX, maxY := math.Inf(-1), math.Inf(-1)
-	for _, p := range s.pts {
-		minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
-		minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+	for i := range s.xs {
+		minX, maxX = math.Min(minX, s.xs[i]), math.Max(maxX, s.xs[i])
+		minY, maxY = math.Min(minY, s.ys[i]), math.Max(maxY, s.ys[i])
 	}
-	cs := s.maxRange
+	// Cell size cutoff/3 balances the two per-transmitter costs: the ring
+	// sweep touches (2·ceil(cutoff/cs)+1)² cells (shrinks with bigger
+	// cells) while the pair tests cover the ring's area (approaches the
+	// cutoff disk with smaller cells). rc=3 keeps the ring at 7×7 = 49
+	// cells for ~8% more area than the rc=4 ring — measured fastest on the
+	// bench deployments. Correctness never depends on the choice: the
+	// kernels derive the ring radius from cellSize, and accumulation order
+	// is per-listener ascending regardless of geometry.
+	cs := s.cutoff / 3
 	cols := int((maxX-minX)/cs) + 1
 	rows := int((maxY-minY)/cs) + 1
 	// Bound the grid to O(n) cells: very spread-out deployments would
@@ -294,38 +362,47 @@ func (s *SINR) buildGrid() {
 	s.dense = false
 	s.cellSize, s.cols, s.rows, s.minX, s.minY = cs, cols, rows, minX, minY
 	cells := cols * rows
-	if len(s.cellStart) < cells+1 {
-		s.cellStart = make([]int32, cells+1)
-	} else {
-		s.cellStart = s.cellStart[:cells+1]
-		for i := range s.cellStart {
-			s.cellStart[i] = 0
-		}
+	n := len(s.pts)
+	s.cellStart = grow(s.cellStart, cells+1)
+	for i := range s.cellStart {
+		s.cellStart[i] = 0
 	}
-	if len(s.cellNodes) < len(s.pts) {
-		s.cellNodes = make([]int32, len(s.pts))
+	s.cellNodes = grow(s.cellNodes, n)
+	s.nodeCell = grow(s.nodeCell, n)
+	// The per-step candidate table: counters and segment cursors per cell
+	// (kept all-zero between steps by the bucketed kernel itself) and the
+	// flat id arena. The budget bounds the table at 8 ids per node — far
+	// above the sparse-frontier steady state; a transmit storm past it
+	// resolves through the fallback sweep, never an allocation.
+	s.candCnt = grow(s.candCnt, cells)
+	s.candStart = grow(s.candStart, cells)
+	s.candU = grow(s.candU, max(8*n, 1024))
+	if s.rcCells == nil {
+		s.rcCells = make([]int32, 0, cells)
 	}
 	// Counting sort by cell; node order inside each cell stays ascending,
-	// keeping the sweep (and so the touched order) deterministic.
-	for _, p := range s.pts {
-		s.cellStart[s.cellIndex(p)+1]++
+	// keeping every kernel's per-listener accumulation order deterministic.
+	for v := 0; v < n; v++ {
+		c := s.cellIndexXY(s.xs[v], s.ys[v])
+		s.nodeCell[v] = int32(c)
+		s.cellStart[c+1]++
 	}
 	for i := 1; i <= cells; i++ {
 		s.cellStart[i] += s.cellStart[i-1]
 	}
 	cursor := make([]int32, cells)
 	copy(cursor, s.cellStart[:cells])
-	for v, p := range s.pts {
-		c := s.cellIndex(p)
-		s.cellNodes[cursor[c]] = int32(v)
+	for v := 0; v < n; v++ {
+		c := s.nodeCell[v]
+		s.cellNodes[cursor[c]] = uint32(v)
 		cursor[c]++
 	}
 }
 
-// cellIndex maps a point to its grid cell.
-func (s *SINR) cellIndex(p Point) int {
-	cx := int((p[0] - s.minX) / s.cellSize)
-	cy := int((p[1] - s.minY) / s.cellSize)
+// cellIndexXY maps a coordinate pair to its grid cell.
+func (s *SINR) cellIndexXY(x, y float64) int {
+	cx := int((x - s.minX) / s.cellSize)
+	cy := int((y - s.minY) / s.cellSize)
 	if cx >= s.cols {
 		cx = s.cols - 1
 	}
@@ -335,110 +412,440 @@ func (s *SINR) cellIndex(p Point) int {
 	return cy*s.cols + cx
 }
 
-// Observe implements Model: record the batch. Interference accumulation is
-// deferred to Resolve, where the full transmitter set is known (a node in a
-// later shard's batch may itself transmit and must not be swept as a
-// listener) and the fixed ascending-index accumulation order is guaranteed.
-func (s *SINR) Observe(tx []int32) {
-	for _, v := range tx {
-		s.isTx[v] = true
+// Resolve implements Model: decide reception for the step's transmitter
+// frontier. Dispatch: the dense kernel when the geometry does not bucket,
+// otherwise the bucketed batch kernel, overflowing to the per-transmitter
+// sweep when a transmit storm outgrows the candidate arena. All three
+// accumulate each listener's interference in ascending transmitter order
+// with identical arithmetic, so the choice never changes a decision.
+func (s *SINR) Resolve(f *Frontier, out *Outcome) {
+	if f.Len() == 0 {
+		return
 	}
-	s.txAll = append(s.txAll, tx...)
+	if s.dense {
+		s.resolveDense(f, out)
+		return
+	}
+	s.resolveBucketed(f, out)
 }
 
-// Resolve implements Model. Pass 1 sweeps each transmitter's cutoff
-// neighborhood in ascending transmitter order — every touched listener
-// accumulates its received powers in exactly that order, so the
-// floating-point sums (and hence every decision) are identical however the
-// transmitter batches were sharded. Pass 2 applies the threshold test, with
-// the same arithmetic as the old exact loop: strongest signal against noise
-// plus the sum of the rest.
-func (s *SINR) Resolve(out *Outcome) {
-	for _, u := range s.txAll {
-		s.sweep(u)
+// resolveBucketed is the batch kernel. Three passes over per-cell state:
+// count candidate entries per receiver cell (every transmitter's cutoff
+// ring, clipped to the grid), turn the counts into CSR segment cursors,
+// and fill the segments — iterating transmitters in ascending order both
+// times, so each cell's candidate list is ascending by construction. The
+// fused per-bucket pass then resolves every listener of every dirtied cell
+// with accumulator, best-signal, and best-transmitter state in registers,
+// appending decodes and collisions directly; no per-listener scratch is
+// written at all.
+//
+// Both ring passes prune cells whose nearest point lies beyond the cutoff
+// from the transmitter (the ring is square, the cutoff disk is not — at
+// cell side cutoff/3 the corners are ~16% of the ring area). The test uses
+// squared distances with a 1e-9 relative slack above cutoff², so a pruned
+// cell's every pair is beyond the cutoff by margins no rounding in the
+// kernel's distance chain (a few ulps) can cross — and the kernels mask
+// (or skip) exactly those pairs anyway, so pruning never changes a bit.
+// The two passes evaluate the identical float expressions, keeping counts
+// and fills consistent.
+func (s *SINR) resolveBucketed(f *Frontier, out *Outcome) {
+	txs := f.List()
+	cols, rows := int32(s.cols), int32(s.rows)
+	rc := int32(math.Ceil(s.cutoff / s.cellSize))
+	cs, thr := s.cellSize, s.cutoff*s.cutoff*(1+1e-9)
+	// Per-axis squared point-to-cell-slab distances for one transmitter's
+	// ring. rc ≤ 3 by construction (the cell side starts at cutoff/3 and
+	// only ever coarsens), so the span is at most 7.
+	var dx2, dy2 [8]float64
+	// Pass 1: count ring entries per receiver cell, tracking dirtied cells.
+	total := 0
+	for _, u := range txs {
+		c := s.nodeCell[u]
+		cx, cy := c%cols, c/cols
+		gx0, gx1 := max(cx-rc, 0), min(cx+rc, cols-1)
+		gy0, gy1 := max(cy-rc, 0), min(cy+rc, rows-1)
+		xu, yu := s.xs[u], s.ys[u]
+		for gx := gx0; gx <= gx1; gx++ {
+			lo := s.minX + float64(gx)*cs
+			d := 0.0
+			if xu < lo {
+				d = lo - xu
+			} else if hi := lo + cs; xu > hi {
+				d = xu - hi
+			}
+			dx2[gx-gx0] = d * d
+		}
+		for gy := gy0; gy <= gy1; gy++ {
+			lo := s.minY + float64(gy)*cs
+			d := 0.0
+			if yu < lo {
+				d = lo - yu
+			} else if hi := lo + cs; yu > hi {
+				d = yu - hi
+			}
+			dy2[gy-gy0] = d * d
+		}
+		for gy := gy0; gy <= gy1; gy++ {
+			base := gy * cols
+			dy := dy2[gy-gy0]
+			for gx := gx0; gx <= gx1; gx++ {
+				if dx2[gx-gx0]+dy > thr {
+					continue
+				}
+				cell := base + gx
+				if s.candCnt[cell] == 0 {
+					s.rcCells = append(s.rcCells, cell)
+				}
+				s.candCnt[cell]++
+				total++
+			}
+		}
 	}
-	multi := len(s.txAll) > 1
+	if total > len(s.candU) {
+		// Transmit storm past the arena budget: undo the counts and resolve
+		// through the per-transmitter sweep — same decisions, no allocation.
+		for _, c := range s.rcCells {
+			s.candCnt[c] = 0
+		}
+		s.rcCells = s.rcCells[:0]
+		s.resolveSweep(f, out)
+		return
+	}
+	// Pass 2: CSR offsets. candStart[c] walks to the segment end during the
+	// fill, so afterwards the segment is candU[candStart[c]-candCnt[c]:candStart[c]].
+	off := int32(0)
+	for _, c := range s.rcCells {
+		s.candStart[c] = off
+		off += s.candCnt[c]
+	}
+	// Pass 3: fill, ascending transmitter order per cell, repeating pass 1's
+	// pruning test bit for bit so counts and fills agree.
+	for _, u := range txs {
+		c := s.nodeCell[u]
+		cx, cy := c%cols, c/cols
+		gx0, gx1 := max(cx-rc, 0), min(cx+rc, cols-1)
+		gy0, gy1 := max(cy-rc, 0), min(cy+rc, rows-1)
+		xu, yu := s.xs[u], s.ys[u]
+		for gx := gx0; gx <= gx1; gx++ {
+			lo := s.minX + float64(gx)*cs
+			d := 0.0
+			if xu < lo {
+				d = lo - xu
+			} else if hi := lo + cs; xu > hi {
+				d = xu - hi
+			}
+			dx2[gx-gx0] = d * d
+		}
+		for gy := gy0; gy <= gy1; gy++ {
+			lo := s.minY + float64(gy)*cs
+			d := 0.0
+			if yu < lo {
+				d = lo - yu
+			} else if hi := lo + cs; yu > hi {
+				d = yu - hi
+			}
+			dy2[gy-gy0] = d * d
+		}
+		for gy := gy0; gy <= gy1; gy++ {
+			base := gy * cols
+			dy := dy2[gy-gy0]
+			for gx := gx0; gx <= gx1; gx++ {
+				if dx2[gx-gx0]+dy > thr {
+					continue
+				}
+				cell := base + gx
+				s.candU[s.candStart[cell]] = uint32(u)
+				s.candStart[cell]++
+			}
+		}
+	}
+	// Fused accumulate+threshold pass, one receiver bucket at a time.
+	multi := len(txs) > 1
+	noise, beta := s.params.Noise, s.params.Beta
+	alpha, fast4 := s.params.PathLoss, s.fast4
+	cutoff := s.cutoff
+	xs, ys, pw := s.xs, s.ys, s.pw
+	// The outcome slices live in registers for the duration of the pass —
+	// appending through the pointer would reload the slice header on every
+	// listener (the compiler cannot prove out doesn't alias the kernel
+	// state).
+	dec, col := out.Decoded, out.Collided
+	for _, c := range s.rcCells {
+		end := s.candStart[c]
+		cands := s.candU[end-s.candCnt[c] : end]
+		for _, vu := range s.cellNodes[s.cellStart[c]:s.cellStart[c+1]] {
+			v := int32(vu)
+			if f.Has(v) {
+				continue // transmitters hear nothing, including themselves
+			}
+			xv, yv := xs[v], ys[v]
+			var acc, best float64
+			bestU := int32(-1)
+			if fast4 {
+				// The default-α kernel is branchless on the cutoff: whether a
+				// candidate is within range is data-dependent and essentially
+				// random, so a skip branch would mispredict on roughly half
+				// the pairs and stall the pipeline for longer than the d⁻⁴
+				// arithmetic it saves. Instead every pair's power is computed
+				// (sqrt and divide overlap across iterations — they have no
+				// loop-carried dependency) and out-of-range contributions are
+				// masked to +0.0, which is exact to add and never wins the
+				// best-signal race, so the accumulated bits match the skipping
+				// kernels term for term.
+				for _, uc := range cands {
+					u := int32(uc)
+					dx := xs[u] - xv
+					dy := ys[u] - yv
+					d := math.Sqrt(dx*dx + dy*dy)
+					if d == 0 {
+						d = 1e-9 // co-located points: effectively infinite power
+					}
+					q := d * d
+					q *= q
+					p := pw[u] * (1 / q)
+					if d <= 1e-38 || d >= 1e38 {
+						// Outside the pow4 bit-identity window (pow.go): defer
+						// to math.Pow. Unreachable at sane geometries.
+						p = pw[u] * math.Pow(d, -alpha)
+					}
+					var m uint64
+					if d <= cutoff {
+						m = ^uint64(0)
+					}
+					p = math.Float64frombits(math.Float64bits(p) & m)
+					acc += p
+					if p > best {
+						best, bestU = p, u
+					}
+				}
+			} else {
+				for _, uc := range cands {
+					u := int32(uc)
+					dx := xs[u] - xv
+					dy := ys[u] - yv
+					d := math.Sqrt(dx*dx + dy*dy)
+					if d == 0 {
+						d = 1e-9
+					}
+					if d > cutoff {
+						continue // skip: math.Pow costs more than a mispredict
+					}
+					p := pw[u] * math.Pow(d, -alpha)
+					acc += p
+					if p > best {
+						best, bestU = p, u
+					}
+				}
+			}
+			// best > 0 iff some transmitter was within the cutoff: every
+			// in-range contribution is strictly positive.
+			if best == 0 {
+				continue
+			}
+			// Threshold: the contract decision is fl(best/den) ≥ β with den
+			// computed exactly as below. The division is the longest-latency
+			// op left in the pass and most listeners are nowhere near the
+			// threshold, so multiply-form bounds decide everything outside a
+			// ±1e-9 relative band — wide enough (≫ the ~2⁻⁵² rounding of the
+			// division and the t products) that a listener inside a bound is
+			// provably on that side of the exact comparison — and only the
+			// sliver inside the band pays the division itself.
+			den := noise + (acc - best)
+			t := beta * den
+			hi := t * (1 + 1e-9)
+			lo := t * (1 - 1e-9)
+			if t <= 1e-300 {
+				// Denormal (or NaN-adjacent) threshold: the relative margins
+				// no longer dominate rounding, so every listener takes the
+				// exact division. Unreachable at sane noise floors.
+				hi, lo = math.Inf(1), -1
+			}
+			if best >= hi {
+				dec = append(dec, Decode{To: v, From: bestU})
+			} else if best > lo && best/den >= beta {
+				dec = append(dec, Decode{To: v, From: bestU})
+			} else if multi {
+				// Touched (within the cutoff of some transmitter) but decoded
+				// nothing while ≥2 transmitters were active. Single-transmitter
+				// steps record no collisions: a lone touched listener either
+				// decodes or is simply out of range. See Outcome.Collided for
+				// why this stat varies with CutoffFactor.
+				col = append(col, v)
+			}
+		}
+		// Re-zero the per-cell table entries this step dirtied.
+		s.candCnt[c] = 0
+		s.candStart[c] = 0
+	}
+	s.rcCells = s.rcCells[:0]
+	out.Decoded, out.Collided = dec, col
+}
+
+// resolveDense is the no-grid kernel: every listener against every
+// transmitter, ascending — exact mode (+Inf cutoff), noiseless channels,
+// and non-2D deployments. The 2-D variant runs over the SoA slices with the
+// same fused register accumulation as the bucketed kernel; other dimensions
+// take the generic Point path.
+func (s *SINR) resolveDense(f *Frontier, out *Outcome) {
+	txs := f.List()
+	multi := len(txs) > 1
+	noise, beta := s.params.Noise, s.params.Beta
+	alpha, fast4 := s.params.PathLoss, s.fast4
+	cutoff := s.cutoff // may be +Inf (never skips) or finite (non-2D fallback)
+	n := len(s.pts)
+	if s.soa {
+		xs, ys, pw := s.xs, s.ys, s.pw
+		for v := 0; v < n; v++ {
+			if f.Has(int32(v)) {
+				continue
+			}
+			xv, yv := xs[v], ys[v]
+			var acc, best float64
+			bestU := int32(-1)
+			hit := false
+			for _, u := range txs {
+				dx := xs[u] - xv
+				dy := ys[u] - yv
+				d := math.Sqrt(dx*dx + dy*dy)
+				if d == 0 {
+					d = 1e-9
+				}
+				if d > cutoff {
+					continue
+				}
+				var p float64 // recvPow, manually inlined
+				if fast4 && d > 1e-38 && d < 1e38 {
+					q := d * d
+					q *= q
+					p = pw[u] * (1 / q)
+				} else {
+					p = pw[u] * math.Pow(d, -alpha)
+				}
+				acc += p
+				if p > best {
+					best, bestU = p, u
+				}
+				hit = true
+			}
+			s.emit(out, int32(v), acc, best, bestU, hit, multi, noise, beta)
+		}
+		return
+	}
+	for v := 0; v < n; v++ {
+		if f.Has(int32(v)) {
+			continue
+		}
+		pv := s.pts[v]
+		var acc, best float64
+		bestU := int32(-1)
+		hit := false
+		for _, u := range txs {
+			d := s.pts[u].Dist(pv)
+			if d == 0 {
+				d = 1e-9
+			}
+			if d > cutoff {
+				continue
+			}
+			p := recvPow(s.pw[u], d, alpha, fast4)
+			acc += p
+			if p > best {
+				best, bestU = p, u
+			}
+			hit = true
+		}
+		s.emit(out, int32(v), acc, best, bestU, hit, multi, noise, beta)
+	}
+}
+
+// emit applies the threshold test for one listener's accumulated step.
+func (s *SINR) emit(out *Outcome, v int32, acc, best float64, bestU int32, hit, multi bool, noise, beta float64) {
+	if !hit {
+		return
+	}
+	if best/(noise+(acc-best)) >= beta {
+		out.Decoded = append(out.Decoded, Decode{To: v, From: bestU})
+	} else if multi {
+		out.Collided = append(out.Collided, v)
+	}
+}
+
+// resolveSweep is the pre-batch per-transmitter path, kept as the overflow
+// fallback for steps whose cutoff rings outgrow the candidate arena: each
+// transmitter's ring is swept in ascending transmitter order, listeners
+// accumulate in the per-node scratch arrays, and a final pass over the
+// touched set applies the threshold. Decision-identical to the bucketed
+// kernel (same per-listener accumulation order and arithmetic), differing
+// only in the order listeners are appended to the outcome.
+func (s *SINR) resolveSweep(f *Frontier, out *Outcome) {
+	for _, u := range f.List() {
+		s.sweep(f, u)
+	}
+	multi := f.Len() > 1
 	noise := s.params.Noise
 	beta := s.params.Beta
 	for _, v := range s.touched {
 		bp := s.bestPow[v]
 		if bp/(noise+(s.acc[v]-bp)) >= beta {
 			out.Decoded = append(out.Decoded, Decode{To: v, From: s.bestFrom[v]})
-		} else if multi {
-			// Touched (within the cutoff of some transmitter) but decoded
-			// nothing while ≥2 transmitters were active. Single-transmitter
-			// steps record no collisions: a lone touched listener either
-			// decodes or is simply out of range. See Outcome.Collided for
-			// why this stat varies with CutoffFactor.
+		} else if multi && bp > 0 {
+			// bp == 0 means every in-range contribution underflowed to zero
+			// received power — the bucketed kernel does not count such a
+			// listener as touched (it detects contact via best > 0), so the
+			// sweep must not either, or the two paths' Collided stats drift.
 			out.Collided = append(out.Collided, v)
 		}
+		s.acc[v] = 0
+		s.bestPow[v] = 0
+		s.seen[v] = false
 	}
+	s.touched = s.touched[:0]
 }
 
 // sweep accumulates transmitter u's received power onto every non-
 // transmitting node within the far-field cutoff.
-func (s *SINR) sweep(u int32) {
-	pu := s.powerOf(u)
-	if s.dense {
-		for v := range s.pts {
-			s.contribute(u, int32(v), pu)
-		}
-		return
-	}
-	p := s.pts[u]
-	rc := int(math.Ceil(s.cutoff / s.cellSize))
-	cx := int((p[0] - s.minX) / s.cellSize)
-	cy := int((p[1] - s.minY) / s.cellSize)
-	if cx >= s.cols {
-		cx = s.cols - 1
-	}
-	if cy >= s.rows {
-		cy = s.rows - 1
-	}
-	for gy := max(cy-rc, 0); gy <= min(cy+rc, s.rows-1); gy++ {
-		for gx := max(cx-rc, 0); gx <= min(cx+rc, s.cols-1); gx++ {
-			c := gy*s.cols + gx
-			for _, v := range s.cellNodes[s.cellStart[c]:s.cellStart[c+1]] {
-				s.contribute(u, v, pu)
+func (s *SINR) sweep(f *Frontier, u int32) {
+	pu := s.pw[u]
+	alpha, fast4 := s.params.PathLoss, s.fast4
+	c := s.nodeCell[u]
+	cols, rows := int32(s.cols), int32(s.rows)
+	rc := int32(math.Ceil(s.cutoff / s.cellSize))
+	cx, cy := c%cols, c/cols
+	xu, yu := s.xs[u], s.ys[u]
+	for gy := max(cy-rc, 0); gy <= min(cy+rc, rows-1); gy++ {
+		base := gy * cols
+		for gx := max(cx-rc, 0); gx <= min(cx+rc, cols-1); gx++ {
+			cell := base + gx
+			for _, vu := range s.cellNodes[s.cellStart[cell]:s.cellStart[cell+1]] {
+				v := int32(vu)
+				if f.Has(v) {
+					continue
+				}
+				dx := xu - s.xs[v]
+				dy := yu - s.ys[v]
+				d := math.Sqrt(dx*dx + dy*dy)
+				if d == 0 {
+					d = 1e-9
+				}
+				if d > s.cutoff {
+					continue
+				}
+				pow := recvPow(pu, d, alpha, fast4)
+				if !s.seen[v] {
+					s.seen[v] = true
+					s.touched = append(s.touched, v)
+				}
+				s.acc[v] += pow
+				if pow > s.bestPow[v] {
+					s.bestPow[v] = pow
+					s.bestFrom[v] = u
+				}
 			}
 		}
 	}
 }
 
-// contribute adds u's signal at v to the accumulation scratch.
-func (s *SINR) contribute(u, v int32, pu float64) {
-	if s.isTx[v] {
-		return // transmitters hear nothing, including their own signal
-	}
-	d := s.pts[u].Dist(s.pts[v])
-	if d == 0 {
-		d = 1e-9 // co-located points: effectively infinite power
-	}
-	if d > s.cutoff {
-		return
-	}
-	pow := pu * math.Pow(d, -s.params.PathLoss)
-	if !s.seen[v] {
-		s.seen[v] = true
-		s.touched = append(s.touched, v)
-	}
-	s.acc[v] += pow
-	if pow > s.bestPow[v] {
-		s.bestPow[v] = pow
-		s.bestFrom[v] = u
-	}
-}
-
-// Clear implements Model.
-func (s *SINR) Clear() {
-	for _, v := range s.touched {
-		s.acc[v] = 0
-		s.bestPow[v] = 0
-		s.seen[v] = false
-	}
-	for _, v := range s.txAll {
-		s.isTx[v] = false
-	}
-	s.touched = s.touched[:0]
-	s.txAll = s.txAll[:0]
-}
+// Clear implements Model. The kernels re-zero their per-cell and per-node
+// scratch inline as each step's Resolve finishes, so there is nothing left
+// to do here — the method survives as the Model seam's contract point.
+func (s *SINR) Clear() {}

@@ -212,6 +212,54 @@ func TestSINRRejectsMismatchedGeometry(t *testing.T) {
 	}
 }
 
+// TestSINRCutoffAtBucketGranularity pins the far-field contract at the
+// exact boundary: a transmitter at distance == cutoff contributes (the
+// predicate is d ≤ cutoff), one ulp farther it does not — and the bucketed
+// grid must honor both even when the pair spans the full candidate ring.
+// CutoffFactor 3 makes the internal cell side exactly 1.0, so the geometry
+// below is representable without rounding.
+func TestSINRCutoffAtBucketGranularity(t *testing.T) {
+	// rx decodes tx alone (SINR 2.02 ≥ β=2); an interferer at exactly the
+	// cutoff distance 3 pushes it to 1.97 < 2. Whether rx decodes is
+	// therefore precisely the question "was the boundary interferer
+	// counted".
+	mk := func(ix float64) Outcome {
+		pts := []Point{{ix, 0}, {0, 0}, {0.9975, 0}}
+		return resolveOnce(t, sinrOver(t, pts, SINRParams{CutoffFactor: 3}), emptyCSR(3), []int32{0, 2})
+	}
+	at := mk(-3) // distance from rx exactly == cutoff
+	if len(at.Decoded) != 0 {
+		t.Fatalf("interferer at d == cutoff was dropped: %+v", at)
+	}
+	if len(at.Collided) != 1 || at.Collided[0] != 1 {
+		t.Fatalf("blocked listener not recorded: %+v", at)
+	}
+	past := mk(math.Nextafter(-3, -4)) // one ulp beyond the cutoff
+	if len(past.Decoded) != 1 || past.Decoded[0] != (Decode{To: 1, From: 2}) {
+		t.Fatalf("interferer one ulp past cutoff still counted: %+v", past)
+	}
+}
+
+// TestSINRReceiverOnBucketEdge places a receiver exactly on an interior
+// grid-cell boundary (x = 2.0 with cell side exactly 1.0): it must land in
+// exactly one cell and still hear transmitters from the cells on both
+// sides of the edge.
+func TestSINRReceiverOnBucketEdge(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}, {1.5, 0}, {2.5, 0}}
+	for _, tx := range []int32{2, 3} {
+		out := resolveOnce(t, sinrOver(t, pts, SINRParams{CutoffFactor: 3}), emptyCSR(4), []int32{tx})
+		found := false
+		for _, d := range out.Decoded {
+			if d == (Decode{To: 1, From: tx}) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("edge receiver missed transmitter %d: %+v", tx, out)
+		}
+	}
+}
+
 // TestSINRShardOrderIndependence pins the fixed accumulation order: feeding
 // the transmitter set as one batch or as several ascending shard batches
 // must produce identical outcomes (the sequential≡pool contract's model-
@@ -223,22 +271,26 @@ func TestSINRShardOrderIndependence(t *testing.T) {
 	if err := one.Sync(0, csr); err != nil {
 		t.Fatal(err)
 	}
-	one.Observe([]int32{0, 2, 4})
+	var fa Frontier
+	fa.Resize(len(pts))
+	fa.Add([]int32{0, 2, 4})
 	var a Outcome
-	one.Resolve(&a)
+	one.Resolve(&fa, &a)
 
 	two := sinrOver(t, pts, SINRParams{})
 	if err := two.Sync(0, csr); err != nil {
 		t.Fatal(err)
 	}
-	two.Observe([]int32{0})
-	two.Observe([]int32{2})
-	two.Observe([]int32{4})
+	var fb Frontier
+	fb.Resize(len(pts))
+	fb.Add([]int32{0})
+	fb.Add([]int32{2})
+	fb.Add([]int32{4})
 	var b Outcome
-	two.Resolve(&b)
+	two.Resolve(&fb, &b)
 
 	if len(a.Decoded) != len(b.Decoded) || len(a.Collided) != len(b.Collided) {
-		t.Fatalf("sharded observe diverged: %+v vs %+v", a, b)
+		t.Fatalf("sharded frontier diverged: %+v vs %+v", a, b)
 	}
 	for i := range a.Decoded {
 		if a.Decoded[i] != b.Decoded[i] {

@@ -17,12 +17,12 @@ import (
 // whole run, so they survive every epoch unchanged.
 //
 // Sparse-delivery invariants (DESIGN.md §3): between steps every scratch
-// entry is at its zero value — transmitting[v]=false, payload[v]=nil,
-// hear[v]=nil — txList/out are empty, and the model's own scratch is
-// likewise all-zero (the phy.Model.Clear contract). Each step dirties only
-// the entries reachable from this step's transmitters and resetStep
-// restores the invariant by re-zeroing exactly those, so delivery work is
-// proportional to the transmitters and the listeners they reach, never to n.
+// entry is at its zero value — payload[v]=nil, hear[v]=nil — txList/out and
+// the frontier are empty, and the model's own scratch is likewise all-zero
+// (the phy.Model.Clear contract). Each step dirties only the entries
+// reachable from this step's transmitters and resetStep restores the
+// invariant by re-zeroing exactly those, so delivery work is proportional
+// to the transmitters and the listeners they reach, never to n.
 type engine struct {
 	csr       *graph.CSR
 	topo      Topology // nil for static runs
@@ -31,26 +31,26 @@ type engine struct {
 	opts      Options
 	model     phy.Model
 
-	transmitting []bool      // transmitting[v]: v transmits this step
-	payload      []Message   // payload[v]: message v transmits
-	hear         []Message   // hear[v]: message v receives (nil = silence)
-	txList       []int32     // this step's transmitters, ascending (sequential engine)
-	out          phy.Outcome // this step's reception outcome, buffers reused
+	payload  []Message    // payload[v]: message v transmits
+	hear     []Message    // hear[v]: message v receives (nil = silence)
+	txList   []int32      // this step's transmitters, ascending (sequential engine)
+	frontier phy.Frontier // this step's transmitter set, fed to Resolve
+	out      phy.Outcome  // this step's reception outcome, buffers reused
 }
 
 func newEngine(g *graph.Graph, nodes []Protocol, opts Options) (*engine, error) {
 	n := len(nodes)
 	e := &engine{
-		topo:         opts.Topology,
-		nextEpoch:    -1,
-		nodes:        nodes,
-		opts:         opts,
-		model:        opts.PHY,
-		transmitting: make([]bool, n),
-		payload:      make([]Message, n),
-		hear:         make([]Message, n),
-		txList:       make([]int32, 0, n),
+		topo:      opts.Topology,
+		nextEpoch: -1,
+		nodes:     nodes,
+		opts:      opts,
+		model:     opts.PHY,
+		payload:   make([]Message, n),
+		hear:      make([]Message, n),
+		txList:    make([]int32, 0, n),
 	}
+	e.frontier.Resize(n)
 	e.out.Decoded = make([]phy.Decode, 0, n)
 	e.out.Collided = make([]int32, 0, n)
 	if e.topo != nil {
@@ -115,7 +115,6 @@ func (e *engine) actScan(active []int32, step int, tx []int32) (activeOut, txOut
 		w++
 		a := e.nodes[v].Act(step)
 		if a.Transmit {
-			e.transmitting[v] = true
 			e.payload[v] = a.Msg
 			tx = append(tx, v)
 			transmits++
@@ -155,7 +154,7 @@ func (e *engine) newActive() []int32 {
 // medium.
 func (e *engine) resolveDeliveries(st *StepStats) {
 	e.out.Reset()
-	e.model.Resolve(&e.out)
+	e.model.Resolve(&e.frontier, &e.out)
 	for _, d := range e.out.Decoded {
 		e.hear[d.To] = e.payload[d.From]
 	}
@@ -171,13 +170,13 @@ func (e *engine) resolveDeliveries(st *StepStats) {
 // clearTx re-zeroes the per-transmitter scratch for one transmitter list.
 func (e *engine) clearTx(tx []int32) {
 	for _, v := range tx {
-		e.transmitting[v] = false
 		e.payload[v] = nil
 	}
 }
 
-// clearDeliveries re-zeroes the hear entries this step's outcome dirtied and
-// the model's own scratch, restoring the between-steps invariant.
+// clearDeliveries re-zeroes the hear entries this step's outcome dirtied,
+// the model's own scratch, and the frontier, restoring the between-steps
+// invariant.
 func (e *engine) clearDeliveries() {
 	for _, d := range e.out.Decoded {
 		e.hear[d.To] = nil
@@ -188,6 +187,7 @@ func (e *engine) clearDeliveries() {
 		}
 	}
 	e.model.Clear()
+	e.frontier.Clear()
 }
 
 // finishAllDone is the end-of-run sweep when MaxSteps ran out: nodes off the

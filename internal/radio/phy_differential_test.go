@@ -115,6 +115,67 @@ func TestSINRSeqPoolTranscriptIdentical(t *testing.T) {
 	}
 }
 
+// chatterNode transmits its own index with probability 1/32 — enough
+// concurrent transmitters at n = 65536 (~2048 per step) to exercise every
+// bucketed-kernel path at scale, with sender-identifying payloads so a
+// single wrong-From delivery anywhere changes the transcript digest.
+type chatterNode struct {
+	rng    *xrand.RNG
+	id     int64
+	step   int
+	budget int
+}
+
+func (c *chatterNode) Act(step int) radio.Action {
+	if c.rng.Bernoulli(1.0 / 32) {
+		return radio.Transmit(c.id)
+	}
+	return radio.Listen()
+}
+func (c *chatterNode) Deliver(step int, msg radio.Message) { c.step = step + 1 }
+func (c *chatterNode) Done() bool                          { return c.step >= c.budget }
+
+// TestSINRSeqPoolLargeDeployment is the sequential≡pool differential at the
+// bench's large scale: n = 65536 under the default cutoff, where the grid
+// holds tens of thousands of cells and per-step frontiers run to ~2048
+// transmitters. Divergence modes that only appear at scale — shard-boundary
+// ordering, candidate-arena overflow, bitset word sharing — land here.
+func TestSINRSeqPoolLargeDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-deployment differential: skipped in -short")
+	}
+	const n, steps = 65536, 4
+	side := math.Sqrt(float64(n) * math.Pi / 8)
+	pts := gen.UniformPoints(n, 2, side, xrand.New(21))
+	factory := func(info radio.NodeInfo) radio.Protocol {
+		return &chatterNode{rng: info.RNG, id: int64(info.Index), budget: steps}
+	}
+	run := func(concurrent bool, shards int) (uint64, radio.Result) {
+		model, err := phy.NewSINR(pts, phy.SINRParams{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := trace.NewHasher()
+		res, err := radio.Run(gen.Path(n), h.Wrap(factory), radio.Options{
+			MaxSteps: steps, Seed: 7, Concurrent: concurrent, Shards: shards, PHY: model,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.Sum(), res
+	}
+	wantDigest, wantRes := run(false, 0)
+	for _, shards := range []int{2, 7} {
+		gotDigest, gotRes := run(true, shards)
+		if gotDigest != wantDigest {
+			t.Errorf("shards=%d: pool digest %#x differs from sequential %#x", shards, gotDigest, wantDigest)
+		}
+		if gotRes != wantRes {
+			t.Errorf("shards=%d: pool result %+v differs from sequential %+v", shards, gotRes, wantRes)
+		}
+	}
+}
+
 // referenceSINRRun is the deleted internal/sinr execution loop, kept here
 // as the old-vs-new oracle: dense O(#tx·n) decoding with exact interference
 // sums in ascending transmitter order, act-then-deliver per step, per-node

@@ -165,8 +165,13 @@ func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 			res.AllDone = true
 			break
 		}
+		// Shard transmitter lists are disjoint, ascending, and arrive in
+		// shard order, so the merged frontier is globally ascending — the
+		// coordinator builds it between barriers, where no worker touches
+		// shared state (the bitset must not be written from workers: two
+		// shards could share a word).
 		for _, s := range p.shards {
-			p.e.model.Observe(s.txList)
+			p.e.frontier.Add(s.txList)
 		}
 		p.e.resolveDeliveries(&st)
 		p.barrier(step, phaseDeliver)

@@ -10,10 +10,10 @@ import (
 )
 
 // runDelivery drives the engine's delivery core for one synthetic step: it
-// loads the given transmit set, runs the PHY observe/resolve pass, hands a
-// copy of hear to the caller, then resets the step and verifies the
-// between-steps invariant (all engine scratch re-zeroed; a second resolve
-// must see an empty medium).
+// loads the given transmit set, runs the PHY resolve pass over the
+// frontier, hands a copy of hear to the caller, then resets the step and
+// verifies the between-steps invariant (all engine scratch re-zeroed; a
+// second resolve must see an empty medium).
 func runDelivery(t *testing.T, g *graph.Graph, transmitting []bool, payload []Message, cd bool) ([]Message, StepStats) {
 	t.Helper()
 	n := g.N()
@@ -27,13 +27,12 @@ func runDelivery(t *testing.T, g *graph.Graph, transmitting []bool, payload []Me
 	}
 	for v := 0; v < n; v++ {
 		if transmitting[v] {
-			e.transmitting[v] = true
 			e.payload[v] = payload[v]
 			e.txList = append(e.txList, int32(v))
 		}
 	}
 	st := StepStats{}
-	e.model.Observe(e.txList)
+	e.frontier.Add(e.txList)
 	e.resolveDeliveries(&st)
 	hear := make([]Message, n)
 	copy(hear, e.hear)
@@ -41,7 +40,7 @@ func runDelivery(t *testing.T, g *graph.Graph, transmitting []bool, payload []Me
 	e.txList = e.txList[:0]
 	e.clearDeliveries()
 	for v := 0; v < n; v++ {
-		if e.transmitting[v] || e.payload[v] != nil || e.hear[v] != nil {
+		if e.frontier.Has(int32(v)) || e.payload[v] != nil || e.hear[v] != nil {
 			t.Fatalf("scratch not re-zeroed at node %d after resetStep", v)
 		}
 	}
