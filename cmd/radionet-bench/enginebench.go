@@ -150,6 +150,36 @@ func benchDynSteps(rows, cols, epochLen int) func(b *testing.B) {
 	}
 }
 
+// benchProbeSink receives probe samples in the obs-enabled bench row. A
+// package-level func (not a capturing closure) so arming the probe adds no
+// allocations of its own to the measured loop.
+var benchProbeSink float64
+
+func benchProbe(s *radio.ProbeSample) { benchProbeSink += s.StepsPerSec }
+
+// benchDynStepsProbed is benchDynSteps with radio.Options.Probe armed — the
+// instrumentation-overhead row. Gate: checkObsOverhead requires it within
+// 3% of the unprobed row measured in the same run, pinning the epoch-
+// boundary probe contract's cost (DESIGN.md §10) with a host-independent
+// ratio.
+func benchDynStepsProbed(rows, cols, epochLen int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := gen.Grid(rows, cols)
+		sched, err := dyn.Churn(g, b.N/epochLen+1, epochLen, 0.2, xrand.New(9))
+		if err != nil {
+			b.Fatal(err)
+		}
+		arm := &timerArmer{b: b}
+		factory := func(info radio.NodeInfo) radio.Protocol {
+			return &resetOnFirstAct{Protocol: &benchNode{rng: info.RNG, budget: b.N}, arm: arm}
+		}
+		opts := radio.Options{MaxSteps: b.N, Seed: 1, Topology: sched, Probe: benchProbe}
+		if _, err := radio.Run(g, factory, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // sinrNode transmits with probability 1/32 per step — the sparse Decay-like
 // regime the SINR grid bucketing is built for.
 type sinrNode struct {
@@ -319,6 +349,7 @@ var engineBenchSpecs = []struct {
 	{"seq_dense_n1024", 1024, 1, 0, true, benchSequentialSteps(32, 32, 0)},
 	{"seq_sparse_n4096_live64", 4096, 1, 0, true, benchSequentialSteps(64, 64, 64)},
 	{"seq_dyn_churn_n1024", 1024, 1, 0, true, benchDynSteps(32, 32, 64)},
+	{"seq_dyn_churn_n1024_obs", 1024, 1, 0, true, benchDynStepsProbed(32, 32, 64)},
 	{"pool_n256_64steps", 256, 64, 0, false, benchPoolRun(16, 16)},
 	{"pool_n1024_64steps", 1024, 64, 0, false, benchPoolRun(32, 32)},
 	{"pool_n1024_64steps_p2", 1024, 64, 2, false, benchPoolRun(32, 32)},
@@ -382,6 +413,35 @@ func measureEngineBench() (EngineBenchReport, error) {
 		})
 	}
 	return report, nil
+}
+
+// obsOverheadTolerance caps how much slower a probe-armed step loop may be
+// than its unprobed twin measured in the same run (same host, same load):
+// both rows are fresh, so the ratio is host-independent and gates the
+// instrumentation itself, not the hardware.
+const obsOverheadTolerance = 0.03
+
+// checkObsOverhead gates every <name>_obs row against its <name> base row
+// within report. Run as part of -engine-bench, baseline or not.
+func checkObsOverhead(report EngineBenchReport, log io.Writer) error {
+	byName := make(map[string]EngineBenchResult, len(report.Benchmarks))
+	for _, b := range report.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, b := range report.Benchmarks {
+		base, ok := byName[strings.TrimSuffix(b.Name, "_obs")]
+		if b.Name == base.Name || !ok {
+			continue
+		}
+		ratio := b.NsPerOp / base.NsPerOp
+		fmt.Fprintf(log, "obs-overhead: %-24s %12.0f ns/op vs %s %12.0f (%+.1f%%)\n",
+			b.Name, b.NsPerOp, base.Name, base.NsPerOp, (ratio-1)*100)
+		if ratio > 1+obsOverheadTolerance {
+			return fmt.Errorf("obs-overhead: %s is %.1f%% slower than %s (tolerance %.0f%%) — instrumentation leaked into the step loop",
+				b.Name, (ratio-1)*100, base.Name, obsOverheadTolerance*100)
+		}
+	}
+	return nil
 }
 
 // writeEngineBench writes the JSON report to out.

@@ -72,6 +72,9 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "engine benchmarks written to %s\n", *engineBench)
+		if err := checkObsOverhead(report, out); err != nil {
+			return err
+		}
 		if *benchBaseline != "" {
 			baseline, err := loadEngineBench(*benchBaseline)
 			if err != nil {

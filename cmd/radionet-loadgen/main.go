@@ -34,6 +34,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -51,8 +52,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
-	"repro/internal/stats"
 )
 
 func main() {
@@ -72,11 +73,17 @@ type runRecord struct {
 	P50Ms         float64 `json:"p50_ms"`
 	P95Ms         float64 `json:"p95_ms"`
 	P99Ms         float64 `json:"p99_ms"`
-	CacheHitRate  float64 `json:"cache_hit_rate"`
-	Hits          int     `json:"hits"`
-	Coalesced     int     `json:"coalesced"`
-	Misses        int     `json:"misses"`
-	Retries       int     `json:"retries"`
+	// ServerP95Ms is the server-observed p95 of the simulate route, derived
+	// from its /metrics latency histogram with the same estimator as the
+	// client-side percentiles (obs.BucketQuantile) — the client/server gap
+	// is then network + client overhead, not estimator disagreement. Zero
+	// when the target server has no /metrics endpoint.
+	ServerP95Ms  float64 `json:"server_p95_ms,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Hits         int     `json:"hits"`
+	Coalesced    int     `json:"coalesced"`
+	Misses       int     `json:"misses"`
+	Retries      int     `json:"retries"`
 }
 
 // Transient-failure retry policy: a request is retried up to maxAttempts
@@ -150,7 +157,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	client := &http.Client{Timeout: 5 * time.Minute}
-	latencies := make([]float64, *requests)
+	// Client latency lands in the same histogram type the server exposes on
+	// /metrics, so client and server percentiles share bucket layout and
+	// estimator (DESIGN.md §10).
+	hist := obs.NewHistogram(obs.DefBuckets...)
 	statuses := make([]string, *requests)
 	errs := make([]error, *requests)
 	var next atomic.Int64
@@ -183,14 +193,15 @@ func run(args []string, out io.Writer) error {
 						data, err = io.ReadAll(resp.Body)
 						resp.Body.Close()
 					}
-					// The recorded latency is the served attempt's, not the
-					// backoff sleeps — retries are reported separately.
-					latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+					lat := time.Since(t0)
 					if transientErr(err, status) && attempt+1 < maxAttempts {
 						retried.Add(1)
 						time.Sleep(backoff(attempt))
 						continue
 					}
+					// The recorded latency is the served attempt's, not the
+					// backoff sleeps — retries are reported separately.
+					hist.Observe(lat.Seconds())
 					switch {
 					case err != nil:
 						errs[i] = fmt.Errorf("request %d (%s): %w", i, sp, err)
@@ -223,15 +234,17 @@ func run(args []string, out io.Writer) error {
 			misses++
 		}
 	}
+	serverP95, haveServerP95 := scrapeServerP95(client, base)
 	rec := runRecord{
 		Mix:           *mixFlag,
 		Requests:      *requests,
 		Concurrency:   *concurrency,
 		Seeds:         *seeds,
 		ThroughputRPS: float64(*requests) / elapsed.Seconds(),
-		P50Ms:         stats.Percentile(latencies, 50),
-		P95Ms:         stats.Percentile(latencies, 95),
-		P99Ms:         stats.Percentile(latencies, 99),
+		P50Ms:         hist.Quantile(0.50) * 1000,
+		P95Ms:         hist.Quantile(0.95) * 1000,
+		P99Ms:         hist.Quantile(0.99) * 1000,
+		ServerP95Ms:   serverP95,
 		CacheHitRate:  float64(hits+coalesced) / float64(*requests),
 		Hits:          hits,
 		Coalesced:     coalesced,
@@ -240,7 +253,12 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "loadgen: %d requests in %.2fs — %.1f req/s (concurrency %d, mix %d scenarios × %d seeds)\n",
 		rec.Requests, elapsed.Seconds(), rec.ThroughputRPS, rec.Concurrency, len(mix), rec.Seeds)
-	fmt.Fprintf(out, "latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n", rec.P50Ms, rec.P95Ms, rec.P99Ms)
+	if haveServerP95 {
+		fmt.Fprintf(out, "latency: p50 %.2f ms, p95 %.2f ms (server-observed p95 %.2f ms), p99 %.2f ms\n",
+			rec.P50Ms, rec.P95Ms, rec.ServerP95Ms, rec.P99Ms)
+	} else {
+		fmt.Fprintf(out, "latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n", rec.P50Ms, rec.P95Ms, rec.P99Ms)
+	}
 	fmt.Fprintf(out, "cache: hit rate %.3f (%d hit + %d coalesced + %d miss)\n",
 		rec.CacheHitRate, rec.Hits, rec.Coalesced, rec.Misses)
 	if rec.Retries > 0 {
@@ -434,6 +452,66 @@ func runSweep(variants int, minSpeedup float64, outPath string, out io.Writer) e
 			rec.SweepSpeedup, minSpeedup)
 	}
 	return nil
+}
+
+// scrapeServerP95 fetches the server's /metrics exposition and derives the
+// p95 of the simulate route's request-latency histogram, in milliseconds.
+// Exposition buckets are cumulative; obs.BucketQuantile wants per-bucket
+// counts, so they are de-cumulated before interpolation. Returns false when
+// the server has no /metrics endpoint (an older build) or no simulate
+// series yet — the report then shows client percentiles only.
+func scrapeServerP95(client *http.Client, base string) (float64, bool) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	const prefix = `serve_http_request_seconds_bucket{route="/v1/simulate",le="`
+	var bounds []float64
+	var cum []uint64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		le, val, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			return 0, false
+		}
+		c, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		if le != "+Inf" {
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return 0, false
+			}
+			bounds = append(bounds, b)
+		}
+		cum = append(cum, c)
+	}
+	if sc.Err() != nil || len(cum) != len(bounds)+1 || len(bounds) == 0 {
+		return 0, false
+	}
+	counts := make([]uint64, len(cum))
+	prev := uint64(0)
+	for i, c := range cum {
+		if c < prev {
+			return 0, false // torn scrape; don't report nonsense
+		}
+		counts[i] = c - prev
+		prev = c
+	}
+	if prev == 0 {
+		return 0, false
+	}
+	return obs.BucketQuantile(bounds, counts, 0.95) * 1000, true
 }
 
 // parseMix parses "algo@graph/n" entries. graph may itself contain ':'

@@ -8,6 +8,7 @@
 //
 //	radionet-serve [-addr 127.0.0.1:8080] [-workers N] [-queue 64] [-cache 256] [-parallel 1]
 //	               [-data-dir DIR] [-job-retries 2] [-job-timeout 0] [-request-timeout 2m]
+//	               [-log-level info] [-debug-addr ADDR]
 //
 // Endpoints (see DESIGN.md §6 / README.md for the JSON schema, which is
 // shared with `radionet-bench -json`):
@@ -17,6 +18,7 @@
 //	GET  /v1/jobs/{id}      job state + trial progress
 //	GET  /v1/results/{hash} content-addressed result fetch
 //	GET  /v1/stats          cache/queue/execution counters
+//	GET  /metrics           Prometheus text exposition (DESIGN.md §10)
 //	GET  /healthz           liveness
 //
 // With -data-dir the service is crash-safe (DESIGN.md §8): results persist
@@ -37,13 +39,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -69,6 +74,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	jobRetries := fs.Int("job-retries", 2, "retries for failed async jobs, with exponential backoff (0 disables)")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock deadline; expiry fails the job terminally (0 = none)")
 	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request context deadline on the sync path (0 = none)")
+	logLevel := fs.String("log-level", "info", "structured log level: debug|info|warn|error (debug includes spans)")
+	debugAddr := fs.String("debug-addr", "", "listen address for net/http/pprof (empty: disabled; keep it private)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +83,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if retries <= 0 {
 		retries = -1 // Config treats 0 as "default"; the flag's 0 means off
 	}
+	level, ok := obs.ParseLevel(*logLevel)
+	if !ok {
+		return fmt.Errorf("bad -log-level %q (want debug|info|warn|error)", *logLevel)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	svc, err := serve.Open(serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
@@ -84,9 +96,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		DataDir:      *dataDir,
 		JobRetries:   retries,
 		JobTimeout:   *jobTimeout,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		// pprof gets its own listener (and mux) so profiling endpoints are
+		// never reachable through the public API address.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(out, "radionet-serve: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Warn("pprof server exited", slog.String("error", err.Error()))
+			}
+		}()
+		defer dln.Close()
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

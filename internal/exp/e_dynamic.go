@@ -148,6 +148,12 @@ type FloodConfig struct {
 	// sources, and FloodConfig the snapshot was captured under; the outcome
 	// is then byte-identical to the uninterrupted run's.
 	Resume *FloodCheckpoint
+	// Probe, when non-nil, receives advisory engine-load samples at epoch
+	// boundaries and once at run end — passed through to
+	// radio.Options.Probe, same contract (the sample is reused; copy out
+	// what you keep). The serve layer feeds these into its /metrics engine
+	// gauges (DESIGN.md §10).
+	Probe func(s *radio.ProbeSample)
 }
 
 // RunFlood floods the sources' ranks over topo (nil = static g) for at most
@@ -190,6 +196,7 @@ func RunFlood(g *graph.Graph, topo radio.Topology, sources map[int]int64, cfg Fl
 		Seed:     cfg.Seed ^ 0xdf10a7,
 		Topology: topo,
 		PHY:      cfg.PHY,
+		Probe:    cfg.Probe,
 		OnStep: func(st radio.StepStats) {
 			informed := countInformed()
 			if st.Step == cfg.ProbeStep {

@@ -1,0 +1,532 @@
+// Package obs is the observability substrate of the repository: a
+// dependency-free metrics core (atomic counters, gauges, fixed-bucket
+// latency histograms, labeled families, a hand-rolled Prometheus text
+// exposition writer) plus a lightweight trace facility (trace.go) that
+// stamps every service request and async job with a trace ID and emits
+// structured span logs through log/slog.
+//
+// Design constraints (DESIGN.md §10):
+//
+//   - No dependencies beyond the standard library — the module has no
+//     go.sum and keeps it that way.
+//   - Hot-path safe: Observe/Add/Inc are single atomic operations with no
+//     locks and no allocations, so instruments can sit on serving paths.
+//     (The engines go further: they are instrumented only at epoch
+//     boundaries, via radio.Options.Probe, so the zero-alloc step-loop
+//     contract survives instrumentation entirely.)
+//   - Deterministic exposition: families and series are written in sorted
+//     order, so scrapes — and the golden test pinning the format — are
+//     byte-stable for a given counter state.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value. The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is an instantaneous float64 value (bit-cast through an atomic
+// uint64). The zero value is ready to use.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets is the default latency bucket layout, in seconds: 100µs to
+// ~100s in roughly 3× steps — wide enough to cover a sub-millisecond cache
+// hit and a two-minute simulation with the same instrument.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counters. Bounds
+// are upper bucket boundaries in ascending order; observations above the
+// last bound land in an implicit +Inf bucket. Observe is lock-free and
+// allocation-free. Construct with NewHistogram; the zero value is unusable.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// (DefBuckets when none are given). Bounds must be strictly ascending.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search beats a linear scan past ~16 buckets and costs the same
+	// below; sort.SearchFloat64s allocates nothing.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		newV := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, newV) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot copies the per-bucket counts (non-cumulative).
+func (h *Histogram) snapshot() []uint64 {
+	counts := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return counts
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket the quantile rank falls in — the same estimator
+// Prometheus's histogram_quantile applies to the exposition, so a
+// client-side obs.Histogram and a server-side scrape agree on what "p95"
+// means. Returns 0 with no observations; ranks landing in the +Inf bucket
+// report the last finite bound (the histogram cannot resolve beyond it).
+func (h *Histogram) Quantile(q float64) float64 {
+	return BucketQuantile(h.bounds, h.snapshot(), q)
+}
+
+// BucketQuantile is Histogram.Quantile over raw per-bucket counts: bounds
+// are the ascending finite upper bucket boundaries and counts has
+// len(bounds)+1 entries (the last being the +Inf bucket). It is exported so
+// tools that re-read a Prometheus exposition (radionet-loadgen comparing
+// server-observed latency with its own) interpolate identically to a live
+// Histogram.
+func BucketQuantile(bounds []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(counts)-1 {
+			if i >= len(bounds) {
+				// +Inf bucket: unresolvable above the last finite bound.
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			hi := bounds[i]
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return bounds[len(bounds)-1]
+}
+
+// metricKind is the exposition TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one (label values → instrument) entry of a family.
+type series struct {
+	labels string // pre-rendered {k="v",...} block, "" for unlabeled
+	c      *Counter
+	g      *Gauge
+	fn     func() float64 // gauge-func series
+	h      *Histogram
+}
+
+// family is one named metric with its help text and series set.
+type family struct {
+	name string
+	help string
+	kind metricKind
+
+	mu     sync.Mutex
+	byKey  map[string]*series
+	bounds []float64 // histogram families share one layout
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. Construct with NewRegistry. Registration methods return the
+// same instrument for the same (name, labels) pair, so call sites can
+// register at use without coordinating ownership.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// checkName panics on names outside the Prometheus grammar — a programming
+// error, caught at first registration rather than at scrape time.
+func checkName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric name %q", name))
+		}
+	}
+}
+
+func (r *Registry) fam(name, help string, kind metricKind) *family {
+	checkName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, byKey: make(map[string]*series)}
+		r.fams[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+// renderLabels builds the canonical {k="v",...} block. Label values are
+// escaped per the exposition format (backslash, quote, newline).
+func renderLabels(names, values []string) string {
+	if len(names) != len(values) {
+		panic(fmt.Sprintf("obs: %d label values for %d label names", len(values), len(names)))
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func (f *family) get(labels string) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.byKey[labels]
+	if !ok {
+		s = &series{labels: labels}
+		switch f.kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = NewHistogram(f.bounds...)
+		}
+		f.byKey[labels] = s
+	}
+	return s
+}
+
+// Counter registers (or returns) the unlabeled counter name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.fam(name, help, kindCounter).get("").c
+}
+
+// Gauge registers (or returns) the unlabeled gauge name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.fam(name, help, kindGauge).get("").g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape time
+// — queue depths, uptimes, anything already tracked elsewhere.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	s := r.fam(name, help, kindGauge).get("")
+	s.fn = fn
+}
+
+// CounterFunc registers a counter whose value is read by fn at scrape time
+// — for monotone counts already tracked elsewhere (service atomics), so
+// registering them for exposition does not fork the bookkeeping. fn must be
+// monotone non-decreasing; the registry does not enforce it.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	s := r.fam(name, help, kindCounter).get("")
+	s.fn = func() float64 { return float64(fn()) }
+}
+
+// Histogram registers (or returns) the unlabeled histogram name over bounds
+// (DefBuckets when empty).
+func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
+	f := r.fam(name, help, kindHistogram)
+	f.mu.Lock()
+	if f.bounds == nil {
+		f.bounds = append([]float64(nil), bounds...)
+	}
+	f.mu.Unlock()
+	return f.get("").h
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct {
+	f          *family
+	labelNames []string
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.fam(name, help, kindCounter), labelNames: labelNames}
+}
+
+// With returns the counter for the given label values (created on first use).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.get(renderLabels(v.labelNames, labelValues)).c
+}
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct {
+	f          *family
+	labelNames []string
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.fam(name, help, kindGauge), labelNames: labelNames}
+}
+
+// With returns the gauge for the given label values (created on first use).
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.get(renderLabels(v.labelNames, labelValues)).g
+}
+
+// HistogramVec is a histogram family keyed by label values; every series
+// shares the family's bucket layout.
+type HistogramVec struct {
+	f          *family
+	labelNames []string
+}
+
+// HistogramVec registers a labeled histogram family over bounds
+// (DefBuckets when empty).
+func (r *Registry) HistogramVec(name, help string, labelNames []string, bounds ...float64) *HistogramVec {
+	f := r.fam(name, help, kindHistogram)
+	f.mu.Lock()
+	if f.bounds == nil {
+		f.bounds = append([]float64(nil), bounds...)
+	}
+	f.mu.Unlock()
+	return &HistogramVec{f: f, labelNames: labelNames}
+}
+
+// With returns the histogram for the given label values (created on first
+// use).
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.get(renderLabels(v.labelNames, labelValues)).h
+}
+
+// formatFloat renders a sample value the way the exposition format expects:
+// shortest round-trip decimal, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), families sorted by name and series by label
+// block, so output is deterministic for a given state. Histograms render
+// cumulative _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.byKey))
+		for k := range f.byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, k := range keys {
+			s := f.byKey[k]
+			switch f.kind {
+			case kindCounter:
+				if s.fn != nil {
+					fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn()))
+				} else {
+					fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.c.Value())
+				}
+			case kindGauge:
+				if s.fn != nil {
+					fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn()))
+				} else {
+					fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.g.Value())
+				}
+			case kindHistogram:
+				writeHistogram(&b, f.name, s.labels, s.h)
+			}
+		}
+		f.mu.Unlock()
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with the
+// le label appended to any existing label block, then _sum and _count.
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	counts := h.snapshot()
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(labels, "le", le), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, cum)
+}
+
+// withLabel appends one label pair to a rendered label block.
+func withLabel(labels, name, value string) string {
+	pair := name + `="` + escapeLabel(value) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	// A value exactly on a bound lands in that bound's bucket (le semantics).
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	counts := h.snapshot()
+	want := []uint64{2, 2, 2, 1} // (-inf,1], (1,2], (2,4], (4,+inf)
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+4+100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(1, 10)
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if got, want := h.Sum(), 0.5*workers*per; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	// 10 observations in (10,20]: rank interpolates linearly across it.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("p50 = %v, want 15 (midpoint of (10,20])", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("p100 = %v, want 20 (upper bound)", got)
+	}
+	if got := h.Quantile(0); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("p0 = %v, want 10 (lower edge of occupied bucket)", got)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	h := NewHistogram(1, 2, 3, 4)
+	// 50 obs in (0,1], 30 in (1,2], 15 in (2,3], 5 in (3,4].
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 15; i++ {
+		h.Observe(2.5)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(3.5)
+	}
+	// p50: rank 50 is exactly the cumulative count of bucket 0 → its bound.
+	if got := h.Quantile(0.50); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("p50 = %v, want 1", got)
+	}
+	// p95: rank 95 = 50+30+15 → upper bound of the third bucket.
+	if got := h.Quantile(0.95); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("p95 = %v, want 3", got)
+	}
+	// p99: rank 99 is 4/5 through the fourth bucket (3,4] → 3.8.
+	if got := h.Quantile(0.99); math.Abs(got-3.8) > 1e-9 {
+		t.Fatalf("p99 = %v, want 3.8", got)
+	}
+}
+
+func TestQuantileEmptyAndOverflow(t *testing.T) {
+	h := NewHistogram(1, 2)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+	h.Observe(50) // +Inf bucket
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow-only p50 = %v, want last finite bound 2", got)
+	}
+}
+
+func TestBucketQuantileMatchesHistogram(t *testing.T) {
+	h := NewHistogram(DefBuckets...)
+	vals := []float64{0.0002, 0.003, 0.003, 0.02, 0.09, 0.4, 1.7}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		direct := h.Quantile(q)
+		viaCounts := BucketQuantile(h.bounds, h.snapshot(), q)
+		if math.Abs(direct-viaCounts) > 1e-12 {
+			t.Fatalf("q=%v: Quantile=%v BucketQuantile=%v", q, direct, viaCounts)
+		}
+	}
+}
+
+func TestRegistrySameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("same name should return the same counter")
+	}
+	v := r.CounterVec("y_total", "", "tier")
+	if v.With("memory") != v.With("memory") {
+		t.Fatal("same labels should return the same series")
+	}
+	if v.With("memory") == v.With("durable") {
+		t.Fatal("different labels should return different series")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("z_total", "")
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name should panic")
+		}
+	}()
+	r.Counter("bad-name", "")
+}
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// sorted families, sorted series, cumulative histogram buckets with le
+// labels, _sum/_count, HELP/TYPE headers, label escaping.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("alpha_total", "first counter").Add(3)
+	tiers := r.CounterVec("hits_total", "hits by tier", "tier")
+	tiers.With("memory").Add(2)
+	tiers.With("durable").Inc()
+	r.Gauge("depth", "queue depth").Set(7)
+	r.GaugeFunc("up", "always one", func() float64 { return 1 })
+	h := r.Histogram("lat_seconds", "latency", 0.1, 0.5, 1)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(0.3)
+	h.Observe(2)
+	esc := r.CounterVec("esc_total", "", "path")
+	esc.With("a\"b\\c\nd").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP alpha_total first counter
+# TYPE alpha_total counter
+alpha_total 3
+# HELP depth queue depth
+# TYPE depth gauge
+depth 7
+# TYPE esc_total counter
+esc_total{path="a\"b\\c\nd"} 1
+# HELP hits_total hits by tier
+# TYPE hits_total counter
+hits_total{tier="durable"} 1
+hits_total{tier="memory"} 2
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="0.5"} 3
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 2.65
+lat_seconds_count 4
+# HELP up always one
+# TYPE up gauge
+up 1
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHistogramVecSharedBounds(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("hv_seconds", "", []string{"route"}, 1, 2)
+	v.With("a").Observe(0.5)
+	v.With("b").Observe(1.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`hv_seconds_bucket{route="a",le="1"} 1`,
+		`hv_seconds_bucket{route="b",le="2"} 1`,
+		`hv_seconds_count{route="a"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	var g FloatGauge
+	g.Set(3.25)
+	if got := g.Value(); got != 3.25 {
+		t.Fatalf("float gauge = %v, want 3.25", got)
+	}
+}

@@ -52,6 +52,29 @@ func (o *Outcome) Reset() {
 	o.Marker = false
 }
 
+// Stats is an advisory snapshot of a model's internal load, read at epoch
+// boundaries through the StatsSource interface (never per step). All fields
+// are cumulative or high-water over the run so far.
+type Stats struct {
+	// ArenaCap is the candidate-arena budget of the bucketed SINR kernel
+	// (0 for models without one).
+	ArenaCap int
+	// ArenaHighWater is the largest candidate count any single step asked
+	// of the arena — how close the run has come to the fallback sweep.
+	ArenaHighWater int
+	// FallbackSweeps counts steps that overflowed the arena and resolved
+	// through the per-transmitter sweep instead.
+	FallbackSweeps uint64
+}
+
+// StatsSource is optionally implemented by models that can report Stats.
+// The engines type-assert for it when firing radio.Options.Probe; the
+// assertion and the read happen at epoch boundaries only, so implementing
+// it costs the step loop nothing.
+type StatsSource interface {
+	Stats() Stats
+}
+
 // Model owns per-step reception semantics.
 type Model interface {
 	// Name is the canonical spec name of the model ("collision",

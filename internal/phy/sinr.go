@@ -201,6 +201,12 @@ type SINR struct {
 	bestFrom []int32   // its transmitter (valid when seen)
 	seen     []bool
 	touched  []int32
+
+	// Load statistics for the StatsSource interface: plain fields, bumped
+	// inline in the kernels (one compare + at most two stores per step) and
+	// read only at epoch boundaries by the engine's probe.
+	arenaHighWater int
+	fallbackSweeps uint64
 }
 
 // NewSINR builds the SINR model over static positions. params defaults are
@@ -501,9 +507,13 @@ func (s *SINR) resolveBucketed(f *Frontier, out *Outcome) {
 			}
 		}
 	}
+	if total > s.arenaHighWater {
+		s.arenaHighWater = total
+	}
 	if total > len(s.candU) {
 		// Transmit storm past the arena budget: undo the counts and resolve
 		// through the per-transmitter sweep — same decisions, no allocation.
+		s.fallbackSweeps++
 		for _, c := range s.rcCells {
 			s.candCnt[c] = 0
 		}
@@ -849,3 +859,14 @@ func (s *SINR) sweep(f *Frontier, u int32) {
 // scratch inline as each step's Resolve finishes, so there is nothing left
 // to do here — the method survives as the Model seam's contract point.
 func (s *SINR) Clear() {}
+
+// Stats implements StatsSource: arena budget, the high-water candidate
+// count any step has asked of it, and how many steps overflowed to the
+// fallback sweep. Read at epoch boundaries by the engine probe.
+func (s *SINR) Stats() Stats {
+	return Stats{
+		ArenaCap:       len(s.candU),
+		ArenaHighWater: s.arenaHighWater,
+		FallbackSweeps: s.fallbackSweeps,
+	}
+}

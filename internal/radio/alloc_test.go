@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/dyn"
 	"repro/internal/gen"
 	"repro/internal/phy"
 	"repro/internal/xrand"
@@ -76,6 +77,51 @@ func TestSequentialStepZeroAllocWithRetirement(t *testing.T) {
 	long := testing.AllocsPerRun(5, func() { runSteps(320) })
 	if long > short {
 		t.Fatalf("sparse step loop allocates: %.1f allocs over 256 extra steps", long-short)
+	}
+}
+
+// allocProbeSink is package-level so the probe callback below captures
+// nothing: a capturing closure would itself escape to the heap and muddy
+// the differential with construction-side allocations.
+var allocProbeSink int
+
+func allocProbeCB(s *ProbeSample) { allocProbeSink += s.Active }
+
+// TestSequentialStepZeroAllocProbeArmed repeats the zero-alloc check with
+// Options.Probe armed over a dynamic topology whose boundary count grows
+// with the run length (one epoch per 8 steps): the long run fires 40 probe
+// samples to the short run's 8, so any allocation inside fireProbe — or in
+// the boundary path it rides on — surfaces as a positive difference against
+// the probe-less baseline over the same schedules. This pins the DESIGN.md
+// §10 contract that instrumentation is free when off AND alloc-free when on.
+func TestSequentialStepZeroAllocProbeArmed(t *testing.T) {
+	g := gen.Grid(16, 16)
+	g.Freeze()
+	runSteps := func(steps int, probed bool) {
+		// Built inside the measured region, but its allocations are
+		// identical for the probed and bare runs, so they cancel.
+		sched, err := dyn.Churn(g, steps/8, 8, 0.3, xrand.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		factory := func(info NodeInfo) Protocol {
+			return &steadyNode{rng: info.RNG, budget: steps}
+		}
+		opts := Options{MaxSteps: steps, Seed: 7, Topology: sched}
+		if probed {
+			opts.Probe = allocProbeCB
+		}
+		if _, err := Run(g, factory, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, steps := range []int{64, 320} {
+		probed := testing.AllocsPerRun(5, func() { runSteps(steps, true) })
+		bare := testing.AllocsPerRun(5, func() { runSteps(steps, false) })
+		if probed > bare {
+			t.Fatalf("arming Probe costs %.1f allocs over %d boundaries (%.1f vs %.1f per run)",
+				probed-bare, steps/8, probed, bare)
+		}
 	}
 }
 

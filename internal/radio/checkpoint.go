@@ -116,5 +116,8 @@ func (e *engine) restore(cp *Checkpoint) error {
 		// there and re-syncs the PHY model at the resume step.
 		e.nextEpoch = cp.Step
 	}
+	// Start the probe's rate window at the resume point, not step 0, so the
+	// first sample after resume reports the resumed run's own rates.
+	e.probeStep, e.probeTx = cp.Step, cp.Partial.Transmissions
 	return nil
 }

@@ -2,6 +2,7 @@ package radio
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/phy"
@@ -36,6 +37,16 @@ type engine struct {
 	txList   []int32      // this step's transmitters, ascending (sequential engine)
 	frontier phy.Frontier // this step's transmitter set, fed to Resolve
 	out      phy.Outcome  // this step's reception outcome, buffers reused
+
+	// Probe state (Options.Probe): one reused sample plus the previous
+	// fire's step/time/transmission cursor for window rates. Touched only
+	// at epoch boundaries and at run end, never inside the step loop, so
+	// the probe adds nothing to the zero-alloc contract (DESIGN.md §10).
+	probeSample ProbeSample
+	probeStats  phy.StatsSource // e.model when it reports stats, else nil
+	probeStep   int
+	probeTime   time.Time
+	probeTx     int64
 }
 
 func newEngine(g *graph.Graph, nodes []Protocol, opts Options) (*engine, error) {
@@ -61,7 +72,43 @@ func newEngine(g *graph.Graph, nodes []Protocol, opts Options) (*engine, error) 
 	if err := e.model.Sync(0, e.csr); err != nil {
 		return nil, fmt.Errorf("radio: %s model rejected the run: %w", e.model.Name(), err)
 	}
+	if opts.Probe != nil {
+		e.probeStats, _ = e.model.(phy.StatsSource)
+		e.probeTime = time.Now()
+	}
 	return e, nil
+}
+
+// fireProbe fills the engine's reused ProbeSample with the state at step
+// (cumulative counters from res, window rates since the previous fire) and
+// hands it to Options.Probe. Called at epoch boundaries and once after the
+// final step — never inside the steady-state step loop — and allocates
+// nothing, so arming the probe preserves the zero-alloc contract.
+func (e *engine) fireProbe(step, active int, res Result, final bool) {
+	now := time.Now()
+	window := step - e.probeStep
+	s := &e.probeSample
+	*s = ProbeSample{
+		Step:          step,
+		Final:         final,
+		Active:        active,
+		WindowSteps:   window,
+		Transmissions: res.Transmissions,
+		Deliveries:    res.Deliveries,
+		Collisions:    res.Collisions,
+	}
+	if window > 0 {
+		if dt := now.Sub(e.probeTime).Seconds(); dt > 0 {
+			s.StepsPerSec = float64(window) / dt
+		}
+		s.AvgFrontier = float64(res.Transmissions-e.probeTx) / float64(window)
+	}
+	if e.probeStats != nil {
+		s.PHY = e.probeStats.Stats()
+		s.HasPHY = true
+	}
+	e.probeStep, e.probeTime, e.probeTx = step, now, res.Transmissions
+	e.opts.Probe(s)
 }
 
 // epochSync installs the topology in force at step when step crosses the

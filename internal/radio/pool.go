@@ -146,13 +146,18 @@ func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 		// extra synchronization is needed beyond the existing barriers.
 		// Checkpoints are captured here too — workers are parked, so the
 		// coordinator reads protocol state with the barrier's ordering.
-		if p.e.epochSync(step) && hooked {
-			combined = combined[:0]
-			for _, s := range p.shards {
-				combined = append(combined, s.active...)
+		if p.e.epochSync(step) {
+			if hooked {
+				combined = combined[:0]
+				for _, s := range p.shards {
+					combined = append(combined, s.active...)
+				}
+				if err := p.e.boundary(step, combined, res); err != nil {
+					return Result{}, err
+				}
 			}
-			if err := p.e.boundary(step, combined, res); err != nil {
-				return Result{}, err
+			if opts.Probe != nil {
+				p.e.fireProbe(step, p.activeCount(), res, false)
 			}
 		}
 		p.barrier(step, phaseAct)
@@ -197,7 +202,20 @@ func runPool(g *graph.Graph, nodes []Protocol, opts Options) (Result, error) {
 			}
 		}
 	}
+	if opts.Probe != nil {
+		p.e.fireProbe(res.Steps, p.activeCount(), res, true)
+	}
 	return res, nil
+}
+
+// activeCount sums the shard active lists — the pool engine's equivalent of
+// len(active). Called only at probe fires, never per step.
+func (p *pool) activeCount() int {
+	n := 0
+	for _, s := range p.shards {
+		n += len(s.active)
+	}
+	return n
 }
 
 // barrier dispatches one phase to every worker and waits for completion.

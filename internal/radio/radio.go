@@ -173,6 +173,18 @@ type Options struct {
 	// the final Result is then byte-identical to the uninterrupted run's.
 	// Checkpoints are engine-portable (sequential ↔ worker pool).
 	Resume *Checkpoint
+	// Probe, when non-nil, receives an advisory load sample at every
+	// topology epoch boundary (immediately after any Checkpoint/Snapshot
+	// capture) and once more after the run's final step. Like the other
+	// boundary hooks it costs the step loop nothing when nil and nothing
+	// but the sample fill when set — the engines reuse one ProbeSample, so
+	// arming it keeps the zero-alloc step-loop contract (pinned by the
+	// alloc regression tests). The sample is valid only for the duration
+	// of the call; observers must copy out what they keep. Static runs
+	// (no Topology) have no boundaries and receive only the final sample.
+	// Probe is observational: it cannot abort the run and must not touch
+	// engine state (DESIGN.md §10).
+	Probe func(*ProbeSample)
 	// PHY selects the physical-layer reception model (DESIGN.md §7). Nil
 	// selects phy.NewCollision(), the paper's graph model (§1.1) — or
 	// phy.NewCollisionCD() when the legacy CollisionDetection flag is set.
@@ -202,6 +214,35 @@ type Topology interface {
 	// (nextChange < 0 when the topology is static from step on). The
 	// engines call it once per epoch boundary, never per step.
 	EpochAt(step int) (csr *graph.CSR, nextChange int)
+}
+
+// ProbeSample is the advisory load snapshot delivered to Options.Probe at
+// epoch boundaries and once after the final step. Counter fields are
+// cumulative over the run; rate fields cover the window since the previous
+// sample. The engines reuse one sample across fires — copy out anything
+// kept past the callback.
+type ProbeSample struct {
+	// Step is the boundary step (or, for the final sample, the number of
+	// steps executed).
+	Step int
+	// Final marks the end-of-run sample.
+	Final bool
+	// Active is the current active-set size (nodes not yet retired).
+	Active int
+	// WindowSteps is the number of steps since the previous sample.
+	WindowSteps int
+	// StepsPerSec is the wall-clock step rate over the window (0 when the
+	// window is empty or instantaneous).
+	StepsPerSec float64
+	// AvgFrontier is the mean per-step transmitter-frontier population over
+	// the window.
+	AvgFrontier float64
+	// Transmissions/Deliveries/Collisions mirror Result, cumulative so far.
+	Transmissions, Deliveries, Collisions int64
+	// PHY carries the reception model's load stats when the model
+	// implements phy.StatsSource (HasPHY reports whether it does).
+	PHY    phy.Stats
+	HasPHY bool
 }
 
 // Result summarizes a run.

@@ -29,10 +29,16 @@ func runSequential(g *graph.Graph, nodes []Protocol, opts Options) (Result, erro
 		st := StepStats{Step: step}
 		// Epoch boundary: swap in the topology in force at this step, and
 		// capture a checkpoint there when the hook is armed (on resume the
-		// boundary re-fires at cp.Step, re-syncing the PHY model).
-		if e.epochSync(step) && (opts.Checkpoint != nil || opts.Snapshot != nil) {
-			if err := e.boundary(step, active, res); err != nil {
-				return Result{}, err
+		// boundary re-fires at cp.Step, re-syncing the PHY model). The
+		// advisory probe samples at the same boundaries, after the capture.
+		if e.epochSync(step) {
+			if opts.Checkpoint != nil || opts.Snapshot != nil {
+				if err := e.boundary(step, active, res); err != nil {
+					return Result{}, err
+				}
+			}
+			if opts.Probe != nil {
+				e.fireProbe(step, len(active), res, false)
 			}
 		}
 		// Act phase: retire done nodes, poll the rest.
@@ -59,6 +65,11 @@ func runSequential(g *graph.Graph, nodes []Protocol, opts Options) (Result, erro
 	}
 	if !res.AllDone {
 		res.AllDone = finishAllDone(e.nodes, active)
+	}
+	// Final probe sample: static runs have no boundaries, so this is the
+	// one place every probed run is guaranteed a sample.
+	if opts.Probe != nil {
+		e.fireProbe(res.Steps, len(active), res, true)
 	}
 	return res, nil
 }

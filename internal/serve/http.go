@@ -24,14 +24,29 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
 
-// NewHandler mounts the /v1 API for s.
+// NewHandler mounts the /v1 API for s, wrapped in the observability
+// middleware: every response carries X-Trace-Id (the request's own if it
+// sent a valid one, a fresh one otherwise), every request is counted and
+// timed into the /metrics registry, and a structured request log line is
+// emitted (debug for /healthz and /metrics so the default info level stays
+// quiet under probes and scrapes; info otherwise).
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.met.reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
 		sp, ok := decodeSpec(w, r)
@@ -54,7 +69,7 @@ func NewHandler(s *Service) http.Handler {
 		if !ok {
 			return
 		}
-		v, err := s.SubmitJob(sp)
+		v, err := s.SubmitJobCtx(r.Context(), sp)
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrQueueFull):
@@ -91,7 +106,74 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	return mux
+	return instrument(s, mux)
+}
+
+// statusRecorder captures the status code (and, via the embedded header
+// map, the X-Cache tier) a handler wrote, for the middleware to observe.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// routeLabel normalizes a request path to its route pattern, bounding the
+// metric label space: path parameters (job IDs, spec hashes) must not mint
+// series. Unknown paths collapse into "other".
+func routeLabel(path string) string {
+	switch {
+	case path == "/healthz" || path == "/metrics" || path == "/v1/stats" ||
+		path == "/v1/simulate" || path == "/v1/jobs":
+		return path
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		return "/v1/jobs/{id}"
+	case strings.HasPrefix(path, "/v1/results/"):
+		return "/v1/results/{hash}"
+	default:
+		return "other"
+	}
+}
+
+// instrument is the observability middleware (DESIGN.md §10).
+func instrument(s *Service, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		trace := r.Header.Get("X-Trace-Id")
+		if !obs.ValidTraceID(trace) {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set("X-Trace-Id", trace)
+		s.met.httpInFlight.Inc()
+		defer s.met.httpInFlight.Dec()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r.WithContext(obs.WithTrace(r.Context(), trace)))
+
+		route := routeLabel(r.URL.Path)
+		dur := time.Since(t0)
+		s.met.httpRequests.With(route, strconv.Itoa(rec.code)).Inc()
+		s.met.httpLatency.With(route).Observe(dur.Seconds())
+		xc := rec.Header().Get("X-Cache")
+		// Tier accounting covers the sync simulate path only: the results
+		// endpoint's unconditional X-Cache: HIT would dilute the hit ratio.
+		if route == "/v1/simulate" {
+			s.met.observeTier(xc)
+		}
+		lvl := slog.LevelInfo
+		if route == "/healthz" || route == "/metrics" {
+			lvl = slog.LevelDebug
+		}
+		s.log.LogAttrs(r.Context(), lvl, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.code),
+			slog.String("cache", xc),
+			slog.Duration("dur", dur),
+			slog.String("trace", trace))
+	})
 }
 
 // maxSpecBody bounds spec request bodies. Valid specs are a few hundred

@@ -22,9 +22,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 // Journal record operations.
@@ -45,6 +47,11 @@ type journalRecord struct {
 	Sample *exp.Sample          `json:"sample,omitempty"`
 	Ckpt   *exp.FloodCheckpoint `json:"ckpt,omitempty"`
 	Error  string               `json:"error,omitempty"`
+	// Trace is the submitting request's trace ID, carried on the submit
+	// record (and preserved across replay/compaction) so a job can be
+	// followed from HTTP entry through the journal to structured logs —
+	// across restarts included (DESIGN.md §10).
+	Trace string `json:"trace,omitempty"`
 }
 
 // errJournalFrozen is what appends return after Kill froze the journal — it
@@ -79,6 +86,18 @@ type journal struct {
 	path   string
 	faults *chaos.Faults
 	frozen bool
+	// met instruments append and fsync latency; zero-valued fields are
+	// inert (nil-safe), matching store.Metrics.
+	met journalMetrics
+}
+
+// journalMetrics is the journal's instrumentation hook set.
+type journalMetrics struct {
+	// AppendSeconds observes every append — marshal, fault check, write,
+	// and any fsync.
+	AppendSeconds *obs.Histogram
+	// FsyncSeconds observes the fsync a durable (lifecycle) record pays.
+	FsyncSeconds *obs.Histogram
 }
 
 // append writes one record durably. The "serve.journal" chaos site injects
@@ -86,6 +105,9 @@ type journal struct {
 func (j *journal) append(rec journalRecord) error {
 	if j == nil {
 		return nil
+	}
+	if j.met.AppendSeconds != nil {
+		defer j.met.AppendSeconds.ObserveSince(time.Now())
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -103,8 +125,12 @@ func (j *journal) append(rec journalRecord) error {
 		return fmt.Errorf("serve: journal: %w", err)
 	}
 	if opDurable(rec.Op) {
+		t0 := time.Now()
 		if err := j.f.Sync(); err != nil {
 			return fmt.Errorf("serve: journal: %w", err)
+		}
+		if j.met.FsyncSeconds != nil {
+			j.met.FsyncSeconds.ObserveSince(t0)
 		}
 	}
 	return nil
@@ -174,6 +200,7 @@ type recoveredJob struct {
 	spec   Spec
 	state  JobState // JobQueued = interrupted, to re-enqueue
 	errMsg string
+	trace  string // submitting request's trace ID, preserved across restarts
 	// trials holds the completed trials' samples by declaration index —
 	// prefilled into the recovered run so only missing trials execute.
 	trials map[int]exp.Sample
@@ -194,7 +221,7 @@ func replayJournal(recs []journalRecord) ([]*recoveredJob, int) {
 			if rec.Spec == nil || byID[rec.Job] != nil {
 				continue
 			}
-			j := &recoveredJob{id: rec.Job, spec: *rec.Spec, state: JobQueued, trials: make(map[int]exp.Sample)}
+			j := &recoveredJob{id: rec.Job, spec: *rec.Spec, state: JobQueued, trace: rec.Trace, trials: make(map[int]exp.Sample)}
 			byID[rec.Job] = j
 			order = append(order, j)
 			if n, err := strconv.Atoi(strings.TrimPrefix(rec.Job, "job-")); err == nil && n > maxSeq {
@@ -238,7 +265,7 @@ func compactRecords(jobs []*recoveredJob) []journalRecord {
 	var recs []journalRecord
 	for _, j := range jobs {
 		spec := j.spec
-		recs = append(recs, journalRecord{Op: opSubmit, Job: j.id, Spec: &spec})
+		recs = append(recs, journalRecord{Op: opSubmit, Job: j.id, Spec: &spec, Trace: j.trace})
 		switch j.state {
 		case JobDone:
 			recs = append(recs, journalRecord{Op: opDone, Job: j.id})

@@ -82,6 +82,12 @@ type ExecOptions struct {
 	// each trial's epoch-boundary snapshots advisorily (cannot abort the
 	// run) — the prefix-cache publication hook.
 	OnSnapshot func(trial int, cp *exp.FloodCheckpoint)
+	// OnProbe, when non-nil and the spec is a flood, observes each trial's
+	// engine-load samples (radio.Options.Probe contract: epoch boundaries
+	// plus one final sample; the sample is reused — copy out what you keep).
+	// The service feeds these into its /metrics engine gauges (DESIGN.md
+	// §10). Trials may run in parallel; the hook must be concurrency-safe.
+	OnProbe func(trial int, s *radio.ProbeSample)
 }
 
 // Execute canonicalizes sp and runs it: Reps independent trials fan out
@@ -112,7 +118,7 @@ func ExecuteWith(sp Spec, o ExecOptions) (*Result, error) {
 	grid := exp.NewGrid(c.GridID())
 	tf := trialFunc(c)
 	hooked := c.Algo == "flood" &&
-		(o.OnCheckpoint != nil || o.Resume != nil || o.OnSnapshot != nil || len(o.ResumeFrom) > 0)
+		(o.OnCheckpoint != nil || o.Resume != nil || o.OnSnapshot != nil || o.OnProbe != nil || len(o.ResumeFrom) > 0)
 	for i := 0; i < c.Reps; i++ {
 		if !hooked {
 			grid.Add(c.Algo, tf)
@@ -128,11 +134,15 @@ func ExecuteWith(sp Spec, o ExecOptions) (*Result, error) {
 			if o.OnSnapshot != nil {
 				onSnap = func(cp *exp.FloodCheckpoint) { o.OnSnapshot(i, cp) }
 			}
+			var onProbe func(s *radio.ProbeSample)
+			if o.OnProbe != nil {
+				onProbe = func(s *radio.ProbeSample) { o.OnProbe(i, s) }
+			}
 			resume := o.ResumeFrom[i]
 			if o.Resume != nil && i == o.ResumeTrial {
 				resume = o.Resume
 			}
-			return floodTrial(c, seed, onCkpt, onSnap, resume)
+			return floodTrial(c, seed, onCkpt, onSnap, onProbe, resume)
 		})
 	}
 	samples, err := grid.Run(exp.Config{
@@ -161,7 +171,7 @@ func ExecuteWith(sp Spec, o ExecOptions) (*Result, error) {
 func trialFunc(sp Spec) exp.TrialFunc {
 	return func(seed uint64) (exp.Sample, error) {
 		if sp.Algo == "flood" {
-			return floodTrial(sp, seed, nil, nil, nil)
+			return floodTrial(sp, seed, nil, nil, nil, nil)
 		}
 		if _, _, isPhy := gen.SplitPhySpec(sp.Graph); isPhy {
 			return phyTrial(sp, seed)
@@ -285,7 +295,7 @@ func phyTrial(sp Spec, seed uint64) (exp.Sample, error) {
 // different node count (a corrupted or mismatched cache entry that slipped
 // the checksum) — is dropped, not an error: the trial runs cold, which is
 // always correct.
-func floodTrial(sp Spec, seed uint64, onCkpt func(cp *exp.FloodCheckpoint) error, onSnap func(cp *exp.FloodCheckpoint), resume *exp.FloodCheckpoint) (exp.Sample, error) {
+func floodTrial(sp Spec, seed uint64, onCkpt func(cp *exp.FloodCheckpoint) error, onSnap func(cp *exp.FloodCheckpoint), onProbe func(s *radio.ProbeSample), resume *exp.FloodCheckpoint) (exp.Sample, error) {
 	sched, err := gen.ScheduleByName(sp.Graph, sp.N, sp.Epochs, sp.EpochLen, sp.Rate, seed)
 	if err != nil {
 		return exp.Sample{}, err
@@ -304,7 +314,7 @@ func floodTrial(sp Spec, seed uint64, onCkpt func(cp *exp.FloodCheckpoint) error
 	g := sched.CSR(0).Graph()
 	out, err := exp.RunFlood(g, sched, map[int]int64{sp.Source % n: 1}, exp.FloodConfig{
 		Budget: budget, ProbeStep: -1, Seed: seed, PHY: model,
-		OnCheckpoint: onCkpt, OnSnapshot: onSnap, Resume: resume,
+		OnCheckpoint: onCkpt, OnSnapshot: onSnap, Probe: onProbe, Resume: resume,
 	})
 	if err != nil {
 		return exp.Sample{}, err

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -13,6 +15,8 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/exp"
+	"repro/internal/obs"
+	"repro/internal/radio"
 	"repro/internal/store"
 )
 
@@ -75,6 +79,10 @@ type Config struct {
 	// RetryBackoff is the first retry's delay, doubling per attempt
 	// (default 100ms).
 	RetryBackoff time.Duration
+	// Logger receives the service's structured logs (job lifecycle at info,
+	// spans at debug). Nil discards them — tests and embedders that do not
+	// care stay quiet; radionet-serve installs a JSON handler at -log-level.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +136,12 @@ type job struct {
 	errMsg   string
 	cacheHit bool
 
+	// trace is the submitting request's trace ID (empty when the caller had
+	// none); enqueuedAt feeds the queue-wait histogram and is zero for
+	// cache-hit and journal-recovered jobs.
+	trace      string
+	enqueuedAt time.Time
+
 	// Recovery state from the journal (nil/zero for fresh jobs): completed
 	// trials to prefill and the checkpoint of the trial that was mid-flight.
 	recTrials map[int]exp.Sample
@@ -169,9 +183,15 @@ type Stats struct {
 	PrefixHits        uint64 `json:"prefix_hits,omitempty"`
 	PrefixEpochsSaved uint64 `json:"prefix_epochs_saved,omitempty"`
 	Jobs              int    `json:"jobs"`
-	QueueLen          int    `json:"queue_len"`
-	QueueCap          int    `json:"queue_cap"`
-	Workers           int    `json:"workers"`
+	// InFlightJobs counts jobs currently executing; with QueueLen and Jobs
+	// it is read under one lock acquisition, so the three are mutually
+	// consistent (a job is never visible as both queued and running).
+	InFlightJobs int `json:"in_flight_jobs"`
+	QueueLen     int `json:"queue_len"`
+	QueueCap     int `json:"queue_cap"`
+	Workers      int `json:"workers"`
+	// UptimeSeconds is the time since Open.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Durable reports whether a DataDir backs the service; the Store*
 	// counters mirror the durable tier (store.Counters) when it does.
 	Durable          bool   `json:"durable"`
@@ -223,11 +243,16 @@ type Service struct {
 	prefixEpochs atomic.Uint64
 	snapErrs     atomic.Uint64
 	retries      atomic.Uint64
+	timeouts     atomic.Uint64
 	journalErrs  atomic.Uint64
 	recJobs      atomic.Uint64
 	recTrials    atomic.Uint64
 	draining     atomic.Bool
 	killed       atomic.Bool
+
+	log     *slog.Logger
+	met     *metrics
+	started time.Time
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -260,11 +285,19 @@ func New(cfg Config) *Service {
 func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		cache: NewCache(cfg.CacheEntries),
-		slots: make(chan struct{}, cfg.Workers),
-		jobs:  make(map[string]*job),
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries),
+		slots:   make(chan struct{}, cfg.Workers),
+		jobs:    make(map[string]*job),
+		started: time.Now(),
 	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	// The metric registry's scrape-time closures read s; it must exist
+	// before the durable layers below borrow instruments from it.
+	s.met = newMetrics(s)
 	var recovered []*recoveredJob
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
@@ -286,6 +319,9 @@ func Open(cfg Config) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
+		st.SetMetrics(s.met.storeMetrics(keyspaceResult))
+		snaps.SetMetrics(s.met.storeMetrics(keyspaceSnap))
+		jr.met = s.met.journalMetrics()
 		s.st, s.snaps, s.jr, s.seq = st, snaps, jr, maxSeq
 		recovered = jobs
 	}
@@ -302,7 +338,7 @@ func Open(cfg Config) (*Service, error) {
 		j := &job{
 			id: r.id, spec: r.spec, hash: r.spec.Hash(),
 			state: r.state, total: r.spec.Reps, errMsg: r.errMsg,
-			recovered: true,
+			trace: r.trace, recovered: true,
 		}
 		switch r.state {
 		case JobDone:
@@ -317,6 +353,8 @@ func Open(cfg Config) (*Service, error) {
 			s.recJobs.Add(1)
 			s.recTrials.Add(uint64(len(r.trials)))
 			s.queue <- j
+			s.log.Info("job recovered", slog.String("job", j.id),
+				slog.String("trace", j.trace), slog.Int("trials_prefilled", j.done))
 		}
 		s.mu.Lock()
 		s.registerLocked(j)
@@ -401,18 +439,32 @@ const (
 // identical requests. The returned bytes are the deterministic Result
 // JSON; callers must not mutate them.
 func (s *Service) Simulate(raw Spec) (data []byte, hash string, status CacheStatus, err error) {
+	return s.simulate(context.Background(), raw)
+}
+
+// simulate is Simulate with the caller's context carried for trace
+// propagation (spans; DESIGN.md §10). The context does NOT cancel the
+// computation — SimulateCtx detaches it deliberately.
+func (s *Service) simulate(ctx context.Context, raw Spec) (data []byte, hash string, status CacheStatus, err error) {
 	sp, err := raw.Canonicalize()
 	if err != nil {
 		return nil, "", "", err
 	}
 	hash = sp.Hash()
+	lookup := obs.StartSpan(ctx, s.log, "cache.lookup")
 	if b, ok := s.cache.Get(hash); ok {
+		lookup.SetAttr("tier", "memory")
+		lookup.End()
 		return b, hash, StatusHit, nil
 	}
 	if b, ok := s.storeGet(hash); ok {
 		s.cache.Put(hash, b)
+		lookup.SetAttr("tier", "durable")
+		lookup.End()
 		return b, hash, StatusDurableHit, nil
 	}
+	lookup.SetAttr("tier", "miss")
+	lookup.End()
 	// Degraded mode: once shutdown begins, reads above still work but new
 	// computations are refused with a retryable signal.
 	if s.draining.Load() {
@@ -434,11 +486,14 @@ func (s *Service) Simulate(raw Spec) (data []byte, hash string, status CacheStat
 	// above and the flight registration: the response was really served
 	// from cache and must not be labeled a miss.
 	var fromCache, viaPrefix bool
+	flight := obs.StartSpan(ctx, s.log, "flight")
 	b, err, shared := s.sf.Do(hash, nil, func(report func(done, total int)) ([]byte, error) {
-		eb, hit, via, eerr := s.execute(sp, hash, report)
+		eb, hit, via, eerr := s.execute(ctx, sp, hash, report)
 		fromCache, viaPrefix = hit, via
 		return eb, eerr
 	})
+	flight.SetAttr("shared", shared)
+	flight.End()
 	// Count coalescing before the error check so the counter means the
 	// same thing ("waited on someone else's execution") on the sync and
 	// async paths, failures included.
@@ -476,8 +531,12 @@ func (s *Service) SimulateCtx(ctx context.Context, raw Spec) (data []byte, hash 
 		err    error
 	}
 	ch := make(chan outcome, 1)
+	// WithoutCancel: the computation outlives the request deadline by design
+	// (coalesced waiters and the cache collect it), but the trace ID still
+	// flows so its spans stay attributable to the originating request.
+	dctx := context.WithoutCancel(ctx)
 	go func() {
-		d, h, st, e := s.Simulate(raw)
+		d, h, st, e := s.simulate(dctx, raw)
 		ch <- outcome{d, h, st, e}
 	}()
 	select {
@@ -516,16 +575,18 @@ func (s *Service) storePut(hash string, b []byte) error {
 // fromCache reports that the result had already landed and nothing ran,
 // viaPrefix that the computation resumed from prefix snapshots. Callers
 // hold the singleflight slot for hash.
-func (s *Service) execute(sp Spec, hash string, onTrial func(done, total int)) (b []byte, fromCache, viaPrefix bool, err error) {
+func (s *Service) execute(ctx context.Context, sp Spec, hash string, onTrial func(done, total int)) (b []byte, fromCache, viaPrefix bool, err error) {
 	return s.runPrefixed(sp, func(plan *prefixPlan) ([]byte, bool, error) {
-		return s.executeSlot(sp, hash, onTrial, plan)
+		return s.executeSlot(ctx, sp, hash, onTrial, plan)
 	})
 }
 
 // executeSlot is the slot-holding half of execute: re-check the caches,
 // then run with the prefix plan's resume snapshots (nil plan = cold).
-func (s *Service) executeSlot(sp Spec, hash string, onTrial func(done, total int), plan *prefixPlan) (b []byte, fromCache bool, err error) {
+func (s *Service) executeSlot(ctx context.Context, sp Spec, hash string, onTrial func(done, total int), plan *prefixPlan) (b []byte, fromCache bool, err error) {
+	wait := obs.StartSpan(ctx, s.log, "slot.wait")
 	s.slots <- struct{}{}
+	wait.End()
 	defer func() { <-s.slots }()
 	// The result may have landed while this request waited in the queue or
 	// for a slot (e.g. a sync request computed the same spec) — serve it.
@@ -541,9 +602,12 @@ func (s *Service) executeSlot(sp Spec, hash string, onTrial func(done, total int
 		hook(sp)
 	}
 	s.execs.Add(1)
-	o := ExecOptions{Parallel: s.cfg.Parallel, OnTrial: onTrial}
+	o := ExecOptions{Parallel: s.cfg.Parallel, OnTrial: onTrial, OnProbe: s.onProbe}
 	s.armPrefix(sp, plan, &o)
+	run := obs.StartSpan(ctx, s.log, "execute")
+	run.SetAttr("hash", hash)
 	res, err := ExecuteWith(sp, o)
+	run.End()
 	if err != nil {
 		return nil, false, err
 	}
@@ -551,11 +615,20 @@ func (s *Service) executeSlot(sp Spec, hash string, onTrial func(done, total int
 	if err != nil {
 		return nil, false, err
 	}
-	if err := s.storePut(hash, b); err != nil {
+	put := obs.StartSpan(ctx, s.log, "store.put")
+	err = s.storePut(hash, b)
+	put.End()
+	if err != nil {
 		return nil, false, err
 	}
 	s.cache.Put(hash, b)
 	return b, false, nil
+}
+
+// onProbe forwards engine probe samples (epoch boundaries + run ends) to
+// the metric registry; armed on every execution.
+func (s *Service) onProbe(trial int, smp *radio.ProbeSample) {
+	s.met.observeProbe(smp)
 }
 
 // SubmitJob is the async path: canonicalize, register and journal a job,
@@ -563,6 +636,14 @@ func (s *Service) executeSlot(sp Spec, hash string, onTrial func(done, total int
 // ErrQueueFull signals backpressure; the caller should retry later or fall
 // back to the sync endpoint.
 func (s *Service) SubmitJob(raw Spec) (JobView, error) {
+	return s.SubmitJobCtx(context.Background(), raw)
+}
+
+// SubmitJobCtx is SubmitJob with the caller's context: its trace ID is
+// recorded on the job, journaled with the submit record, and attached to
+// every log line the job's lifecycle emits — the async half of the
+// trace-propagation contract (DESIGN.md §10).
+func (s *Service) SubmitJobCtx(ctx context.Context, raw Spec) (JobView, error) {
 	sp, err := raw.Canonicalize()
 	if err != nil {
 		return JobView{}, err
@@ -582,6 +663,7 @@ func (s *Service) SubmitJob(raw Spec) (JobView, error) {
 		hash:  hash,
 		state: JobQueued,
 		total: sp.Reps,
+		trace: obs.TraceID(ctx),
 	}
 	if cached {
 		j.state, j.done, j.cacheHit = JobDone, sp.Reps, true
@@ -590,10 +672,13 @@ func (s *Service) SubmitJob(raw Spec) (JobView, error) {
 		s.journalAppend(journalRecord{Op: opDone, Job: j.id})
 		return s.viewLocked(j), nil
 	}
+	j.enqueuedAt = time.Now()
 	select {
 	case s.queue <- j:
 		s.registerLocked(j)
 		s.journalSubmit(j)
+		s.log.Debug("job queued", slog.String("job", j.id),
+			slog.String("trace", j.trace), slog.String("hash", j.hash))
 		return s.viewLocked(j), nil
 	default:
 		return JobView{}, ErrQueueFull
@@ -606,7 +691,7 @@ func (s *Service) SubmitJob(raw Spec) (JobView, error) {
 // journal, and that path aborts through the checkpoint hook instead.
 func (s *Service) journalSubmit(j *job) {
 	spec := j.spec
-	s.journalAppend(journalRecord{Op: opSubmit, Job: j.id, Spec: &spec})
+	s.journalAppend(journalRecord{Op: opSubmit, Job: j.id, Spec: &spec, Trace: j.trace})
 }
 
 func (s *Service) journalAppend(rec journalRecord) {
@@ -660,6 +745,13 @@ func (s *Service) worker() {
 // runJob is one job's full lifecycle: attempts with exponential backoff up
 // to cfg.JobRetries retries, a terminal deadline, and journaled completion.
 func (s *Service) runJob(j *job) {
+	if !j.enqueuedAt.IsZero() {
+		s.met.queueWait.ObserveSince(j.enqueuedAt)
+	}
+	// The job carries its submitting request's trace ID across the queue;
+	// rebuild a context from it so spans and logs below stay attributable.
+	ctx := obs.WithTrace(context.Background(), j.trace)
+	t0 := time.Now()
 	s.updateJob(j, func(j *job) { j.state = JobRunning })
 	var deadline time.Time
 	if s.cfg.JobTimeout > 0 {
@@ -671,9 +763,12 @@ func (s *Service) runJob(j *job) {
 			s.retries.Add(1)
 			time.Sleep(s.cfg.RetryBackoff << (attempt - 1))
 		}
-		err := s.attemptJob(j, deadline)
+		err := s.attemptJob(ctx, j, deadline)
 		if err == nil {
 			s.journalAppend(journalRecord{Op: opDone, Job: j.id})
+			s.log.Info("job done", slog.String("job", j.id),
+				slog.String("trace", j.trace), slog.String("hash", j.hash),
+				slog.Int("attempts", attempt+1), slog.Duration("dur", time.Since(t0)))
 			return
 		}
 		lastErr = err
@@ -690,13 +785,19 @@ func (s *Service) runJob(j *job) {
 			break
 		}
 	}
+	if errors.Is(lastErr, ErrJobDeadline) {
+		s.timeouts.Add(1)
+	}
 	s.updateJob(j, func(j *job) { j.state, j.errMsg = JobFailed, lastErr.Error() })
 	s.journalAppend(journalRecord{Op: opFailed, Job: j.id, Error: lastErr.Error()})
+	s.log.Warn("job failed", slog.String("job", j.id),
+		slog.String("trace", j.trace), slog.String("hash", j.hash),
+		slog.Duration("dur", time.Since(t0)), slog.String("error", lastErr.Error()))
 }
 
 // attemptJob runs one execution attempt through the singleflight group,
 // updating the job on success.
-func (s *Service) attemptJob(j *job, deadline time.Time) error {
+func (s *Service) attemptJob(ctx context.Context, j *job, deadline time.Time) error {
 	// The progress listener is attached whether this worker executes or
 	// coalesces onto an in-flight identical execution, so polling clients
 	// see trial progress either way. Completion counts arrive from
@@ -712,7 +813,7 @@ func (s *Service) attemptJob(j *job, deadline time.Time) error {
 	}
 	var fromCache bool
 	_, err, shared := s.sf.Do(j.hash, onProgress, func(report func(done, total int)) ([]byte, error) {
-		b, hit, _, eerr := s.executeJob(j, deadline, report)
+		b, hit, _, eerr := s.executeJob(ctx, j, deadline, report)
 		fromCache = hit
 		return b, eerr
 	})
@@ -736,14 +837,16 @@ func (s *Service) attemptJob(j *job, deadline time.Time) error {
 // checkpoint resume, and cancellation (kill, deadline). Jobs ride the
 // prefix cache too — sweeps submitted async warm and consume the same
 // snapshot keyspace as sync requests.
-func (s *Service) executeJob(j *job, deadline time.Time, report func(done, total int)) ([]byte, bool, bool, error) {
+func (s *Service) executeJob(ctx context.Context, j *job, deadline time.Time, report func(done, total int)) ([]byte, bool, bool, error) {
 	return s.runPrefixed(j.spec, func(plan *prefixPlan) ([]byte, bool, error) {
-		return s.executeJobSlot(j, deadline, report, plan)
+		return s.executeJobSlot(ctx, j, deadline, report, plan)
 	})
 }
 
-func (s *Service) executeJobSlot(j *job, deadline time.Time, report func(done, total int), plan *prefixPlan) ([]byte, bool, error) {
+func (s *Service) executeJobSlot(ctx context.Context, j *job, deadline time.Time, report func(done, total int), plan *prefixPlan) ([]byte, bool, error) {
+	wait := obs.StartSpan(ctx, s.log, "slot.wait")
 	s.slots <- struct{}{}
+	wait.End()
 	defer func() { <-s.slots }()
 	if b, ok := s.cache.peek(j.hash); ok {
 		return b, true, nil
@@ -759,6 +862,7 @@ func (s *Service) executeJobSlot(j *job, deadline time.Time, report func(done, t
 	o := ExecOptions{
 		Parallel:  s.cfg.Parallel,
 		OnTrial:   report,
+		OnProbe:   s.onProbe,
 		Prefilled: j.recTrials,
 		Cancelled: func() bool {
 			return s.killed.Load() || (!deadline.IsZero() && time.Now().After(deadline))
@@ -780,7 +884,11 @@ func (s *Service) executeJobSlot(j *job, deadline time.Time, report func(done, t
 			o.ResumeTrial, o.Resume = j.ckptTrial, j.ckpt
 		}
 	}
+	run := obs.StartSpan(ctx, s.log, "execute")
+	run.SetAttr("job", j.id)
+	run.SetAttr("hash", j.hash)
 	res, err := ExecuteWith(j.spec, o)
+	run.End()
 	if err != nil {
 		if errors.Is(err, exp.ErrCancelled) {
 			if s.killed.Load() {
@@ -794,7 +902,10 @@ func (s *Service) executeJobSlot(j *job, deadline time.Time, report func(done, t
 	if err != nil {
 		return nil, false, err
 	}
-	if err := s.storePut(j.hash, b); err != nil {
+	put := obs.StartSpan(ctx, s.log, "store.put")
+	err = s.storePut(j.hash, b)
+	put.End()
+	if err != nil {
 		return nil, false, err
 	}
 	s.cache.Put(j.hash, b)
@@ -859,11 +970,31 @@ func (s *Service) ResultByHash(hash string) ([]byte, bool) {
 	return nil, false
 }
 
-// Stats snapshots the service counters.
+// runningLocked counts jobs currently executing; s.mu must be held.
+func (s *Service) runningLocked() int {
+	n := 0
+	for _, j := range s.jobs {
+		if j.state == JobRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// Registry exposes the service's metric registry (the GET /metrics body;
+// tests and the loadgen scrape it through WritePrometheus).
+func (s *Service) Registry() *obs.Registry { return s.met.reg }
+
+// Stats snapshots the service counters. The job-facing fields (Jobs,
+// InFlightJobs, QueueLen) are read under a single s.mu acquisition so the
+// snapshot is mutually consistent — a job transitioning queued→running
+// between field reads cannot be counted in both.
 func (s *Service) Stats() Stats {
 	hits, misses := s.cache.Counters()
 	s.mu.Lock()
 	jobs := len(s.jobs)
+	inFlight := s.runningLocked()
+	queueLen := len(s.queue)
 	s.mu.Unlock()
 	st := Stats{
 		CacheHits:         hits,
@@ -874,9 +1005,11 @@ func (s *Service) Stats() Stats {
 		PrefixHits:        s.prefixHits.Load(),
 		PrefixEpochsSaved: s.prefixEpochs.Load(),
 		Jobs:              jobs,
-		QueueLen:          len(s.queue),
+		InFlightJobs:      inFlight,
+		QueueLen:          queueLen,
 		QueueCap:          cap(s.queue),
 		Workers:           s.cfg.Workers,
+		UptimeSeconds:     time.Since(s.started).Seconds(),
 		RecoveredJobs:     s.recJobs.Load(),
 		RecoveredTrials:   s.recTrials.Load(),
 		Retries:           s.retries.Load(),

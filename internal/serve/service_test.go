@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -347,7 +348,7 @@ func TestServiceSlotWaitCacheLandingIsHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	want, _ := fresh.JSON()
-	b, fromCache, _, err := s.execute(sp, sp.Hash(), nil)
+	b, fromCache, _, err := s.execute(context.Background(), sp, sp.Hash(), nil)
 	if err != nil || fromCache {
 		t.Fatalf("cold execute: fromCache=%v err=%v", fromCache, err)
 	}
@@ -355,7 +356,7 @@ func TestServiceSlotWaitCacheLandingIsHit(t *testing.T) {
 		t.Fatal("executed bytes differ")
 	}
 	// The cache now holds the result: the peek path must report it.
-	b2, fromCache, _, err := s.execute(sp, sp.Hash(), nil)
+	b2, fromCache, _, err := s.execute(context.Background(), sp, sp.Hash(), nil)
 	if err != nil || !fromCache || !bytes.Equal(b2, want) {
 		t.Fatalf("warm execute: fromCache=%v err=%v identical=%v", fromCache, err, bytes.Equal(b2, want))
 	}

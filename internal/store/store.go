@@ -24,8 +24,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 )
 
 // Entry file layout: a one-line header followed by the raw payload.
@@ -43,6 +45,7 @@ const headerPrefix = "v1 "
 type Store struct {
 	dir    string
 	faults *chaos.Faults
+	met    Metrics
 
 	mu          sync.Mutex
 	hits        uint64
@@ -50,6 +53,25 @@ type Store struct {
 	puts        uint64
 	quarantined uint64
 }
+
+// Metrics is the store's optional instrumentation hook set (DESIGN.md §10).
+// Every field is nil-safe: the zero value disables that instrument, and an
+// uninstrumented store pays only nil checks. Latencies are in seconds.
+type Metrics struct {
+	// GetSeconds observes every Get, misses and quarantines included.
+	GetSeconds *obs.Histogram
+	// PutSeconds observes every completed put (both Put and PutRelaxed),
+	// staging + checksum + rename + any fsyncs.
+	PutSeconds *obs.Histogram
+	// FsyncSeconds observes each file/directory fsync a durable Put issues.
+	FsyncSeconds *obs.Histogram
+	// Quarantined counts entries moved to quarantine/ on checksum failure.
+	Quarantined *obs.Counter
+}
+
+// SetMetrics installs the instrumentation hooks. Call before serving
+// traffic, like SetFaults.
+func (s *Store) SetMetrics(m Metrics) { s.met = m }
 
 // Counters is a snapshot of the store's lifetime activity.
 type Counters struct {
@@ -129,6 +151,9 @@ func (s *Store) put(key string, data []byte, durable bool) error {
 	if err := validKey(key); err != nil {
 		return err
 	}
+	if s.met.PutSeconds != nil {
+		defer s.met.PutSeconds.ObserveSince(time.Now())
+	}
 	if err := s.faults.Check("store.put"); err != nil {
 		return fmt.Errorf("store: put %s: %w", key, err)
 	}
@@ -152,9 +177,13 @@ func (s *Store) put(key string, data []byte, durable bool) error {
 		return fmt.Errorf("store: put %s: %w", key, err)
 	}
 	if durable {
+		t0 := time.Now()
 		if err := f.Sync(); err != nil {
 			cleanup()
 			return fmt.Errorf("store: put %s: %w", key, err)
+		}
+		if s.met.FsyncSeconds != nil {
+			s.met.FsyncSeconds.ObserveSince(t0)
 		}
 	}
 	if err := f.Close(); err != nil {
@@ -166,8 +195,12 @@ func (s *Store) put(key string, data []byte, durable bool) error {
 		return fmt.Errorf("store: put %s: %w", key, err)
 	}
 	if durable {
+		t0 := time.Now()
 		if err := syncDir(filepath.Join(s.dir, "results")); err != nil {
 			return fmt.Errorf("store: put %s: %w", key, err)
+		}
+		if s.met.FsyncSeconds != nil {
+			s.met.FsyncSeconds.ObserveSince(t0)
 		}
 	}
 	s.mu.Lock()
@@ -184,6 +217,9 @@ func (s *Store) put(key string, data []byte, durable bool) error {
 func (s *Store) Get(key string) ([]byte, bool, error) {
 	if err := validKey(key); err != nil {
 		return nil, false, err
+	}
+	if s.met.GetSeconds != nil {
+		defer s.met.GetSeconds.ObserveSince(time.Now())
 	}
 	if err := s.faults.Check("store.get"); err != nil {
 		return nil, false, fmt.Errorf("store: get %s: %w", key, err)
@@ -210,6 +246,9 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 		s.quarantined++
 		s.misses++
 		s.mu.Unlock()
+		if s.met.Quarantined != nil {
+			s.met.Quarantined.Inc()
+		}
 		return nil, false, nil
 	}
 	s.mu.Lock()

@@ -60,6 +60,24 @@ grep -qi '^x-cache: HIT' "$workdir/h2"
 cmp "$workdir/r1" "$workdir/r2"
 echo "sync simulate + cache hit OK"
 
+# 1b. Observability (DESIGN.md §10): every response carries X-Trace-Id (a
+# client-supplied one is echoed), and /metrics accounts the exact simulate
+# pattern so far — 1 miss, then 2 memory hits after the traced repeat.
+grep -qi '^x-trace-id: ' "$workdir/h1" || { echo "no X-Trace-Id on response"; exit 1; }
+trace=00112233445566778899aabbccddeeff
+curl -fsS -D "$workdir/h3" -o /dev/null -H "X-Trace-Id: $trace" \
+  -H 'Content-Type: application/json' -d "$spec" "$base/v1/simulate"
+grep -qi "^x-trace-id: $trace" "$workdir/h3" || { echo "supplied trace ID not echoed"; exit 1; }
+curl -fsS "$base/metrics" >"$workdir/metrics.out"
+grep -q 'serve_cache_requests_total{tier="miss"} 1' "$workdir/metrics.out" || {
+  echo "miss counter wrong:"; grep serve_cache "$workdir/metrics.out"; exit 1; }
+grep -q 'serve_cache_requests_total{tier="memory"} 2' "$workdir/metrics.out" || {
+  echo "memory-hit counter wrong:"; grep serve_cache "$workdir/metrics.out"; exit 1; }
+grep -q '^serve_http_request_seconds_bucket{' "$workdir/metrics.out"
+grep -q '^serve_engine_probes_total' "$workdir/metrics.out"
+grep -q '^serve_uptime_seconds' "$workdir/metrics.out"
+echo "metrics + trace propagation OK"
+
 # 2. Async job: submit, poll to completion, fetch the result by hash.
 job=$(curl -fsS -d '{"graph":"churn:grid","n":36,"algo":"flood","seed":3,"epochs":3,"epoch_len":8,"rate":0.2}' \
   "$base/v1/jobs")
@@ -165,6 +183,12 @@ resumed_ms=$((t_resumed - t_restart))
 hash2=$(sed -n 's/.*"spec_hash":"\([^"]*\)".*/\1/p' <<<"$poll")
 curl -fsS -o "$workdir/r7" "$base3/v1/results/$hash2"
 curl -fsS "$base3/v1/stats" | grep -q '"recovered_jobs":1'
+# The durable tier's instruments are live: store reads and journal fsyncs
+# have been observed on this server.
+curl -fsS "$base3/metrics" >"$workdir/metrics3.out"
+grep -q 'serve_store_get_seconds_count{keyspace="result"}' "$workdir/metrics3.out"
+grep -q '^serve_journal_fsync_seconds_count' "$workdir/metrics3.out"
+grep -q 'serve_job_resumes_total 1' "$workdir/metrics3.out"
 kill "$server_pid"; wait "$server_pid"; unset server_pid
 
 # Byte-identity of the resumed job: a fresh ephemeral server computing the
