@@ -72,6 +72,43 @@ func TestCompareEngineBench(t *testing.T) {
 	}
 }
 
+// withBytesPerNode sets the memory fields on a report's rows (0 = the row
+// doesn't carry them, as in baselines written before the field existed).
+func withBytesPerNode(r EngineBenchReport, bpn ...float64) EngineBenchReport {
+	for i := range r.Benchmarks {
+		r.Benchmarks[i].BytesPerNode = bpn[i]
+		r.Benchmarks[i].EngineBytes = int64(bpn[i] * 1000)
+	}
+	return r
+}
+
+func TestCompareBytesPerNode(t *testing.T) {
+	var log bytes.Buffer
+	base := withBytesPerNode(report("huge", 1000.0, "old", 1000.0), 200.0, 0)
+
+	// Growth inside the 25% band passes; shrinking passes.
+	if err := compareEngineBench(withBytesPerNode(report("huge", 1000.0, "old", 1000.0), 240.0, 0), base, 0.25, &log); err != nil {
+		t.Fatalf("within-band bytes/node failed: %v", err)
+	}
+	if err := compareEngineBench(withBytesPerNode(report("huge", 1000.0, "old", 1000.0), 150.0, 0), base, 0.25, &log); err != nil {
+		t.Fatalf("bytes/node decrease failed: %v", err)
+	}
+	// >25% growth fails and names the metric.
+	err := compareEngineBench(withBytesPerNode(report("huge", 1000.0, "old", 1000.0), 260.0, 0), base, 0.25, &log)
+	if err == nil || !strings.Contains(err.Error(), "bytes/node") {
+		t.Fatalf("want bytes/node regression error, got %v", err)
+	}
+	// A baseline without the field (row "old", pre-field report) tolerates
+	// any fresh value — no flag day — and a fresh run that skipped the
+	// measurement never trips on a baseline that has it.
+	if err := compareEngineBench(withBytesPerNode(report("huge", 1000.0, "old", 1000.0), 240.0, 9999.0), base, 0.25, &log); err != nil {
+		t.Fatalf("field absent in baseline must not gate: %v", err)
+	}
+	if err := compareEngineBench(withBytesPerNode(report("huge", 1000.0, "old", 1000.0), 0, 0), base, 0.25, &log); err != nil {
+		t.Fatalf("field absent in fresh run must not gate: %v", err)
+	}
+}
+
 func TestLoadEngineBenchErrors(t *testing.T) {
 	if _, err := loadEngineBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("want error for missing file")

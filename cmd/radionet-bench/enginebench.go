@@ -8,10 +8,12 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/dyn"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/xrand"
@@ -40,6 +42,14 @@ type EngineBenchResult struct {
 	BytesPerOp      int64   `json:"bytes_per_op"`
 	NodeStepsPerSec float64 `json:"node_steps_per_sec"`
 	AllocExact      bool    `json:"alloc_exact,omitempty"`
+	// EngineBytes is the resident heap footprint of the fully constructed
+	// run — topology snapshot, deployment geometry, PHY model, and engine
+	// node state — measured after a GC at the first step of a live run
+	// (see measureFootprint). Zero on rows that don't measure it.
+	EngineBytes int64 `json:"engine_bytes,omitempty"`
+	// BytesPerNode is EngineBytes / Nodes, the scale metric the memory gate
+	// compares across reports.
+	BytesPerNode float64 `json:"bytes_per_node,omitempty"`
 }
 
 // EngineBenchReport is the BENCH_engine.json document.
@@ -253,6 +263,138 @@ func benchPoolSINRRun(n int) func(b *testing.B) {
 	}
 }
 
+// hugeTopo lazily builds and caches one streaming-path SINR topology, so a
+// huge row, its pool twin, and the footprint measurement share a single
+// gen.BuildCSR call — at n=10⁶ the build (connectivity retries included) is
+// seconds of wall clock and must not repeat per benchmark iteration ramp.
+type hugeTopo struct {
+	n     int
+	once  sync.Once
+	csr   *graph.CSR
+	pts   []gen.Point
+	bytes int64
+	err   error
+}
+
+func (h *hugeTopo) build() error {
+	h.once.Do(func() {
+		// The heap baseline is read before anything run-resident exists, so
+		// the footprint delta covers the snapshot and geometry too.
+		runtime.GC()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		h.csr, h.pts, h.err = gen.BuildCSR("phy:sinr", h.n, 3)
+		if h.err != nil {
+			return
+		}
+		h.bytes, h.err = h.measureFootprint(m0.HeapAlloc)
+	})
+	return h.err
+}
+
+// memArmer records the run's resident heap once, at the first Act of a live
+// run — the first moment after the engine has finished constructing itself —
+// as a GC'd HeapAlloc delta against the pre-construction baseline. The
+// sequential footprint run fires it on the benchmark goroutine, so no
+// synchronization is needed.
+type memArmer struct {
+	base  uint64
+	bytes int64
+	armed bool
+}
+
+func (a *memArmer) fire() {
+	if a.armed {
+		return
+	}
+	a.armed = true
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc > a.base {
+		a.bytes = int64(m.HeapAlloc - a.base)
+	}
+}
+
+// measureOnFirstAct wraps a node protocol to fire the run's memArmer at its
+// first Act (the footprint twin of resetOnFirstAct).
+type measureOnFirstAct struct {
+	radio.Protocol
+	arm *memArmer
+}
+
+func (r *measureOnFirstAct) Act(step int) radio.Action {
+	r.arm.fire()
+	return r.Protocol.Act(step)
+}
+
+// measureFootprint runs a short sequential run over the cached topology and
+// returns the resident engine bytes: GC'd HeapAlloc at the first step minus
+// the pre-construction baseline. Everything a real run keeps live is live at
+// that point — packed CSR, positions, the SINR model's SoA arrays and grid,
+// and the engine's per-node state — while construction garbage has been
+// collected away.
+func (h *hugeTopo) measureFootprint(base uint64) (int64, error) {
+	model, err := phy.NewSINR(h.pts, phy.SINRParams{})
+	if err != nil {
+		return 0, err
+	}
+	arm := &memArmer{base: base}
+	factory := func(info radio.NodeInfo) radio.Protocol {
+		return &measureOnFirstAct{Protocol: &sinrNode{rng: info.RNG, budget: 16}, arm: arm}
+	}
+	if _, err := radio.RunCSR(h.csr, factory, radio.Options{MaxSteps: 16, Seed: 1, PHY: model}); err != nil {
+		return 0, err
+	}
+	return arm.bytes, nil
+}
+
+// benchStreamSINRSteps measures one sequential engine step per op on the
+// million-node path: streaming-built (and, above the threshold, delta-packed)
+// CSR through the graph-free radio.RunCSR entry, SINR delivery from the
+// cached deployment.
+func benchStreamSINRSteps(h *hugeTopo) func(b *testing.B) {
+	return func(b *testing.B) {
+		if err := h.build(); err != nil {
+			b.Fatal(err)
+		}
+		model, err := phy.NewSINR(h.pts, phy.SINRParams{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		arm := &timerArmer{b: b}
+		factory := func(info radio.NodeInfo) radio.Protocol {
+			return &resetOnFirstAct{Protocol: &sinrNode{rng: info.RNG, budget: b.N}, arm: arm}
+		}
+		if _, err := radio.RunCSR(h.csr, factory, radio.Options{MaxSteps: b.N, Seed: 1, PHY: model}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPoolStreamSINRRun measures one 64-step worker-pool run per op on the
+// same streaming topology, model and engine construction included.
+func benchPoolStreamSINRRun(h *hugeTopo) func(b *testing.B) {
+	return func(b *testing.B) {
+		if err := h.build(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			model, err := phy.NewSINR(h.pts, phy.SINRParams{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			factory := func(info radio.NodeInfo) radio.Protocol {
+				return &sinrNode{rng: info.RNG, budget: 64}
+			}
+			if _, err := radio.RunCSR(h.csr, factory, radio.Options{MaxSteps: 64, Seed: 1, Concurrent: true, PHY: model}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // benchSINRDenseRef measures one step per op of the pre-PHY internal/sinr
 // execution loop (deleted in the PHY refactor), reimplemented here verbatim
 // as the regression reference: a dense O(n) act scan plus O(#tx·n) decoding
@@ -338,32 +480,62 @@ func benchPoolRun(rows, cols int) func(b *testing.B) {
 // shards per P, so the p2/p4/p8 rows are what make its parallel scaling
 // visible in the trajectory — on a host with fewer cores they still run
 // (the Ps timeshare), they just can't show a speedup there.
+// hugeTopos caches the streaming topologies shared by the huge rows below.
+var hugeTopos = map[int]*hugeTopo{
+	100000:  {n: 100000},
+	1000000: {n: 1000000},
+}
+
+// hugeMem returns the footprint hook for one cached huge topology.
+func hugeMem(h *hugeTopo) func() (int64, error) {
+	return func() (int64, error) {
+		if err := h.build(); err != nil {
+			return 0, err
+		}
+		return h.bytes, nil
+	}
+}
+
 var engineBenchSpecs = []struct {
 	name       string
 	nodes      int
 	stepsPerOp int
 	procs      int
 	allocExact bool
-	fn         func(b *testing.B)
+	// huge rows run only under -bench-huge: building a 10⁵–10⁶-node
+	// topology costs seconds to minutes and must not slow every CI gate.
+	huge bool
+	// mem measures the row's resident engine footprint (0 hook = not
+	// measured; the JSON field stays absent).
+	mem func() (int64, error)
+	fn  func(b *testing.B)
 }{
-	{"seq_dense_n1024", 1024, 1, 0, true, benchSequentialSteps(32, 32, 0)},
-	{"seq_sparse_n4096_live64", 4096, 1, 0, true, benchSequentialSteps(64, 64, 64)},
-	{"seq_dyn_churn_n1024", 1024, 1, 0, true, benchDynSteps(32, 32, 64)},
-	{"seq_dyn_churn_n1024_obs", 1024, 1, 0, true, benchDynStepsProbed(32, 32, 64)},
-	{"pool_n256_64steps", 256, 64, 0, false, benchPoolRun(16, 16)},
-	{"pool_n1024_64steps", 1024, 64, 0, false, benchPoolRun(32, 32)},
-	{"pool_n1024_64steps_p2", 1024, 64, 2, false, benchPoolRun(32, 32)},
-	{"pool_n1024_64steps_p4", 1024, 64, 4, false, benchPoolRun(32, 32)},
-	{"pool_n1024_64steps_p8", 1024, 64, 8, false, benchPoolRun(32, 32)},
-	{"seq_sinr_n1024", 1024, 1, 0, true, benchSINRSteps(1024)},
-	{"pool_sinr_n1024", 1024, 64, 0, false, benchPoolSINRRun(1024)},
-	{"pool_sinr_n1024_p2", 1024, 64, 2, false, benchPoolSINRRun(1024)},
-	{"pool_sinr_n1024_p4", 1024, 64, 4, false, benchPoolSINRRun(1024)},
-	{"pool_sinr_n1024_p8", 1024, 64, 8, false, benchPoolSINRRun(1024)},
-	{"seq_sinr_n4096", 4096, 1, 0, true, benchSINRSteps(4096)},
-	{"seq_sinr_n65536", 65536, 1, 0, true, benchSINRSteps(65536)},
-	{"pool_sinr_n65536_p4", 65536, 64, 4, false, benchPoolSINRRun(65536)},
-	{"sinr_dense_ref_n4096", 4096, 1, 0, true, benchSINRDenseRef(4096)},
+	{name: "seq_dense_n1024", nodes: 1024, stepsPerOp: 1, allocExact: true, fn: benchSequentialSteps(32, 32, 0)},
+	{name: "seq_sparse_n4096_live64", nodes: 4096, stepsPerOp: 1, allocExact: true, fn: benchSequentialSteps(64, 64, 64)},
+	{name: "seq_dyn_churn_n1024", nodes: 1024, stepsPerOp: 1, allocExact: true, fn: benchDynSteps(32, 32, 64)},
+	{name: "seq_dyn_churn_n1024_obs", nodes: 1024, stepsPerOp: 1, allocExact: true, fn: benchDynStepsProbed(32, 32, 64)},
+	{name: "pool_n256_64steps", nodes: 256, stepsPerOp: 64, fn: benchPoolRun(16, 16)},
+	{name: "pool_n1024_64steps", nodes: 1024, stepsPerOp: 64, fn: benchPoolRun(32, 32)},
+	{name: "pool_n1024_64steps_p2", nodes: 1024, stepsPerOp: 64, procs: 2, fn: benchPoolRun(32, 32)},
+	{name: "pool_n1024_64steps_p4", nodes: 1024, stepsPerOp: 64, procs: 4, fn: benchPoolRun(32, 32)},
+	{name: "pool_n1024_64steps_p8", nodes: 1024, stepsPerOp: 64, procs: 8, fn: benchPoolRun(32, 32)},
+	{name: "seq_sinr_n1024", nodes: 1024, stepsPerOp: 1, allocExact: true, fn: benchSINRSteps(1024)},
+	{name: "pool_sinr_n1024", nodes: 1024, stepsPerOp: 64, fn: benchPoolSINRRun(1024)},
+	{name: "pool_sinr_n1024_p2", nodes: 1024, stepsPerOp: 64, procs: 2, fn: benchPoolSINRRun(1024)},
+	{name: "pool_sinr_n1024_p4", nodes: 1024, stepsPerOp: 64, procs: 4, fn: benchPoolSINRRun(1024)},
+	{name: "pool_sinr_n1024_p8", nodes: 1024, stepsPerOp: 64, procs: 8, fn: benchPoolSINRRun(1024)},
+	{name: "seq_sinr_n4096", nodes: 4096, stepsPerOp: 1, allocExact: true, fn: benchSINRSteps(4096)},
+	{name: "seq_sinr_n65536", nodes: 65536, stepsPerOp: 1, allocExact: true, fn: benchSINRSteps(65536)},
+	{name: "pool_sinr_n65536_p4", nodes: 65536, stepsPerOp: 64, procs: 4, fn: benchPoolSINRRun(65536)},
+	{name: "sinr_dense_ref_n4096", nodes: 4096, stepsPerOp: 1, allocExact: true, fn: benchSINRDenseRef(4096)},
+	{name: "seq_sinr_n100000", nodes: 100000, stepsPerOp: 1, allocExact: true, huge: true,
+		mem: hugeMem(hugeTopos[100000]), fn: benchStreamSINRSteps(hugeTopos[100000])},
+	{name: "pool_sinr_n100000_p4", nodes: 100000, stepsPerOp: 64, procs: 4, huge: true,
+		mem: hugeMem(hugeTopos[100000]), fn: benchPoolStreamSINRRun(hugeTopos[100000])},
+	{name: "seq_sinr_n1000000", nodes: 1000000, stepsPerOp: 1, allocExact: true, huge: true,
+		mem: hugeMem(hugeTopos[1000000]), fn: benchStreamSINRSteps(hugeTopos[1000000])},
+	{name: "pool_sinr_n1000000_p4", nodes: 1000000, stepsPerOp: 64, procs: 4, huge: true,
+		mem: hugeMem(hugeTopos[1000000]), fn: benchPoolStreamSINRRun(hugeTopos[1000000])},
 }
 
 // seedBaseline is the same workload set measured at PR 1 on the seed's
@@ -378,8 +550,17 @@ var seedBaseline = []EngineBenchResult{
 }
 
 // measureEngineBench executes the engine micro-benches and returns the
-// report.
-func measureEngineBench() (EngineBenchReport, error) {
+// report. Huge rows (10⁵–10⁶-node topologies) run only when includeHuge is
+// set; a non-empty filter is a comma-separated list of exact bench names to
+// run (exact, not substring — "seq_sinr_n100000" must not drag in the
+// n=10⁶ row it prefixes).
+func measureEngineBench(includeHuge bool, filter string) (EngineBenchReport, error) {
+	wanted := map[string]bool{}
+	if filter != "" {
+		for _, name := range strings.Split(filter, ",") {
+			wanted[strings.TrimSpace(name)] = true
+		}
+	}
 	report := EngineBenchReport{
 		GeneratedBy:  "radionet-bench -engine-bench",
 		GoVersion:    runtime.Version(),
@@ -388,6 +569,12 @@ func measureEngineBench() (EngineBenchReport, error) {
 		BaselineNote: "seed engines (dense-scan delivery, goroutine-per-node concurrency) measured at PR 1 on the hardware of the first committed report",
 	}
 	for _, spec := range engineBenchSpecs {
+		if spec.huge && !includeHuge {
+			continue
+		}
+		if len(wanted) > 0 && !wanted[spec.name] {
+			continue
+		}
 		var r testing.BenchmarkResult
 		if spec.procs > 0 {
 			prev := runtime.GOMAXPROCS(spec.procs)
@@ -400,7 +587,7 @@ func measureEngineBench() (EngineBenchReport, error) {
 			return report, fmt.Errorf("engine bench %s did not run", spec.name)
 		}
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
-		report.Benchmarks = append(report.Benchmarks, EngineBenchResult{
+		row := EngineBenchResult{
 			Name:            spec.name,
 			Nodes:           spec.nodes,
 			StepsPerOp:      spec.stepsPerOp,
@@ -410,7 +597,19 @@ func measureEngineBench() (EngineBenchReport, error) {
 			BytesPerOp:      r.AllocedBytesPerOp(),
 			NodeStepsPerSec: float64(spec.nodes*spec.stepsPerOp) / (ns * 1e-9),
 			AllocExact:      spec.allocExact,
-		})
+		}
+		if spec.mem != nil {
+			bytes, err := spec.mem()
+			if err != nil {
+				return report, fmt.Errorf("engine bench %s footprint: %w", spec.name, err)
+			}
+			row.EngineBytes = bytes
+			row.BytesPerNode = float64(bytes) / float64(spec.nodes)
+		}
+		report.Benchmarks = append(report.Benchmarks, row)
+	}
+	if len(report.Benchmarks) == 0 {
+		return report, fmt.Errorf("no engine benches matched (filter %q, huge=%v)", filter, includeHuge)
 	}
 	return report, nil
 }
@@ -450,6 +649,12 @@ func writeEngineBench(report EngineBenchReport, out io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
 }
+
+// bytesPerNodeTolerance caps how much a row's resident bytes/node may grow
+// over the baseline before the gate fails. Memory footprint is far less
+// host-sensitive than ns/op (allocation sizes don't depend on CPU), so the
+// band is tighter than the timing tolerance.
+const bytesPerNodeTolerance = 0.25
 
 // allocSlack returns the allocs/op headroom for one benchmark in
 // compareEngineBench: an absolute floor of 2 (amortized one-time setup can
@@ -502,6 +707,18 @@ func compareEngineBench(fresh, baseline EngineBenchReport, tolerance float64, lo
 		} else if slack := allocSlack(b.AllocsPerOp); f.AllocsPerOp > b.AllocsPerOp+slack {
 			regressed = append(regressed, fmt.Sprintf("%s: %d allocs/op vs baseline %d (slack %d)",
 				f.Name, f.AllocsPerOp, b.AllocsPerOp, slack))
+		}
+		// The memory gate compares bytes/node only when both reports carry
+		// it: baselines written before the field existed (or runs that
+		// skipped a row's footprint measurement) stay valid, no flag day.
+		if f.BytesPerNode > 0 && b.BytesPerNode > 0 {
+			growth := f.BytesPerNode/b.BytesPerNode - 1
+			fmt.Fprintf(log, "bench-compare: %-24s %12.1f bytes/node vs baseline %12.1f (%+.1f%%)\n",
+				f.Name, f.BytesPerNode, b.BytesPerNode, growth*100)
+			if growth > bytesPerNodeTolerance {
+				regressed = append(regressed, fmt.Sprintf("%s: %.1f bytes/node vs baseline %.1f (+%.1f%%, tolerance %.0f%%)",
+					f.Name, f.BytesPerNode, b.BytesPerNode, growth*100, bytesPerNodeTolerance*100))
+			}
 		}
 	}
 	if len(regressed) > 0 {

@@ -52,11 +52,13 @@ func run(args []string, out io.Writer) error {
 	engineBench := fs.String("engine-bench", "", "run engine micro-benches and write the JSON report to this file")
 	benchBaseline := fs.String("bench-baseline", "", "with -engine-bench: compare against this previously written report and fail on regression")
 	benchTolerance := fs.Float64("bench-tolerance", 0.25, "with -bench-baseline: allowed fractional ns/op slowdown before failing")
+	benchHuge := fs.Bool("bench-huge", false, "with -engine-bench: include the 10⁵–10⁶-node streaming-path rows (minutes of wall clock)")
+	benchFilter := fs.String("bench-filter", "", "with -engine-bench: run only these benches (comma-separated exact names)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *engineBench != "" {
-		report, err := measureEngineBench()
+		report, err := measureEngineBench(*benchHuge, *benchFilter)
 		if err != nil {
 			return err
 		}

@@ -117,8 +117,15 @@ func TestEngineBenchReport(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if len(report.Benchmarks) != len(engineBenchSpecs) {
-		t.Fatalf("got %d benchmark rows, want %d", len(report.Benchmarks), len(engineBenchSpecs))
+	// The default run excludes the opt-in huge rows (-bench-huge).
+	wantRows := 0
+	for _, s := range engineBenchSpecs {
+		if !s.huge {
+			wantRows++
+		}
+	}
+	if len(report.Benchmarks) != wantRows {
+		t.Fatalf("got %d benchmark rows, want %d", len(report.Benchmarks), wantRows)
 	}
 	byName := map[string]EngineBenchResult{}
 	for _, r := range report.Benchmarks {

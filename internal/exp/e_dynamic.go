@@ -162,7 +162,24 @@ type FloodConfig struct {
 // runner, so the CLIs and the experiment suite cannot disagree about what a
 // flood means — under any topology schedule or reception model.
 func RunFlood(g *graph.Graph, topo radio.Topology, sources map[int]int64, cfg FloodConfig) (FloodOutcome, error) {
-	n := g.N()
+	return runFlood(g.N(), topo, sources, cfg, func(factory radio.Factory, opts radio.Options) (radio.Result, error) {
+		return radio.Run(g, factory, opts)
+	})
+}
+
+// RunFloodCSR is RunFlood on the graph-free streaming path: the frozen
+// snapshot IS the run's (static) topology, installed through radio.RunCSR,
+// so no graph.Graph intermediate ever exists — E24 floods 10⁵-node
+// streaming-built CSRs through this entry. Dynamic schedules don't apply
+// here; use RunFlood for those.
+func RunFloodCSR(csr *graph.CSR, sources map[int]int64, cfg FloodConfig) (FloodOutcome, error) {
+	return runFlood(csr.N(), nil, sources, cfg, func(factory radio.Factory, opts radio.Options) (radio.Result, error) {
+		return radio.RunCSR(csr, factory, opts)
+	})
+}
+
+// runFlood is the engine-parametric core shared by RunFlood and RunFloodCSR.
+func runFlood(n int, topo radio.Topology, sources map[int]int64, cfg FloodConfig, engine func(radio.Factory, radio.Options) (radio.Result, error)) (FloodOutcome, error) {
 	budget := cfg.Budget
 	target := int64(math.MinInt64)
 	for _, r := range sources {
@@ -232,7 +249,7 @@ func RunFlood(g *graph.Graph, topo radio.Topology, sources map[int]int64, cfg Fl
 			cfg.OnSnapshot(&FloodCheckpoint{Engine: ecp, Partial: out})
 		}
 	}
-	if _, err := radio.Run(g, factory, opts); err != nil {
+	if _, err := engine(factory, opts); err != nil {
 		return FloodOutcome{}, err
 	}
 	out.InformedEnd = countInformed()

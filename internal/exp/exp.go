@@ -154,6 +154,7 @@ func Registry() []Experiment {
 		{ID: "E21", Title: "SINR broadcast on the unified engine", Claim: "phy layer: the graph/SINR gap survives engine unification; the far-field cutoff is faithful to exact interference", Run: RunE21},
 		{ID: "E22", Title: "Capture-effect Decay", Claim: "phy layer: β→1 and loud nodes decode through interference the graph model calls a collision", Run: RunE22},
 		{ID: "E23", Title: "CD vs no-CD Radio MIS", Claim: "§1.5.2: collision markers read as extra signals — CD steers Algorithm 7 to different (still valid) MISes on dense classes", Run: RunE23},
+		{ID: "E24", Title: "Streaming-path flood and MIS", Claim: "engineering: flood and Algorithm 7 behave identically on streaming-built (packed) CSR through the graph-free engine entry, at 10⁵ nodes at full scale", Run: RunE24},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

@@ -11,8 +11,8 @@ func quickCfg() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Registry()
-	if len(exps) != 23 {
-		t.Fatalf("registry has %d experiments, want 23", len(exps))
+	if len(exps) != 24 {
+		t.Fatalf("registry has %d experiments, want 24", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

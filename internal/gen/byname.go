@@ -71,12 +71,13 @@ func ByNameWithPoints(name string, n int, seed uint64) (*graph.Graph, []Point, e
 		if kind == "phy" {
 			if class == "sinr" {
 				// The SINR deployment convention: a connected unit-range UDG
-				// at average degree ~8, like the "udg" class but with the
-				// points retained for the reception model. The unit disk is
-				// the decode range of the default phy.SINRParams; runners
-				// with non-default params derive their own connectivity view
-				// from the points (SINRConnectivity).
-				g, pts, err := ConnectedUDG(n, 8, 60, xrand.New(seed^0x517cc1b727220a95))
+				// at average degree ~8 (connectivity-scaled for huge n, see
+				// UDGDegTarget), like the "udg" class but with the points
+				// retained for the reception model. The unit disk is the
+				// decode range of the default phy.SINRParams; runners with
+				// non-default params derive their own connectivity view from
+				// the points (SINRConnectivity).
+				g, pts, err := ConnectedUDG(n, UDGDegTarget(n), 60, xrand.New(seed^0x517cc1b727220a95))
 				return g, pts, err
 			}
 			return ByNameWithPoints(strings.TrimPrefix(class, "cd:"), n, seed)
@@ -85,7 +86,7 @@ func ByNameWithPoints(name string, n int, seed uint64) (*graph.Graph, []Point, e
 		return g, nil, err
 	}
 	if name == "udg" {
-		g, pts, err := ConnectedUDG(n, 8, 60, xrand.New(seed^0x517cc1b727220a95))
+		g, pts, err := ConnectedUDG(n, UDGDegTarget(n), 60, xrand.New(seed^0x517cc1b727220a95))
 		return g, pts, err
 	}
 	g, err := byStaticName(name, n, seed)

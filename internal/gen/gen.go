@@ -142,9 +142,16 @@ func UniformPoints(n, dim int, side float64, rng *xrand.RNG) []Point {
 // UDG builds the unit disk graph on pts with connection radius radius:
 // an edge {u,v} iff Euclidean distance ≤ radius. Finite 2-D deployments
 // take a grid-bucketed O(n + m) path that is list-for-list identical to
-// the naive scan; everything else (other dimensions, non-finite inputs,
-// degenerate radii) falls back to the quadratic reference.
+// the naive scan — above StreamThreshold the streaming direct-to-CSR
+// variant, which skips the Builder's edge staging entirely; everything
+// else (other dimensions, non-finite inputs, degenerate radii) falls back
+// to the quadratic reference.
 func UDG(pts []Point, radius float64) *graph.Graph {
+	if len(pts) >= StreamThreshold {
+		if c, ok := udgStreamCSR(pts, radius); ok {
+			return graph.FromCSR(c)
+		}
+	}
 	if g, ok := udgGrid2D(pts, radius); ok {
 		return g
 	}

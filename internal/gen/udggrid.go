@@ -8,26 +8,31 @@ import (
 	"repro/internal/phy"
 )
 
-// udgGrid2D is the grid-bucketed fast path behind UDG for 2-D deployments:
-// positions are split into structure-of-arrays coordinate slices
-// (phy.SplitXY), bucketed into a uniform grid of cell side > radius, and
-// each vertex tests only the 3×3 cell ring around its own cell. Expected
-// O(n + m) on bounded-density deployments versus the naive O(n²) scan —
-// the difference between milliseconds and minutes at n = 65536.
+// geoGrid2D is the uniform-grid spatial index shared by the UDG fast paths:
+// positions split into structure-of-arrays coordinate slices (phy.SplitXY)
+// and bucketed into cells of side > radius, so each vertex tests only the
+// 3×3 cell ring around its own cell. Both consumers — the Builder-backed
+// udgGrid2D and the streaming direct-to-CSR udgStreamCSR — walk the same
+// bucket tables, which is what makes their outputs list-for-list identical:
+// same candidate enumeration order, same per-pair predicate.
+type geoGrid2D struct {
+	xs, ys     []float64
+	cols, rows int
+	cellOf     []int32 // vertex → cell id
+	cellStart  []int32 // CSR offsets into cellNodes, len cols*rows+1
+	cellNodes  []int32 // vertices grouped by cell, ascending within each cell
+}
+
+// newGeoGrid2D buckets a 2-D deployment for neighbor queries at the given
+// radius. ok is false — callers fall back to the quadratic scan — for
+// non-2-D points, non-finite coordinates, radius ≤ 0, or radius wide enough
+// to cover the whole bounding box (where the grid cannot prune anything).
 //
-// The result is list-for-list identical to thresholdGraph(pts, radius,
-// Point.Dist): the per-pair predicate reuses Dist's exact float arithmetic
-// (fl(fl(dx²)+fl(dy²)) then a correctly-rounded sqrt, compared ≤ radius),
-// and edges are emitted in the same lexicographic (i, j) order, so the
-// Builder assembles identical ascending adjacency lists. The cell side
-// carries a 1e-9 relative slack above radius, so any pair split by a full
-// cell is farther than radius by margins no rounding in Dist can cross —
-// skipping non-adjacent cells never drops a boundary edge.
-//
-// ok is false — caller falls back to the quadratic scan — for non-2-D
-// points, non-finite coordinates, radius ≤ 0, or radius wide enough to
-// cover the whole bounding box (where the grid cannot prune anything).
-func udgGrid2D(pts []Point, radius float64) (*graph.Graph, bool) {
+// The cell side carries a 1e-9 relative slack above radius, so any pair
+// split by a full cell is farther than radius by margins no rounding in
+// Point.Dist can cross — skipping non-adjacent cells never drops a boundary
+// edge.
+func newGeoGrid2D(pts []Point, radius float64) (*geoGrid2D, bool) {
 	n := len(pts)
 	if n == 0 || !(radius > 0) || math.IsInf(radius, 1) {
 		return nil, false
@@ -61,7 +66,7 @@ func udgGrid2D(pts []Point, radius float64) (*graph.Graph, bool) {
 	}
 
 	// Counting-sort vertices into cells; ascending vertex order keeps every
-	// cell's list ascending, which the merge below relies on.
+	// cell's list ascending, which the consumers' merges rely on.
 	cellOf := make([]int32, n)
 	cellStart := make([]int32, cols*rows+1)
 	for i := 0; i < n; i++ {
@@ -88,29 +93,62 @@ func udgGrid2D(pts []Point, radius float64) (*graph.Graph, bool) {
 		cellNodes[cursor[c]] = int32(i)
 		cursor[c]++
 	}
+	return &geoGrid2D{
+		xs: xs, ys: ys, cols: cols, rows: rows,
+		cellOf: cellOf, cellStart: cellStart, cellNodes: cellNodes,
+	}, true
+}
 
+// ring calls yield with each cell of the 3×3 ring around vertex i's cell,
+// in row-major (gy, gx) order — the canonical candidate enumeration order
+// both UDG paths share.
+func (gg *geoGrid2D) ring(i int, yield func(nodes []int32)) {
+	ci := int(gg.cellOf[i])
+	cx, cy := ci%gg.cols, ci/gg.cols
+	for gy := max(cy-1, 0); gy <= min(cy+1, gg.rows-1); gy++ {
+		for gx := max(cx-1, 0); gx <= min(cx+1, gg.cols-1); gx++ {
+			c := gy*gg.cols + gx
+			yield(gg.cellNodes[gg.cellStart[c]:gg.cellStart[c+1]])
+		}
+	}
+}
+
+// udgGrid2D is the grid-bucketed fast path behind UDG for 2-D deployments:
+// expected O(n + m) on bounded-density deployments versus the naive O(n²)
+// scan — the difference between milliseconds and minutes at n = 65536.
+//
+// The result is list-for-list identical to thresholdGraph(pts, radius,
+// Point.Dist): the per-pair predicate reuses Dist's exact float arithmetic
+// (fl(fl(dx²)+fl(dy²)) then a correctly-rounded sqrt, compared ≤ radius),
+// and edges are emitted in the same lexicographic (i, j) order, so the
+// Builder assembles identical ascending adjacency lists.
+//
+// ok is false — caller falls back to the quadratic scan — exactly when
+// newGeoGrid2D declines the deployment.
+func udgGrid2D(pts []Point, radius float64) (*graph.Graph, bool) {
+	gg, ok := newGeoGrid2D(pts, radius)
+	if !ok {
+		return nil, false
+	}
+	n := len(pts)
+	xs, ys := gg.xs, gg.ys
 	b := graph.NewBuilder(n)
 	nbrs := make([]int32, 0, 64)
 	for i := 0; i < n; i++ {
 		xi, yi := xs[i], ys[i]
-		ci := int(cellOf[i])
-		cx, cy := ci%cols, ci/cols
 		nbrs = nbrs[:0]
-		for gy := max(cy-1, 0); gy <= min(cy+1, rows-1); gy++ {
-			for gx := max(cx-1, 0); gx <= min(cx+1, cols-1); gx++ {
-				c := gy*cols + gx
-				for _, j := range cellNodes[cellStart[c]:cellStart[c+1]] {
-					if j <= int32(i) {
-						continue
-					}
-					dx := xi - xs[j]
-					dy := yi - ys[j]
-					if math.Sqrt(dx*dx+dy*dy) <= radius {
-						nbrs = append(nbrs, j)
-					}
+		gg.ring(i, func(nodes []int32) {
+			for _, j := range nodes {
+				if j <= int32(i) {
+					continue
+				}
+				dx := xi - xs[j]
+				dy := yi - ys[j]
+				if math.Sqrt(dx*dx+dy*dy) <= radius {
+					nbrs = append(nbrs, j)
 				}
 			}
-		}
+		})
 		// Ring cells yield ascending runs, not a globally ascending list;
 		// sort so Add order matches the lexicographic quadratic scan.
 		slices.Sort(nbrs)

@@ -1,0 +1,165 @@
+package graph
+
+// Compact adjacency: an alternative CSR storage form for the million-node
+// engine path (DESIGN.md §11). The flat form spends 4 bytes per directed
+// edge; on geometric graphs neighbor ids are spatially clustered, so a
+// per-vertex block of varint-coded deltas stores most edges in one byte.
+// A packed CSR answers the same N/M/Degree/Neighbors contract the engines
+// and traversals consume — only the iteration fast path changes, from an
+// edge-array subslice to a reused decode cursor (NeighborCursor), which is
+// what keeps the step loop zero-alloc (the alloc regression tests pin it).
+//
+// Block format, per vertex, preserving exact list order (the transcript
+// contract depends on neighbor order, so packing must be lossless including
+// order): the first neighbor id as a plain uvarint, every subsequent entry
+// as the zigzag varint of its delta from the previous entry. Builder-made
+// lists are ascending (deltas positive, usually small), but the format
+// round-trips arbitrary order — deltas may be negative — so Pack works on
+// any snapshot, not just generator output.
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// CompactThreshold is the vertex count at and above which the streaming
+// generator entry points (gen.BuildCSR) hand back packed adjacency
+// automatically. Below it the flat form's iteration speed wins; above it
+// the ~3× edge-storage saving is what lets n = 10⁶ fit comfortably.
+const CompactThreshold = 1 << 16
+
+// packed reports whether this snapshot stores packed adjacency.
+func (c *CSR) packed() bool { return c.blob != nil }
+
+// IsPacked reports whether the snapshot stores delta-varint adjacency
+// blocks instead of the flat edge array.
+func (c *CSR) IsPacked() bool { return c.packed() }
+
+// Pack returns a snapshot equivalent to c (same vertex count, same neighbor
+// lists in the same order) with the adjacency delta-varint encoded. The
+// offsets table is shared with c — it is immutable and still provides
+// Degree — while the flat edge array is replaced by the byte blob. Returns
+// c unchanged when it is already packed, or in the degenerate case where
+// the blob would overflow the 32-bit block-start table (unreachable below
+// ~2³¹ edges).
+func (c *CSR) Pack() *CSR {
+	if c.packed() {
+		return c
+	}
+	n := c.N()
+	starts := make([]uint32, n+1)
+	// Ascending geometric lists make ~1 byte per edge the common case; seed
+	// the buffer there and let append grow it for adversarial lists.
+	buf := make([]byte, 0, len(c.edges)+len(c.edges)/4+16)
+	var tmp [binary.MaxVarintLen64]byte
+	for v := 0; v < n; v++ {
+		starts[v] = uint32(len(buf))
+		list := c.edges[c.offsets[v]:c.offsets[v+1]]
+		prev := int64(0)
+		for i, w := range list {
+			var k int
+			if i == 0 {
+				k = binary.PutUvarint(tmp[:], uint64(uint32(w)))
+			} else {
+				k = binary.PutVarint(tmp[:], int64(w)-prev)
+			}
+			buf = append(buf, tmp[:k]...)
+			prev = int64(w)
+		}
+		if len(buf) > math.MaxUint32 {
+			return c
+		}
+	}
+	starts[n] = uint32(len(buf))
+	return &CSR{offsets: c.offsets, blob: buf, starts: starts}
+}
+
+// Unpack returns the flat-form equivalent of c (c itself when already flat).
+func (c *CSR) Unpack() *CSR {
+	if !c.packed() {
+		return c
+	}
+	n := c.N()
+	edges := make([]int32, c.offsets[n])
+	for v := 0; v < n; v++ {
+		decodeBlock(c.blob[c.starts[v]:c.starts[v+1]], edges[c.offsets[v]:c.offsets[v+1]])
+	}
+	return &CSR{offsets: c.offsets, edges: edges}
+}
+
+// decodeBlock decodes one vertex's delta-varint block into out, whose
+// length must be the vertex's degree.
+func decodeBlock(b []byte, out []int32) {
+	if len(out) == 0 {
+		return
+	}
+	u, k := binary.Uvarint(b)
+	b = b[k:]
+	prev := int32(uint32(u))
+	out[0] = prev
+	for i := 1; i < len(out); i++ {
+		d, k := binary.Varint(b)
+		b = b[k:]
+		prev += int32(d)
+		out[i] = prev
+	}
+}
+
+// NeighborCursor iterates one snapshot's adjacency lists without per-call
+// allocation: flat snapshots hand back edge-array subslices as Neighbors
+// does, packed snapshots decode into a scratch buffer sized to the maximum
+// degree when the cursor was made. It is the hot-path iteration handle for
+// code that must stay zero-alloc per step against either form (phy models,
+// BFS). A cursor is single-goroutine state — each concurrent reader makes
+// its own — and the slice List returns is valid only until the next List
+// call on the same cursor.
+type NeighborCursor struct {
+	c   *CSR
+	buf []int32 // packed-form decode scratch; nil for flat snapshots
+}
+
+// Cursor returns an iteration cursor over c. For packed snapshots this
+// allocates the decode scratch (one O(Δ) buffer), so make the cursor at
+// sync/construction time, never inside a step loop.
+func (c *CSR) Cursor() NeighborCursor {
+	if !c.packed() {
+		return NeighborCursor{c: c}
+	}
+	return NeighborCursor{c: c, buf: make([]int32, c.MaxDegree())}
+}
+
+// List returns v's neighbor list. Flat form: a shared subslice, exactly
+// Neighbors. Packed form: the cursor's scratch buffer, overwritten by the
+// next List call. Callers must not modify the result in either form.
+func (cur *NeighborCursor) List(v int) []int32 {
+	c := cur.c
+	if c.blob == nil {
+		return c.edges[c.offsets[v]:c.offsets[v+1]]
+	}
+	out := cur.buf[:c.offsets[v+1]-c.offsets[v]]
+	decodeBlock(c.blob[c.starts[v]:c.starts[v+1]], out)
+	return out
+}
+
+// MaxDegree returns Δ of the snapshot, 0 for the empty graph.
+func (c *CSR) MaxDegree() int {
+	maxDeg := int32(0)
+	for v := 1; v < len(c.offsets); v++ {
+		if d := c.offsets[v] - c.offsets[v-1]; d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return int(maxDeg)
+}
+
+// MemBytes returns the resident size of the snapshot's arrays in bytes —
+// the quantity the bench harness tracks as bytes/node. It counts the
+// storage the snapshot owns (offsets, edges or blob+starts), not Go object
+// headers.
+func (c *CSR) MemBytes() int64 {
+	b := int64(len(c.offsets)) * 4
+	b += int64(len(c.edges)) * 4
+	b += int64(len(c.blob))
+	b += int64(len(c.starts)) * 4
+	return b
+}

@@ -16,23 +16,44 @@ package graph
 // flat edge array. It is safe for concurrent readers. A CSR obtained from
 // Graph.Freeze is valid until the graph is next mutated; mutating the graph
 // and continuing to use an old CSR snapshot is a caller bug.
+//
+// A snapshot stores its adjacency in one of two forms: the flat edge array
+// (every CSR the Builder or Freeze produces) or the delta-varint packed
+// blob (Pack, compact.go) behind the same accessor contract. Degree and the
+// offsets table are identical in both; only how a neighbor list is fetched
+// differs, and zero-alloc consumers go through NeighborCursor so the form
+// never leaks into the step loop.
 type CSR struct {
 	offsets []int32 // len n+1; neighbor list of v is edges[offsets[v]:offsets[v+1]]
-	edges   []int32 // len 2m
+	edges   []int32 // len 2m; nil when packed
+
+	// Packed form (compact.go): blob holds per-vertex delta-varint neighbor
+	// blocks, starts their byte offsets (len n+1). Both nil when flat.
+	blob   []byte
+	starts []uint32
 }
 
 // N returns the number of vertices.
 func (c *CSR) N() int { return len(c.offsets) - 1 }
 
 // M returns the number of edges.
-func (c *CSR) M() int { return len(c.edges) / 2 }
+func (c *CSR) M() int { return int(c.offsets[len(c.offsets)-1]) / 2 }
 
 // Degree returns the degree of v.
 func (c *CSR) Degree(v int) int { return int(c.offsets[v+1] - c.offsets[v]) }
 
-// Neighbors returns v's neighbor list as a subslice of the shared flat edge
-// array. It must not be modified.
-func (c *CSR) Neighbors(v int) []int32 { return c.edges[c.offsets[v]:c.offsets[v+1]] }
+// Neighbors returns v's neighbor list. For flat snapshots it is a subslice
+// of the shared edge array and must not be modified; packed snapshots
+// decode into a fresh slice per call, so hot paths iterate through a reused
+// NeighborCursor instead.
+func (c *CSR) Neighbors(v int) []int32 {
+	if c.blob == nil {
+		return c.edges[c.offsets[v]:c.offsets[v+1]]
+	}
+	out := make([]int32, c.offsets[v+1]-c.offsets[v])
+	decodeBlock(c.blob[c.starts[v]:c.starts[v+1]], out)
+	return out
+}
 
 // Freeze returns the CSR view of g, building and caching it on first use.
 // The cache is invalidated by any mutation (AddEdge, SortAdjacency), so

@@ -99,16 +99,18 @@ func (g *Graph) removeArc(v, w int32) {
 func (c *CSR) Graph() *Graph {
 	n := c.N()
 	g := New(n)
+	cur := c.Cursor()
 	for v := 0; v < n; v++ {
-		g.adj[v] = append([]int32(nil), c.Neighbors(v)...)
+		g.adj[v] = append([]int32(nil), cur.List(v)...)
 	}
 	return g
 }
 
 // Equal reports whether two CSR snapshots are identical: same vertex count
-// and the same neighbor lists in the same order.
+// and the same neighbor lists in the same order. Storage form is not part
+// of the identity — a packed snapshot equals its flat original.
 func (c *CSR) Equal(o *CSR) bool {
-	if c.N() != o.N() || len(c.edges) != len(o.edges) {
+	if c.N() != o.N() {
 		return false
 	}
 	for i, off := range c.offsets {
@@ -116,9 +118,21 @@ func (c *CSR) Equal(o *CSR) bool {
 			return false
 		}
 	}
-	for i, e := range c.edges {
-		if e != o.edges[i] {
-			return false
+	if !c.packed() && !o.packed() {
+		for i, e := range c.edges {
+			if e != o.edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cc, oc := c.Cursor(), o.Cursor()
+	for v := 0; v < c.N(); v++ {
+		cl, ol := cc.List(v), oc.List(v)
+		for i := range cl {
+			if cl[i] != ol[i] {
+				return false
+			}
 		}
 	}
 	return true

@@ -164,30 +164,7 @@ func (g *Graph) BFS(src int) []int {
 // It traverses the frozen CSR view (building it on first use) so the edge
 // scan is one contiguous array walk.
 func (g *Graph) MultiBFS(sources []int) []int {
-	c := g.Freeze()
-	dist := make([]int, g.n)
-	for i := range dist {
-		dist[i] = Unreachable
-	}
-	queue := make([]int32, 0, len(sources))
-	for _, s := range sources {
-		if s < 0 || s >= g.n || dist[s] == 0 {
-			continue
-		}
-		dist[s] = 0
-		queue = append(queue, int32(s))
-	}
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		du := dist[u]
-		for _, w := range c.edges[c.offsets[u]:c.offsets[u+1]] {
-			if dist[w] == Unreachable {
-				dist[w] = du + 1
-				queue = append(queue, w)
-			}
-		}
-	}
-	return dist
+	return g.Freeze().MultiBFS(sources)
 }
 
 // Eccentricity returns max distance from v to any reachable vertex, and

@@ -369,7 +369,7 @@ func RunAsync(g *graph.Graph, params Params, seed uint64, wakeAt []int) (*Outcom
 // much larger n, and the time to the first *clear* transmission (exactly
 // one transmitter) lower-bounds any correct MIS algorithm.
 func RunDetailed(g *graph.Graph, params Params, seed uint64, nEst int, onStep func(radio.StepStats)) (*Outcome, error) {
-	return runEngine(g, params, seed, nEst, nil, func(factory radio.Factory, opts radio.Options) (radio.Result, error) {
+	return runEngine(g.N(), params, seed, nEst, nil, func(factory radio.Factory, opts radio.Options) (radio.Result, error) {
 		userOnStep := opts.OnStep
 		opts.OnStep = func(st radio.StepStats) {
 			if onStep != nil {
@@ -393,7 +393,15 @@ type EngineFunc func(factory radio.Factory, opts radio.Options) (radio.Result, e
 // the size estimate and is NOT consulted for delivery — the engine is.
 // Used by experiment E13 to run Algorithm 7 under SINR physics.
 func RunOnEngine(g *graph.Graph, params Params, seed uint64, engine EngineFunc) (*Outcome, error) {
-	return runEngine(g, params, seed, g.N(), nil, engine)
+	return runEngine(g.N(), params, seed, g.N(), nil, engine)
+}
+
+// RunOnEngineN is RunOnEngine for graph-free engines (radio.RunCSR and the
+// streaming million-node path): the caller supplies the node count directly
+// so no graph.Graph intermediate ever needs to exist. Validity of the
+// outcome is the caller's to check against whatever adjacency it holds.
+func RunOnEngineN(n int, params Params, seed uint64, engine EngineFunc) (*Outcome, error) {
+	return runEngine(n, params, seed, n, nil, engine)
 }
 
 // runWithEstimate runs Radio MIS with an explicit network-size estimate
@@ -405,15 +413,14 @@ func runWithEstimate(g *graph.Graph, params Params, seed uint64, nEst int) (*Out
 // run is the shared implementation behind Run, RunAsync and runWithEstimate,
 // using the standard graph-model engine.
 func run(g *graph.Graph, params Params, seed uint64, nEst int, wakeAt []int) (*Outcome, error) {
-	return runEngine(g, params, seed, nEst, wakeAt, func(factory radio.Factory, opts radio.Options) (radio.Result, error) {
+	return runEngine(g.N(), params, seed, nEst, wakeAt, func(factory radio.Factory, opts radio.Options) (radio.Result, error) {
 		return radio.Run(g, factory, opts)
 	})
 }
 
 // runEngine is the engine-parametric core of Radio MIS.
-func runEngine(g *graph.Graph, params Params, seed uint64, nEst int, wakeAt []int, engine EngineFunc) (*Outcome, error) {
+func runEngine(n int, params Params, seed uint64, nEst int, wakeAt []int, engine EngineFunc) (*Outcome, error) {
 	params = params.withDefaults()
-	n := g.N()
 	if n == 0 {
 		return nil, fmt.Errorf("mis: empty graph")
 	}

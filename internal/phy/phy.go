@@ -109,10 +109,11 @@ type Model interface {
 // sparse scan the engines ran before the model was pluggable.
 type Collision struct {
 	csr     *graph.CSR
-	marker  bool    // CollisionCD delivers the marker instead of silence
-	counts  []int8  // transmitting-neighbor count, saturated at 2
-	from    []int32 // some transmitting neighbor (valid when counts==1)
-	touched []int32 // nodes with ≥1 transmitting neighbor this step
+	cur     graph.NeighborCursor // reused per-step iteration handle (compact form stays zero-alloc)
+	marker  bool                 // CollisionCD delivers the marker instead of silence
+	counts  []int8               // transmitting-neighbor count, saturated at 2
+	from    []int32              // some transmitting neighbor (valid when counts==1)
+	touched []int32              // nodes with ≥1 transmitting neighbor this step
 }
 
 // NewCollision returns the no-collision-detection graph model, the engine
@@ -138,6 +139,7 @@ func (c *Collision) Name() string {
 // contract), so the scratch survives every epoch unchanged.
 func (c *Collision) Sync(step int, csr *graph.CSR) error {
 	c.csr = csr
+	c.cur = csr.Cursor() // packed snapshots allocate their decode scratch here, not per step
 	if n := csr.N(); len(c.counts) < n {
 		c.counts = make([]int8, n)
 		c.from = make([]int32, n)
@@ -156,7 +158,7 @@ func (c *Collision) Sync(step int, csr *graph.CSR) error {
 // medium.
 func (c *Collision) Resolve(f *Frontier, out *Outcome) {
 	for _, v := range f.List() {
-		for _, w := range c.csr.Neighbors(int(v)) {
+		for _, w := range c.cur.List(int(v)) {
 			switch c.counts[w] {
 			case 0:
 				c.counts[w] = 1

@@ -184,6 +184,20 @@ type SINR struct {
 	cellNodes  []uint32
 	nodeCell   []int32
 
+	// Ring geometry, fixed per epoch: rc is the ring radius in cells
+	// (⌈cutoff/cellSize⌉, ≤ 3 by construction), thr the squared-distance
+	// prune threshold cutoff²·(1+1e-9). hier enables the two-level ring
+	// prune (coarse hierBlock-cell blocks rejected before their fine cells
+	// are tested); hierOff is the test hook that forces it off so the
+	// differential and fuzz tests can compare the two prunes bit for bit.
+	// ringBuf is the per-call surviving-cell list (capacity for the largest
+	// possible ring, so the step loop never grows it).
+	rc      int32
+	thr     float64
+	hier    bool
+	hierOff bool
+	ringBuf []int32
+
 	// Per-step candidate table for the bucketed kernel (all-zero between
 	// steps): candU[candStart[c]-candCnt[c]:candStart[c]] lists, ascending,
 	// the transmitters whose cutoff ring covers receiver cell c; rcCells
@@ -367,6 +381,15 @@ func (s *SINR) buildGrid() {
 	}
 	s.dense = false
 	s.cellSize, s.cols, s.rows, s.minX, s.minY = cs, cols, rows, minX, minY
+	s.rc = int32(math.Ceil(s.cutoff / cs))
+	s.thr = s.cutoff * s.cutoff * (1 + 1e-9)
+	// The coarse-block prune only pays for itself when a ring spans more
+	// than one block per axis; at rc = 1 (heavily coarsened grids) the ring
+	// is already 3×3 and the hierarchy would be pure overhead.
+	s.hier = s.rc >= 2 && !s.hierOff
+	if s.ringBuf == nil {
+		s.ringBuf = make([]int32, 0, (2*maxRingRC+1)*(2*maxRingRC+1))
+	}
 	cells := cols * rows
 	n := len(s.pts)
 	s.cellStart = grow(s.cellStart, cells+1)
@@ -445,66 +468,28 @@ func (s *SINR) Resolve(f *Frontier, out *Outcome) {
 // appending decodes and collisions directly; no per-listener scratch is
 // written at all.
 //
-// Both ring passes prune cells whose nearest point lies beyond the cutoff
-// from the transmitter (the ring is square, the cutoff disk is not — at
-// cell side cutoff/3 the corners are ~16% of the ring area). The test uses
-// squared distances with a 1e-9 relative slack above cutoff², so a pruned
-// cell's every pair is beyond the cutoff by margins no rounding in the
-// kernel's distance chain (a few ulps) can cross — and the kernels mask
-// (or skip) exactly those pairs anyway, so pruning never changes a bit.
-// The two passes evaluate the identical float expressions, keeping counts
-// and fills consistent.
+// Both ring passes route through ringCells, which prunes cells whose
+// nearest point lies beyond the cutoff from the transmitter (the ring is
+// square, the cutoff disk is not — at cell side cutoff/3 the corners are
+// ~16% of the ring area), hierarchically when the ring is big enough for
+// coarse blocks to pay (see ringCells). The test uses squared distances
+// with a 1e-9 relative slack above cutoff², so a pruned cell's every pair
+// is beyond the cutoff by margins no rounding in the kernel's distance
+// chain (a few ulps) can cross — and the kernels mask (or skip) exactly
+// those pairs anyway, so pruning never changes a bit. The two passes
+// evaluate the identical float expressions, keeping counts and fills
+// consistent.
 func (s *SINR) resolveBucketed(f *Frontier, out *Outcome) {
 	txs := f.List()
-	cols, rows := int32(s.cols), int32(s.rows)
-	rc := int32(math.Ceil(s.cutoff / s.cellSize))
-	cs, thr := s.cellSize, s.cutoff*s.cutoff*(1+1e-9)
-	// Per-axis squared point-to-cell-slab distances for one transmitter's
-	// ring. rc ≤ 3 by construction (the cell side starts at cutoff/3 and
-	// only ever coarsens), so the span is at most 7.
-	var dx2, dy2 [8]float64
 	// Pass 1: count ring entries per receiver cell, tracking dirtied cells.
 	total := 0
 	for _, u := range txs {
-		c := s.nodeCell[u]
-		cx, cy := c%cols, c/cols
-		gx0, gx1 := max(cx-rc, 0), min(cx+rc, cols-1)
-		gy0, gy1 := max(cy-rc, 0), min(cy+rc, rows-1)
-		xu, yu := s.xs[u], s.ys[u]
-		for gx := gx0; gx <= gx1; gx++ {
-			lo := s.minX + float64(gx)*cs
-			d := 0.0
-			if xu < lo {
-				d = lo - xu
-			} else if hi := lo + cs; xu > hi {
-				d = xu - hi
+		for _, cell := range s.ringCells(u) {
+			if s.candCnt[cell] == 0 {
+				s.rcCells = append(s.rcCells, cell)
 			}
-			dx2[gx-gx0] = d * d
-		}
-		for gy := gy0; gy <= gy1; gy++ {
-			lo := s.minY + float64(gy)*cs
-			d := 0.0
-			if yu < lo {
-				d = lo - yu
-			} else if hi := lo + cs; yu > hi {
-				d = yu - hi
-			}
-			dy2[gy-gy0] = d * d
-		}
-		for gy := gy0; gy <= gy1; gy++ {
-			base := gy * cols
-			dy := dy2[gy-gy0]
-			for gx := gx0; gx <= gx1; gx++ {
-				if dx2[gx-gx0]+dy > thr {
-					continue
-				}
-				cell := base + gx
-				if s.candCnt[cell] == 0 {
-					s.rcCells = append(s.rcCells, cell)
-				}
-				s.candCnt[cell]++
-				total++
-			}
+			s.candCnt[cell]++
+			total++
 		}
 	}
 	if total > s.arenaHighWater {
@@ -531,42 +516,10 @@ func (s *SINR) resolveBucketed(f *Frontier, out *Outcome) {
 	// Pass 3: fill, ascending transmitter order per cell, repeating pass 1's
 	// pruning test bit for bit so counts and fills agree.
 	for _, u := range txs {
-		c := s.nodeCell[u]
-		cx, cy := c%cols, c/cols
-		gx0, gx1 := max(cx-rc, 0), min(cx+rc, cols-1)
-		gy0, gy1 := max(cy-rc, 0), min(cy+rc, rows-1)
-		xu, yu := s.xs[u], s.ys[u]
-		for gx := gx0; gx <= gx1; gx++ {
-			lo := s.minX + float64(gx)*cs
-			d := 0.0
-			if xu < lo {
-				d = lo - xu
-			} else if hi := lo + cs; xu > hi {
-				d = xu - hi
-			}
-			dx2[gx-gx0] = d * d
-		}
-		for gy := gy0; gy <= gy1; gy++ {
-			lo := s.minY + float64(gy)*cs
-			d := 0.0
-			if yu < lo {
-				d = lo - yu
-			} else if hi := lo + cs; yu > hi {
-				d = yu - hi
-			}
-			dy2[gy-gy0] = d * d
-		}
-		for gy := gy0; gy <= gy1; gy++ {
-			base := gy * cols
-			dy := dy2[gy-gy0]
-			for gx := gx0; gx <= gx1; gx++ {
-				if dx2[gx-gx0]+dy > thr {
-					continue
-				}
-				cell := base + gx
-				s.candU[s.candStart[cell]] = uint32(u)
-				s.candStart[cell]++
-			}
+		uu := uint32(u)
+		for _, cell := range s.ringCells(u) {
+			s.candU[s.candStart[cell]] = uu
+			s.candStart[cell]++
 		}
 	}
 	// Fused accumulate+threshold pass, one receiver bucket at a time.
@@ -689,6 +642,133 @@ func (s *SINR) resolveBucketed(f *Frontier, out *Outcome) {
 	}
 	s.rcCells = s.rcCells[:0]
 	out.Decoded, out.Collided = dec, col
+}
+
+// maxRingRC is the largest possible ring radius in cells: the cell side
+// starts at cutoff/3 and only ever coarsens, so ⌈cutoff/cellSize⌉ ≤ 3.
+const maxRingRC = 3
+
+// hierBlock is the coarse-block side of the two-level ring prune, in fine
+// cells: a full 7×7 ring (rc = 3) is covered by 2×2 blocks, so one rejected
+// block skips up to 16 fine-cell tests for one coarse test.
+const hierBlock = 4
+
+// ringCells returns the fine grid cells of transmitter u's cutoff ring that
+// survive the squared point-to-cell-slab distance prune, in row-major
+// order, in s.ringBuf's storage (overwritten by the next call). Both
+// candidate passes of resolveBucketed route through it, so the counting and
+// fill passes evaluate identical float expressions — the invariant that
+// keeps the candidate table's counts and segments consistent.
+//
+// When s.hier is set, coarse blocks of hierBlock columns/rows (anchored at
+// the ring origin) are rejected before their fine cells are tested. A
+// block's slab distance is computed from the same column/row expressions
+// the fine test uses, evaluated at the block's edge columns: the column
+// lower edge lo(gx) = fl(minX + fl(gx)·cs) is nondecreasing in gx (fl of a
+// monotone chain of +, · on the same operands), so when xu lies left of the
+// block every member column's distance fl(lo(gx)−xu) is ≥ the block's
+// fl(lo(first)−xu), symmetrically on the right with the upper edges, and 0
+// otherwise never overestimates. Squares and the two-axis sum preserve ≤
+// under fl, so a rejected block (sum > thr) contains only cells the fine
+// test would reject — the returned cell sequence is bit-identical with the
+// hierarchy on or off, which the differential and fuzz tests in
+// sinrhier_test.go pin.
+func (s *SINR) ringCells(u int32) []int32 {
+	cols, rows := int32(s.cols), int32(s.rows)
+	rc := s.rc
+	cs, thr := s.cellSize, s.thr
+	c := s.nodeCell[u]
+	cx, cy := c%cols, c/cols
+	gx0, gx1 := max(cx-rc, 0), min(cx+rc, cols-1)
+	gy0, gy1 := max(cy-rc, 0), min(cy+rc, rows-1)
+	xu, yu := s.xs[u], s.ys[u]
+	// Per-axis squared point-to-cell-slab distances; the span is at most
+	// 2·maxRingRC+1 = 7.
+	var dx2, dy2 [2*maxRingRC + 2]float64
+	for gx := gx0; gx <= gx1; gx++ {
+		lo := s.minX + float64(gx)*cs
+		d := 0.0
+		if xu < lo {
+			d = lo - xu
+		} else if hi := lo + cs; xu > hi {
+			d = xu - hi
+		}
+		dx2[gx-gx0] = d * d
+	}
+	for gy := gy0; gy <= gy1; gy++ {
+		lo := s.minY + float64(gy)*cs
+		d := 0.0
+		if yu < lo {
+			d = lo - yu
+		} else if hi := lo + cs; yu > hi {
+			d = yu - hi
+		}
+		dy2[gy-gy0] = d * d
+	}
+	out := s.ringBuf[:0]
+	if !s.hier {
+		for gy := gy0; gy <= gy1; gy++ {
+			base := gy * cols
+			dy := dy2[gy-gy0]
+			for gx := gx0; gx <= gx1; gx++ {
+				if dx2[gx-gx0]+dy > thr {
+					continue
+				}
+				out = append(out, base+gx)
+			}
+		}
+		return out
+	}
+	// Coarse pass: per-axis slab distances for blocks of hierBlock fine
+	// cells. A ≤7-cell span is at most 2 blocks per axis.
+	var bdx2, bdy2 [2]float64
+	nbx := (gx1-gx0)/hierBlock + 1
+	nby := (gy1-gy0)/hierBlock + 1
+	for bi := int32(0); bi < nbx; bi++ {
+		xa := gx0 + bi*hierBlock
+		xb := min(xa+hierBlock-1, gx1)
+		lo := s.minX + float64(xa)*cs
+		loB := s.minX + float64(xb)*cs
+		d := 0.0
+		if xu < lo {
+			d = lo - xu
+		} else if hi := loB + cs; xu > hi {
+			d = xu - hi
+		}
+		bdx2[bi] = d * d
+	}
+	for bj := int32(0); bj < nby; bj++ {
+		ya := gy0 + bj*hierBlock
+		yb := min(ya+hierBlock-1, gy1)
+		lo := s.minY + float64(ya)*cs
+		loB := s.minY + float64(yb)*cs
+		d := 0.0
+		if yu < lo {
+			d = lo - yu
+		} else if hi := loB + cs; yu > hi {
+			d = yu - hi
+		}
+		bdy2[bj] = d * d
+	}
+	for gy := gy0; gy <= gy1; gy++ {
+		base := gy * cols
+		dy := dy2[gy-gy0]
+		bdy := bdy2[(gy-gy0)/hierBlock]
+		for bi := int32(0); bi < nbx; bi++ {
+			if bdx2[bi]+bdy > thr {
+				continue // whole block beyond the cutoff
+			}
+			xa := gx0 + bi*hierBlock
+			xb := min(xa+hierBlock-1, gx1)
+			for gx := xa; gx <= xb; gx++ {
+				if dx2[gx-gx0]+dy > thr {
+					continue
+				}
+				out = append(out, base+gx)
+			}
+		}
+	}
+	return out
 }
 
 // resolveDense is the no-grid kernel: every listener against every
@@ -819,7 +899,7 @@ func (s *SINR) sweep(f *Frontier, u int32) {
 	alpha, fast4 := s.params.PathLoss, s.fast4
 	c := s.nodeCell[u]
 	cols, rows := int32(s.cols), int32(s.rows)
-	rc := int32(math.Ceil(s.cutoff / s.cellSize))
+	rc := s.rc
 	cx, cy := c%cols, c/cols
 	xu, yu := s.xs[u], s.ys[u]
 	for gy := max(cy-rc, 0); gy <= min(cy+rc, rows-1); gy++ {

@@ -125,6 +125,37 @@ func TestSequentialStepZeroAllocProbeArmed(t *testing.T) {
 	}
 }
 
+// TestSequentialStepZeroAllocPackedCSR repeats the differential on the
+// graph-free RunCSR path with the adjacency delta-packed: the collision
+// model's neighbor cursor must decode blocks into its Sync-time scratch, so
+// the step loop stays allocation-free even though every neighbor list is now
+// varint-encoded. The packed snapshot and cursor scratch are built per run
+// (construction side) and cancel between the run lengths. Deliberately
+// placed after the ProbeArmed differential above: that test compares two
+// absolute allocation counts (probed vs bare) and is sensitive to the heap
+// state earlier tests in this file leave behind — running this one before
+// it shifts a GC boundary into exactly one of its two measured regions.
+func TestSequentialStepZeroAllocPackedCSR(t *testing.T) {
+	csr := gen.Grid(16, 16).Freeze().Pack()
+	if !csr.IsPacked() {
+		t.Fatal("Pack returned a flat snapshot")
+	}
+	runSteps := func(steps int) {
+		factory := func(info NodeInfo) Protocol {
+			return &steadyNode{rng: info.RNG, budget: steps}
+		}
+		if _, err := RunCSR(csr, factory, Options{MaxSteps: steps, Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	short := testing.AllocsPerRun(5, func() { runSteps(64) })
+	long := testing.AllocsPerRun(5, func() { runSteps(320) })
+	if long > short {
+		t.Fatalf("packed-CSR step loop allocates: %.1f allocs over 256 extra steps (%.1f vs %.1f per run)",
+			long-short, long, short)
+	}
+}
+
 // sparseNode transmits a preallocated message with probability 1/32 per
 // step — the sparse Decay-like regime the SINR grid bucketing serves.
 type sparseNode struct {

@@ -262,23 +262,61 @@ type Result struct {
 // Run simulates the protocol on g until all nodes are done or MaxSteps is
 // reached.
 func Run(g *graph.Graph, factory Factory, opts Options) (Result, error) {
+	if g == nil {
+		return Result{}, fmt.Errorf("radio: nil graph")
+	}
+	return run(g, g.N(), g.DiameterApprox, factory, opts)
+}
+
+// RunCSR simulates the protocol directly on a frozen CSR snapshot — the
+// graph-free entry point of the million-node path (DESIGN.md §11): the
+// streaming generators hand back a *graph.CSR (flat or packed) and the run
+// never materializes adjacency-list form. The snapshot is installed as a
+// single-epoch static Topology, so Options.Topology must be nil. Parameter
+// estimates not overridden in opts are derived from the snapshot (N, a
+// double-BFS diameter approximation, the trivial α ≤ n bound), exactly as
+// Run derives them from g. Semantics, determinism, and the zero-alloc step
+// loop are identical to Run on FromCSR(csr) — packed snapshots included,
+// which the compact-adjacency engine tests pin against golden digests.
+func RunCSR(csr *graph.CSR, factory Factory, opts Options) (Result, error) {
+	if csr == nil {
+		return Result{}, fmt.Errorf("radio: nil topology snapshot")
+	}
+	if opts.Topology != nil {
+		return Result{}, fmt.Errorf("radio: RunCSR installs the snapshot as the run's topology; Options.Topology must be nil")
+	}
+	opts.Topology = staticCSR{csr}
+	return run(nil, csr.N(), csr.DiameterApprox, factory, opts)
+}
+
+// staticCSR adapts one frozen snapshot to the Topology interface: a single
+// epoch in force from step 0, static forever.
+type staticCSR struct{ csr *graph.CSR }
+
+// EpochAt implements Topology.
+func (s staticCSR) EpochAt(step int) (*graph.CSR, int) { return s.csr, -1 }
+
+// run is the engine dispatch shared by Run and RunCSR. g is nil on the
+// graph-free path — the engines touch it only through newEngine, which
+// freezes it solely when no Topology is installed.
+func run(g *graph.Graph, n int, approxDiam func() (int, error), factory Factory, opts Options) (Result, error) {
 	if opts.MaxSteps <= 0 {
 		return Result{}, fmt.Errorf("radio: MaxSteps must be positive, got %d", opts.MaxSteps)
 	}
-	nodes, err := buildNodes(g, factory, opts)
+	nodes, err := buildNodes(n, approxDiam, factory, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	if opts.WakeAt != nil && len(opts.WakeAt) != g.N() {
-		return Result{}, fmt.Errorf("radio: WakeAt has %d entries for %d nodes", len(opts.WakeAt), g.N())
+	if opts.WakeAt != nil && len(opts.WakeAt) != n {
+		return Result{}, fmt.Errorf("radio: WakeAt has %d entries for %d nodes", len(opts.WakeAt), n)
 	}
 	if opts.Topology != nil {
 		csr, _ := opts.Topology.EpochAt(0)
 		if csr == nil {
 			return Result{}, fmt.Errorf("radio: Topology has no epoch at step 0")
 		}
-		if csr.N() != g.N() {
-			return Result{}, fmt.Errorf("radio: Topology epoch 0 has %d nodes for %d protocol nodes", csr.N(), g.N())
+		if csr.N() != n {
+			return Result{}, fmt.Errorf("radio: Topology epoch 0 has %d nodes for %d protocol nodes", csr.N(), n)
 		}
 	}
 	if opts.PHY == nil {
@@ -311,8 +349,7 @@ func awake(opts *Options, v, step int) bool {
 	return opts.WakeAt == nil || step >= opts.WakeAt[v]
 }
 
-func buildNodes(g *graph.Graph, factory Factory, opts Options) ([]Protocol, error) {
-	n := g.N()
+func buildNodes(n int, approxDiam func() (int, error), factory Factory, opts Options) ([]Protocol, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("radio: empty graph")
 	}
@@ -321,7 +358,7 @@ func buildNodes(g *graph.Graph, factory Factory, opts Options) ([]Protocol, erro
 		estN = n
 	}
 	if estD <= 0 {
-		d, err := g.DiameterApprox()
+		d, err := approxDiam()
 		if err != nil {
 			// Disconnected graphs are allowed for MIS; use n as the bound.
 			d = n

@@ -115,6 +115,33 @@ func TestHTTPBadRequests(t *testing.T) {
 	}
 }
 
+// TestHTTPMemoryGuard pins the service's large-n contract over the wire: a
+// streaming-capable spec past MaxNStream is refused up front with the
+// explicit memory-guard 400 (not accepted and left to OOM the worker), and
+// a non-streaming class past MaxN is pointed at the streaming classes.
+func TestHTTPMemoryGuard(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name, body, want string
+	}{
+		{"streaming past guard", `{"graph":"udg","algo":"mis","n":1000000}`, "memory guard"},
+		{"non-streaming past MaxN", `{"graph":"grid","algo":"mis","n":8192}`, "streaming-capable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, ep := range []string{"/v1/simulate", "/v1/jobs"} {
+				resp, body := post(t, ts.URL+ep, tc.body)
+				if resp.StatusCode != http.StatusBadRequest {
+					t.Fatalf("%s: status %d (%s), want 400", ep, resp.StatusCode, body)
+				}
+				if !strings.Contains(string(body), tc.want) {
+					t.Fatalf("%s: body %s lacks %q", ep, body, tc.want)
+				}
+			}
+		})
+	}
+}
+
 func TestHTTPOversizedBodyRejected(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	huge := `{"graph":"` + strings.Repeat("x", maxSpecBody) + `"}`

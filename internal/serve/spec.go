@@ -35,6 +35,13 @@ var ErrBadSpec = errors.New("bad spec")
 const (
 	// MaxN caps the requested node count.
 	MaxN = 4096
+	// MaxNStream is the raised node-count ceiling for streaming-capable
+	// scenarios (see Spec.StreamingCapable): their deployments build direct
+	// to (compact) CSR at a few hundred resident bytes per node, so the
+	// service can afford them well past MaxN. Above this ceiling the spec
+	// is rejected with an explicit memory-guard error rather than letting a
+	// request grow the process until the kernel kills it.
+	MaxNStream = 32768
 	// MaxReps caps seed replicas per spec.
 	MaxReps = 64
 	// MaxEpochs caps mutated epochs for dynamic specs.
@@ -110,6 +117,24 @@ func (sp Spec) SINRParams() phy.SINRParams {
 	return p.WithDefaults()
 }
 
+// streamGraphs lists the graph specs whose deployments gen.BuildCSR grows
+// direct to CSR — the classes whose memory story supports n beyond MaxN.
+var streamGraphs = []string{"udg", "phy:sinr"}
+
+// StreamingCapable reports whether the spec's deployment builds on the
+// streaming generator path, raising its node-count ceiling from MaxN to
+// MaxNStream. The algorithm doesn't restrict it further: every algorithm a
+// phy: spec admits runs on engines that iterate adjacency through the
+// cursor contract, compact or flat.
+func (sp Spec) StreamingCapable() bool {
+	for _, g := range streamGraphs {
+		if sp.Graph == g {
+			return true
+		}
+	}
+	return false
+}
+
 // badSpec builds an ErrBadSpec-wrapped validation error.
 func badSpec(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
@@ -135,8 +160,15 @@ func (sp Spec) Canonicalize() (Spec, error) {
 	if c.Reps == 0 {
 		c.Reps = 1
 	}
-	if c.N < 1 || c.N > MaxN {
+	switch {
+	case c.N < 1:
 		return Spec{}, badSpec("n %d out of range [1, %d]", c.N, MaxN)
+	case c.N > MaxN && !c.StreamingCapable():
+		return Spec{}, badSpec("n %d out of range [1, %d] (streaming-capable graph specs %v allow up to %d)",
+			c.N, MaxN, streamGraphs, MaxNStream)
+	case c.N > MaxNStream:
+		return Spec{}, badSpec("n %d exceeds the %d-node memory guard for streaming spec %q — a larger deployment would exhaust service memory; run it offline (radionet-bench -bench-huge, E24)",
+			c.N, MaxNStream, c.Graph)
 	}
 	if c.Reps < 1 || c.Reps > MaxReps {
 		return Spec{}, badSpec("reps %d out of range [1, %d]", c.Reps, MaxReps)

@@ -83,6 +83,30 @@ func TestHashDistinguishesScenarios(t *testing.T) {
 	}
 }
 
+// TestStreamingCeiling pins the raised node ceiling: the streaming-capable
+// graph classes canonicalize fine between MaxN and MaxNStream — exactly the
+// range the streaming generator path (gen.BuildCSR) exists for — while
+// everything else keeps the MaxN guardrail.
+func TestStreamingCeiling(t *testing.T) {
+	for _, sp := range []Spec{
+		{Graph: "udg", Algo: "mis", N: MaxN + 1},
+		{Graph: "udg", Algo: "broadcast", N: MaxNStream},
+		{Graph: "phy:sinr", Algo: "decay-broadcast", N: 20000},
+		{Graph: "phy:sinr", Algo: "flood", N: MaxNStream},
+	} {
+		c, err := sp.Canonicalize()
+		if err != nil {
+			t.Fatalf("Canonicalize(%+v): %v", sp, err)
+		}
+		if !c.StreamingCapable() {
+			t.Fatalf("%+v should be streaming-capable", c)
+		}
+	}
+	if (Spec{Graph: "grid"}).StreamingCapable() {
+		t.Fatal("grid must not be streaming-capable")
+	}
+}
+
 func TestCanonicalizeErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -97,6 +121,9 @@ func TestCanonicalizeErrors(t *testing.T) {
 		{"nested dynamic", Spec{Graph: "churn:churn:grid"}, "nested dynamic spec"},
 		{"n too big", Spec{N: MaxN + 1}, "out of range"},
 		{"n negative", Spec{N: -3}, "out of range"},
+		{"n too big names streaming classes", Spec{Graph: "grid", N: 8192}, "streaming-capable"},
+		{"streaming n above memory guard", Spec{Graph: "udg", N: MaxNStream + 1}, "memory guard"},
+		{"phy streaming n above memory guard", Spec{Graph: "phy:sinr", Algo: "mis", N: 1000000}, "memory guard"},
 		{"reps too big", Spec{Reps: MaxReps + 1}, "out of range"},
 		{"source out of range", Spec{Algo: "broadcast", N: 16, Source: 16}, "source"},
 		{"source negative", Spec{Algo: "flood", N: 16, Source: -1}, "source"},
